@@ -1,0 +1,32 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench table1 table2 examples coverage lint clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+table1:
+	$(PYTHON) -m repro.bench.table1
+
+table2:
+	$(PYTHON) -m repro.bench.table2
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/paper_example.py
+	$(PYTHON) examples/parallelize.py
+	$(PYTHON) examples/optimize_with_analysis.py
+	$(PYTHON) examples/compare_analyzers.py
+	$(PYTHON) examples/analyze_benchmarks.py tak nreverse
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis .benchmarks

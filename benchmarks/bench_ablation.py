@@ -1,0 +1,135 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* **environment trimming** — the paper: "the environment trimming
+  technique ... appears to be overkill in this abstract WAM."  We measure
+  analysis time with trimming on and off, and report how few slots
+  trimming would actually reclaim during analysis.
+* **term-depth limit k** — the paper fixes k = 4; the sweep shows the
+  time/precision knob.
+* **first-argument indexing** — irrelevant to the abstract machine (it
+  bypasses indexing code) but measurable on the concrete machine.
+
+Run:  pytest benchmarks/bench_ablation.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.bench import get_benchmark
+from repro.prolog import Program, parse_term
+from repro.wam import CompilerOptions, Machine, compile_program
+
+SUBJECTS = ["qsort", "serialise", "zebra"]
+
+
+@pytest.mark.parametrize("name", SUBJECTS)
+@pytest.mark.parametrize("trimming", [True, False], ids=["trim", "notrim"])
+@pytest.mark.benchmark(group="ablation-trimming")
+def test_analysis_trimming(benchmark, name, trimming):
+    bench = get_benchmark(name)
+    compiled = compile_program(
+        Program.from_text(bench.source),
+        CompilerOptions(environment_trimming=trimming),
+    )
+    analyzer = Analyzer(compiled)
+    result = benchmark(lambda: analyzer.analyze([bench.entry]))
+    assert result.instructions_executed > 0
+
+
+@pytest.mark.benchmark(group="ablation-trimming-accounting")
+def test_trimming_is_overkill_for_analysis(benchmark, capsys):
+    """The paper's observation, quantified: during analysis the trimmed
+    slot counts are tiny relative to the instructions executed."""
+    from repro.analysis.machine import AbstractMachine
+    from repro.analysis.driver import parse_entry_spec
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for name in SUBJECTS:
+        bench = get_benchmark(name)
+        compiled = compile_program(Program.from_text(bench.source))
+        machine = AbstractMachine(compiled)
+        spec = parse_entry_spec(bench.entry)
+        for _ in range(4):
+            machine.run_pattern(spec.indicator, spec.pattern)
+        ratio = machine.trimmed_slots / max(machine.instruction_count, 1)
+        lines.append(
+            f"  {name:10s} trimmed slots {machine.trimmed_slots:5d} over "
+            f"{machine.instruction_count:6d} instructions "
+            f"({100 * ratio:.1f}%)"
+        )
+        assert ratio < 0.25
+    with capsys.disabled():
+        print()
+        print("environment trimming during analysis (paper: 'overkill'):")
+        for line in lines:
+            print(line)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8], ids=lambda d: f"k{d}")
+@pytest.mark.benchmark(group="ablation-depth")
+def test_analysis_depth_sweep(benchmark, depth):
+    bench = get_benchmark("serialise")
+    compiled = compile_program(Program.from_text(bench.source))
+    analyzer = Analyzer(compiled, depth=depth)
+    result = benchmark(lambda: analyzer.analyze([bench.entry]))
+    assert result.iterations >= 1
+
+
+@pytest.mark.parametrize("indexing", [True, False], ids=["index", "noindex"])
+@pytest.mark.benchmark(group="ablation-indexing-concrete")
+def test_concrete_indexing(benchmark, indexing):
+    bench = get_benchmark("query")
+    compiled = compile_program(
+        Program.from_text(bench.source), CompilerOptions(indexing=indexing)
+    )
+    goal = parse_term("density(uk, D)")
+
+    def run():
+        machine = Machine(compiled)
+        return machine.run_once(goal)
+
+    assert benchmark(run) is not None
+
+
+@pytest.mark.parametrize("name", ["nreverse", "qsort", "serialise"])
+@pytest.mark.parametrize("aware", [True, False], ids=["lists", "nolists"])
+@pytest.mark.benchmark(group="ablation-list-awareness")
+def test_analysis_list_awareness(benchmark, name, aware):
+    """The α-list type ablation: paper §3, 'list-awareness is usually
+    very useful'.  Without it, list-heavy programs lose their list types
+    (precision) — the timing shows what the extra precision costs."""
+    bench = get_benchmark(name)
+    compiled = compile_program(Program.from_text(bench.source))
+    analyzer = Analyzer(compiled, list_aware=aware)
+    result = benchmark(lambda: analyzer.analyze([bench.entry]))
+    assert result.iterations >= 1
+
+
+@pytest.mark.parametrize("name", ["zebra", "serialise", "query"])
+@pytest.mark.parametrize(
+    "subsumption", [False, True], ids=["exact", "subsume"]
+)
+@pytest.mark.benchmark(group="ablation-subsumption")
+def test_analysis_subsumption(benchmark, name, subsumption):
+    """Subsumption-based table reuse (OLDT refinement, not in the paper):
+    coarser summaries, fewer explorations, smaller tables."""
+    bench = get_benchmark(name)
+    compiled = compile_program(Program.from_text(bench.source))
+    analyzer = Analyzer(compiled, subsumption=subsumption)
+    result = benchmark(lambda: analyzer.analyze([bench.entry]))
+    assert result.iterations >= 1
+
+
+@pytest.mark.parametrize("name", ["serialise", "qsort"])
+@pytest.mark.benchmark(group="ablation-depth0-simple-domain")
+def test_simple_domain_via_depth_zero(benchmark, name):
+    """k = 0 collapses the domain to the simple sorts — roughly the
+    Aquarius analyzer's much simpler domain the paper contrasts with."""
+    bench = get_benchmark(name)
+    compiled = compile_program(Program.from_text(bench.source))
+    analyzer = Analyzer(compiled, depth=0, list_aware=False)
+    result = benchmark(lambda: analyzer.analyze([bench.entry]))
+    assert result.iterations >= 1

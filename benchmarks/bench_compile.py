@@ -1,0 +1,28 @@
+"""Compilation time per benchmark — the paper's PLM column.
+
+The paper reports PLM compile times (1.2s–7.5s on a Sun 3/60) alongside
+the analysis times to show preprocessing cost; these benches measure our
+clause-to-WAM compiler on the same programs, plus parsing separately.
+
+Run:  pytest benchmarks/bench_compile.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prolog import Program
+from repro.wam import compile_program
+
+
+@pytest.mark.benchmark(group="compile")
+def test_compile(benchmark, bench_program):
+    program = Program.from_text(bench_program.source)
+    compiled = benchmark(lambda: compile_program(program))
+    assert compiled.total_size() > 0
+
+
+@pytest.mark.benchmark(group="parse")
+def test_parse(benchmark, bench_program):
+    program = benchmark(lambda: Program.from_text(bench_program.source))
+    assert program.clause_count() > 0

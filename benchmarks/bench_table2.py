@@ -1,0 +1,58 @@
+"""Table 2: "Speed Ratios on Various Platforms".
+
+The per-platform ratio table is a projection of the measured speed-ups
+through the paper's published platform indexes (the substitution is
+documented in DESIGN.md).  ``test_print_table2`` regenerates and checks
+the table's shape: ratios grow with the platform index, ``zebra`` is the
+slowest row and the small arithmetic programs the fastest.
+
+Run:  pytest benchmarks/bench_table2.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_data import PLATFORM_INDEXES
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import format_table2, project_table2
+
+
+@pytest.mark.benchmark(group="table2-regeneration")
+def test_table2_regeneration_cost(benchmark):
+    """Time of regenerating the measured side of Table 2 (fast path only,
+    meta baseline keeps this bench quick)."""
+    rows = benchmark.pedantic(
+        lambda: run_table1(["tak", "nreverse", "qsort"], repeats=1,
+                           baseline="meta"),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 3
+
+
+@pytest.mark.benchmark(group="table2-full-regeneration")
+def test_print_table2(benchmark, capsys):
+    rows = benchmark.pedantic(
+        lambda: run_table1(repeats=2, baseline="prolog"),
+        rounds=1,
+        iterations=1,
+    )
+    projected = project_table2(rows)
+    with capsys.disabled():
+        print()
+        print(format_table2(projected))
+
+    by_name = {row.name: row.ratios for row in projected}
+    indexes = [idx for label, idx in PLATFORM_INDEXES if label != "Aquarius 3/60"]
+    # Columns scale with the platform index.
+    for ratios in by_name.values():
+        for position in range(1, len(ratios)):
+            expected = ratios[0] * indexes[position] / indexes[0]
+            assert ratios[position] == pytest.approx(expected)
+    # Row shape: with the same domain on both sides the speed-up profile
+    # is flat (see EXPERIMENTS.md — the paper's own estimate for the
+    # same-domain case), and every row shows a solid compiled-side win.
+    base_column = {name: ratios[0] for name, ratios in by_name.items()}
+    assert all(value > 5 for value in base_column.values())
+    assert max(base_column.values()) / min(base_column.values()) < 20

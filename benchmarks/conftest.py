@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.bench import BENCHMARKS
+from repro.prolog import Program
+from repro.wam import compile_program
+
+BENCH_IDS = [bench.name for bench in BENCHMARKS]
+
+
+@pytest.fixture(params=BENCHMARKS, ids=BENCH_IDS)
+def bench_program(request):
+    """One Table 1 benchmark."""
+    return request.param
+
+
+@pytest.fixture
+def compiled_analyzer(bench_program):
+    """An Analyzer with compilation done up front (timings exclude it)."""
+    compiled = compile_program(Program.from_text(bench_program.source))
+    return Analyzer(compiled), bench_program.entry

@@ -1,0 +1,56 @@
+"""Compare the four analyzer implementations on one benchmark.
+
+Runs the same analysis with:
+
+* the compiled abstract WAM (the paper's contribution),
+* the Python meta-interpreter (same tables, interpretive substrate),
+* the Section-5 program transformation on the SLD solver,
+* the Prolog-hosted meta-interpreter on the SLD solver (the Table 1
+  baseline: an analyzer "implemented on top of Prolog").
+
+Prints each analyzer's time and the resulting table, demonstrating the
+paper's claim: compiling the analysis removes the interpretive and
+transforming overhead.
+
+Run:  python examples/compare_analyzers.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import Analyzer
+from repro.baselines import MetaAnalyzer, PrologAnalyzer, TransformAnalyzer
+from repro.bench import get_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "nreverse"
+    bench = get_benchmark(name)
+
+    fast = Analyzer(bench.source).analyze([bench.entry])
+    meta = MetaAnalyzer(bench.source).analyze([bench.entry])
+    transform = TransformAnalyzer(bench.source).analyze([bench.entry])
+    prolog = PrologAnalyzer(bench.source).analyze([bench.entry])
+
+    rows = [
+        ("abstract WAM (compiled)", fast.seconds,
+         f"{fast.instructions_executed} abstract instructions"),
+        ("Python meta-interpreter", meta.seconds,
+         f"{meta.store_copies} store copies"),
+        ("transformed program on SLD solver", transform.seconds,
+         f"{transform.resolution_steps} resolution steps"),
+        ("Prolog-hosted analyzer on SLD solver", prolog.seconds,
+         f"{prolog.resolution_steps} resolution steps"),
+    ]
+    print(f"benchmark: {name} (entry {bench.entry})\n")
+    for label, seconds, detail in rows:
+        speedup = seconds / fast.seconds
+        print(f"  {label:38s} {seconds * 1000:9.2f} ms  "
+              f"({speedup:6.1f}x, {detail})")
+
+    print("\nfixpoint table (identical across implementations, the")
+    print("Prolog-hosted ones modulo aliasing precision):\n")
+    print(fast.table_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""The paper's worked example: Figures 2 and 3.
+
+Compiles the clause head ``p(a, [f(V)|L])`` to WAM code (Figure 2) and
+then reinterprets it over the calling pattern ``p(atom, glist)``
+(Figure 3), printing the code, the resulting extension-table entry, and
+the inferred success pattern.
+
+Run:  python examples/paper_example.py
+"""
+
+from repro import Program, analyze, compile_program
+from repro.prolog import Clause, parse_term
+from repro.wam import compile_clause
+from repro.wam.listing import format_instruction
+
+
+def main() -> None:
+    clause = Clause.from_term(parse_term("p(a, [f(V)|L]) :- true"))
+
+    print("Figure 2 — the WAM code for the head of p(a, [f(V)|L]):\n")
+    for instruction in compile_clause(clause):
+        print("    " + format_instruction(instruction, arity=2))
+
+    print("\nFigure 3 — the same code reinterpreted over p(atom, glist):\n")
+    from repro.analysis import AbstractMachine
+    from repro.analysis.driver import parse_entry_spec
+    from repro.wam import Tracer
+
+    compiled = compile_program(Program.from_text("p(a, [f(V)|L])."))
+    machine = AbstractMachine(compiled)
+    machine.tracer = Tracer()
+    spec = parse_entry_spec("p(atom, glist)")
+    machine.run_pattern(spec.indicator, spec.pattern)
+    print("  annotated execution trace (one analysis pass):")
+    for line in machine.tracer.to_text().splitlines():
+        print("    " + line)
+    print()
+
+    result = analyze("p(a, [f(V)|L]).", "p(atom, glist)")
+    print("  extension table after the fixpoint:")
+    for line in result.table_text().splitlines():
+        print("    " + line)
+    print()
+    print("  derived report:")
+    for line in result.to_text().splitlines():
+        print("    " + line)
+
+    print(
+        "\n  Reading: the first argument stayed 'atom' (step 1 of the\n"
+        "  paper: a ~ atom); the second instantiated glist to a cons cell\n"
+        "  [g|glist] whose car then instantiated g to f(g) (steps 2.1 and\n"
+        "  2.2) — the success abstraction re-summarizes it as g-list."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: compile a Prolog program, run it, and analyze its dataflow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, Program, analyze, compile_program, parse_term, term_to_text
+
+PROGRAM = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+"""
+
+
+def main() -> None:
+    program = Program.from_text(PROGRAM)
+
+    # 1. Run the program on the concrete WAM.
+    machine = Machine(compile_program(program))
+    goal = parse_term("nrev([1, 2, 3, 4, 5], R)")
+    for solution in machine.run(goal):
+        print("concrete run:   R =", term_to_text(solution["R"]))
+
+    # 2. Analyze it with the compiled abstract WAM: what are the modes and
+    #    types of nrev/2 when called with a ground list and a fresh var?
+    result = analyze(PROGRAM, "nrev(glist, var)")
+    print("\ndataflow analysis report:")
+    print(result.to_text())
+
+    # 3. The raw extension table: calling pattern -> success pattern.
+    print("\nextension table:")
+    print(result.table_text())
+
+    # 4. Derived facts, programmatically.
+    print("\nmodes of app/3:", result.modes(("app", 3)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Regenerate the paper's Table 1 and Table 2 (see also benchmarks/).
+
+Run:  python examples/reproduce_table1.py [--baseline prolog|transform|meta]
+                                          [--repeats N] [benchmark ...]
+
+Prints the measured tables next to the paper's published ones.  The
+``Baseline`` column is the Prolog-hosted analyzer by default — the
+implementation style the paper's Aquarius/Quintus baseline used.
+"""
+
+import argparse
+
+from repro.bench.table1 import format_table1, run_table1
+from repro.bench.table2 import format_table2, project_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="Regenerate Tables 1 and 2")
+    parser.add_argument("names", nargs="*", help="benchmark subset")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--baseline", default="prolog", choices=["prolog", "transform", "meta"]
+    )
+    parser.add_argument("--no-paper", action="store_true")
+    arguments = parser.parse_args()
+
+    rows = run_table1(
+        arguments.names or None,
+        repeats=arguments.repeats,
+        baseline=arguments.baseline,
+        progress=lambda name: print(f"measuring {name} ...", flush=True),
+    )
+    print()
+    print("Table 1 — the efficiency of dataflow analyzers")
+    print()
+    print(format_table1(rows, show_paper=not arguments.no_paper))
+    print()
+    print("Table 2 — speed ratios on various platforms (projected)")
+    print()
+    print(format_table2(project_table2(rows), show_paper=not arguments.no_paper))
+
+
+if __name__ == "__main__":
+    main()

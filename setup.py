@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package and no network access, so PEP 660
+editable installs (which build a wheel) fail.  `pip install -e . --no-use-pep517
+--no-build-isolation` uses this file via `setup.py develop` instead.
+"""
+
+from setuptools import setup
+
+setup()

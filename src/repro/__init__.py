@@ -1,0 +1,57 @@
+"""repro — compiled dataflow analysis of logic programs.
+
+A complete reproduction of Tan & Lin, "Compiling Dataflow Analysis of
+Logic Programs" (PLDI 1992): a Prolog front-end and SLD solver, a
+Prolog-to-WAM compiler, a concrete WAM, and the paper's abstract WAM —
+the WAM instruction set reinterpreted over a mode/type/aliasing domain
+with the extension-table control scheme — plus the baseline analyzer
+styles the paper compares against and the benchmark harnesses that
+regenerate its tables.
+
+Quick start::
+
+    from repro import analyze
+
+    result = analyze('''
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    ''', "app(glist, glist, var)")
+    print(result.to_text())
+"""
+
+from .analysis import AbstractMachine, AnalysisResult, Analyzer, analyze
+from .errors import (
+    AnalysisError,
+    CompileError,
+    MachineError,
+    PrologError,
+    PrologSyntaxError,
+    ReproError,
+)
+from .prolog import Program, Solver, parse_term, read_terms, term_to_text
+from .wam import CompilerOptions, Machine, compile_program, disassemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractMachine",
+    "AnalysisError",
+    "AnalysisResult",
+    "Analyzer",
+    "CompileError",
+    "CompilerOptions",
+    "Machine",
+    "MachineError",
+    "Program",
+    "PrologError",
+    "PrologSyntaxError",
+    "ReproError",
+    "Solver",
+    "__version__",
+    "analyze",
+    "compile_program",
+    "disassemble",
+    "parse_term",
+    "read_terms",
+    "term_to_text",
+]

@@ -1,0 +1,56 @@
+"""The compiled dataflow analyzer: the paper's primary contribution.
+
+The abstract WAM (:mod:`.machine`) reinterprets compiled WAM code over the
+abstract domain with the extension-table control scheme (:mod:`.table`);
+:mod:`.driver` wraps compilation and the fixpoint loop behind one call::
+
+    from repro.analysis import analyze
+    result = analyze(program_text, "main(g, var)")
+    print(result.to_text())
+"""
+
+from .aheap import ABS, cell_summary, deref, make_abs, materialize
+from .aunify import complex_term_inst, s_unify
+from .driver import Analyzer, EntrySpec, analyze, parse_entry_spec
+from .machine import AbstractMachine, ExplorationFrame
+from .patterns import (
+    Pattern,
+    abstract_cells,
+    materialize_pattern,
+    pattern_leq,
+    pattern_lub,
+    pattern_to_text,
+    share_pairs,
+    tree_of_cell,
+)
+from .results import AnalysisResult, ArgumentInfo, PredicateInfo
+from .table import ExtensionTable, TableEntry
+
+__all__ = [
+    "ABS",
+    "AbstractMachine",
+    "AnalysisResult",
+    "Analyzer",
+    "ArgumentInfo",
+    "EntrySpec",
+    "ExplorationFrame",
+    "ExtensionTable",
+    "Pattern",
+    "PredicateInfo",
+    "TableEntry",
+    "abstract_cells",
+    "analyze",
+    "cell_summary",
+    "complex_term_inst",
+    "deref",
+    "make_abs",
+    "materialize",
+    "materialize_pattern",
+    "parse_entry_spec",
+    "pattern_leq",
+    "pattern_lub",
+    "pattern_to_text",
+    "s_unify",
+    "share_pairs",
+    "tree_of_cell",
+]

@@ -1,0 +1,213 @@
+"""The fixpoint driver: compile once, iterate the abstract WAM to a fixpoint.
+
+The extension-table scheme needs iterative deepening (paper Section 2.2):
+one pass explores every calling pattern once, recording lubbed success
+patterns; recursive calls see the previous iteration's summaries.  The
+driver re-runs the entry goals until a whole pass leaves the table
+unchanged — the least fixpoint of the dataflow analysis.
+
+Entry calling patterns are written in a small Prolog-ish spec language::
+
+    analyze(text, "nrev(glist, var)")
+    analyze(text, "main")                    # arity 0
+    analyze(text, "p(any, f(g, X), X)")      # shared variable = aliasing
+
+Argument spec atoms: ``any``, ``nv``, ``g``/``ground``, ``const``,
+``atom``, ``int``/``integer``, ``var``, ``[]``; ``<sort>list`` shorthands
+(``glist``, ``intlist``, ``anylist``, ...) and ``list(Spec)`` build α-list
+types; compound specs build structure skeletons; repeated variables express
+must-aliasing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..domain.concrete import DEFAULT_DEPTH
+from ..domain.lattice import Tree
+from ..domain.sorts import AbsSort
+from ..errors import AnalysisError
+from ..prolog.parser import parse_term
+from ..prolog.program import Program
+from ..prolog.terms import (
+    NIL,
+    Atom,
+    Indicator,
+    Int,
+    Struct,
+    Term,
+    Var,
+    indicator_of,
+)
+from ..wam.compile import CompiledProgram, CompilerOptions, compile_program
+from .machine import AbstractMachine
+from .patterns import Node, Pattern, canonicalize
+from .results import AnalysisResult
+from .table import ExtensionTable
+
+
+@dataclass(frozen=True)
+class EntrySpec:
+    """A top-level calling pattern to start the analysis from."""
+
+    indicator: Indicator
+    pattern: Pattern
+
+    def __str__(self) -> str:
+        return f"{self.indicator[0]}{self.pattern}"
+
+
+_SORT_ATOMS: Dict[str, AbsSort] = {
+    "any": AbsSort.ANY,
+    "nv": AbsSort.NV,
+    "g": AbsSort.GROUND,
+    "ground": AbsSort.GROUND,
+    "const": AbsSort.CONST,
+    "atom": AbsSort.ATOM,
+    "int": AbsSort.INTEGER,
+    "integer": AbsSort.INTEGER,
+    "var": AbsSort.VAR,
+}
+
+_LIST_SHORTHANDS: Dict[str, AbsSort] = {
+    f"{name}list": sort for name, sort in _SORT_ATOMS.items()
+}
+
+
+def _spec_tree(term: Term) -> Tree:
+    """Convert a spec term to a type tree (for inner positions)."""
+    node = _spec_node(term, itertools.count(), {})
+    from .patterns import node_to_tree
+
+    return node_to_tree(node)
+
+
+def _spec_node(term: Term, counter, var_ids: Dict[int, int]) -> Node:
+    if isinstance(term, Var):
+        ident = var_ids.get(id(term))
+        if ident is None:
+            ident = next(counter)
+            var_ids[id(term)] = ident
+        return ("i", AbsSort.VAR, ident)
+    if term == NIL:
+        from ..domain.lattice import EMPTY_T
+
+        return ("li", EMPTY_T, next(counter))
+    if isinstance(term, Atom):
+        sort = _SORT_ATOMS.get(term.name)
+        if sort is not None:
+            return ("i", sort, next(counter))
+        list_sort = _LIST_SHORTHANDS.get(term.name)
+        if list_sort is not None:
+            return ("li", ("s", list_sort), next(counter))
+        raise AnalysisError(
+            f"unknown abstract spec atom {term.name!r} "
+            f"(use any/nv/g/const/atom/int/var or <sort>list)"
+        )
+    if isinstance(term, Int):
+        return ("i", AbsSort.INTEGER, next(counter))
+    assert isinstance(term, Struct)
+    if term.name == "list" and term.arity == 1:
+        return ("li", _spec_tree(term.args[0]), next(counter))
+    children = tuple(_spec_node(a, counter, var_ids) for a in term.args)
+    return ("f", term.name, term.arity, children)
+
+
+def parse_entry_spec(spec: Union[str, Term, EntrySpec]) -> EntrySpec:
+    """Parse an entry spec like ``"nrev(glist, var)"``."""
+    if isinstance(spec, EntrySpec):
+        return spec
+    term = parse_term(spec) if isinstance(spec, str) else spec
+    if not term.is_callable():
+        raise AnalysisError(f"entry spec is not callable: {term}")
+    indicator = indicator_of(term)
+    counter = itertools.count()
+    var_ids: Dict[int, int] = {}
+    if isinstance(term, Struct):
+        nodes = tuple(_spec_node(a, counter, var_ids) for a in term.args)
+    else:
+        nodes = ()
+    return EntrySpec(indicator, canonicalize(Pattern(nodes)))
+
+
+class Analyzer:
+    """Compile a program once, then run analyses against it."""
+
+    def __init__(
+        self,
+        program: Union[Program, str, CompiledProgram],
+        options: Optional[CompilerOptions] = None,
+        depth: int = DEFAULT_DEPTH,
+        max_iterations: int = 100,
+        list_aware: bool = True,
+        subsumption: bool = False,
+        on_undefined: str = "error",
+    ):
+        if isinstance(program, str):
+            program = Program.from_text(program)
+        if isinstance(program, CompiledProgram):
+            self.compiled = program
+        else:
+            self.compiled = compile_program(program, options)
+        self.depth = depth
+        self.max_iterations = max_iterations
+        self.list_aware = list_aware
+        self.subsumption = subsumption
+        self.on_undefined = on_undefined
+
+    def analyze(
+        self, entries: Sequence[Union[str, Term, EntrySpec]]
+    ) -> AnalysisResult:
+        """Run the fixpoint analysis from the given entry patterns."""
+        specs = [parse_entry_spec(entry) for entry in entries]
+        if not specs:
+            raise AnalysisError("at least one entry spec is required")
+        table = ExtensionTable()
+        machine = AbstractMachine(
+            self.compiled, table, depth=self.depth,
+            list_aware=self.list_aware, subsumption=self.subsumption,
+            on_undefined=self.on_undefined,
+        )
+        iterations = 0
+        started = time.perf_counter()
+        while True:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise AnalysisError(
+                    f"no fixpoint after {self.max_iterations} iterations"
+                )
+            before = table.changes
+            for spec in specs:
+                machine.run_pattern(spec.indicator, spec.pattern)
+            if table.changes == before:
+                break
+        elapsed = time.perf_counter() - started
+        return AnalysisResult(
+            table=table,
+            compiled=self.compiled,
+            entries=specs,
+            iterations=iterations,
+            instructions_executed=machine.instruction_count,
+            seconds=elapsed,
+            depth=self.depth,
+        )
+
+
+def analyze(
+    program: Union[Program, str, CompiledProgram],
+    *entries: Union[str, Term, EntrySpec],
+    options: Optional[CompilerOptions] = None,
+    depth: int = DEFAULT_DEPTH,
+    list_aware: bool = True,
+    subsumption: bool = False,
+    on_undefined: str = "error",
+) -> AnalysisResult:
+    """One-call API: compile ``program`` and analyze from ``entries``."""
+    analyzer = Analyzer(
+        program, options=options, depth=depth, list_aware=list_aware,
+        subsumption=subsumption, on_undefined=on_undefined,
+    )
+    return analyzer.analyze(list(entries))

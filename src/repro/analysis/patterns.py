@@ -1,0 +1,644 @@
+"""Calling and success patterns (paper Sections 2.2, 5, 6).
+
+A *pattern* is the canonical abstraction of an argument tuple: for each
+argument, a node tree whose leaves carry *instance numbers* — two leaves
+with the same number denote the same abstract instance (aliasing), exactly
+like the subscripts in the paper (``p(atom, glist₁)``).  Patterns are
+hashable and serve as extension-table keys.
+
+Node forms (nested tuples):
+
+* ``('i', sort, n)`` — an instance of a simple sort (``var`` included);
+* ``('li', elem_tree, n)`` — an instance of an α-list;
+* ``('f', name, arity, (nodes...))`` — a structure skeleton.
+
+The abstraction function applies the term-depth restriction: subterms at
+depth ≥ k are summarized to their most precise simple sort; proper list
+spines cost a single level, with elements abstracted one level deeper
+(that is how 30-element ground lists become ``glist``).
+
+Must-aliasing is preserved when it is certain (two argument positions
+dereference into the same heap cell); list-element sharing is summarized
+away, which is the sound direction for an over-approximating analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..domain.concrete import DEFAULT_DEPTH
+from ..domain.lattice import (
+    ANY_T,
+    EMPTY_T,
+    Tree,
+    tree_is_ground,
+    tree_lub,
+    tree_summary_sort,
+    tree_to_text,
+)
+from ..domain.sorts import AbsSort, sort_is_ground
+from ..errors import AnalysisError
+from ..prolog.terms import NIL, Atom, Float, Int
+from ..wam.cells import CON, LIS, REF, STR, Cell, Heap
+from .aheap import ABS, cell_summary, deref, make_abs
+
+
+def _slot(heap: Heap, address: int) -> Cell:
+    """Read a structure slot; abstract cells come back by reference so
+    instance identity (sharing) is preserved."""
+    cell = heap.cells[address]
+    if cell[0] == ABS:
+        return (REF, address)
+    return cell
+
+Node = tuple
+
+
+class Pattern:
+    """A canonical abstract argument tuple (immutable, hash cached)."""
+
+    __slots__ = ("args", "_hash")
+
+    def __init__(self, args: Tuple[Node, ...]):
+        self.args = args
+        self._hash = hash(args)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pattern) and other.args == self.args
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.args!r})"
+
+    def __str__(self) -> str:
+        return pattern_to_text(self)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+# ----------------------------------------------------------------------
+# Tree abstraction of a heap term (no sharing info).
+
+def tree_of_cell(
+    heap: Heap,
+    cell: Cell,
+    depth: int = DEFAULT_DEPTH,
+    _path: Optional[Set[int]] = None,
+    widen: Optional[Set[int]] = None,
+) -> Tree:
+    """The type tree of the term rooted at ``cell``, depth-restricted.
+
+    ``widen`` holds variable addresses with hidden aliases (see
+    :func:`_survey_hidden_aliases`): they abstract to ``any``.
+    """
+    if _path is None:
+        _path = set()
+    if widen is None:
+        widen = frozenset()
+    cell, address = deref(heap, cell)
+    if address is not None:
+        if address in _path:
+            return ANY_T  # cyclic term: give up precisely but soundly
+        _path = _path | {address}
+    tag = cell[0]
+    if tag == REF:
+        if address in widen:
+            return ("s", AbsSort.ANY)
+        return ("s", AbsSort.VAR)
+    if tag == ABS:
+        sort, elem = cell[1]  # type: ignore[misc]
+        if sort == AbsSort.LIST:
+            assert elem is not None
+            return ("l", clip_tree(elem, depth - 1))
+        return ("s", sort)
+    if tag == CON:
+        return _constant_leaf_tree(cell[1])
+    if depth <= 0:
+        return ("s", cell_summary(heap, cell))
+    if tag == LIS:
+        proper, elements, tail_elem = _walk_spine(heap, cell, _path)
+        if proper:
+            elem = tail_elem if tail_elem is not None else EMPTY_T
+            for element in elements:
+                elem = tree_lub(
+                    elem, tree_of_cell(heap, element, depth - 1, _path, widen)
+                )
+            return ("l", elem)
+        head_cell = _slot(heap, cell[1])  # type: ignore[arg-type]
+        tail_cell = _slot(heap, cell[1] + 1)  # type: ignore[arg-type]
+        return (
+            "f",
+            ".",
+            2,
+            (
+                tree_of_cell(heap, head_cell, depth - 1, _path, widen),
+                tree_of_cell(heap, tail_cell, depth - 1, _path, widen),
+            ),
+        )
+    assert tag == STR
+    name, arity = heap.cells[cell[1]][1]  # type: ignore[index]
+    args = tuple(
+        tree_of_cell(heap, _slot(heap, cell[1] + 1 + i), depth - 1, _path, widen)  # type: ignore[arg-type]
+        for i in range(arity)
+    )
+    return ("f", name, arity, args)
+
+
+def _constant_leaf_tree(constant) -> Tree:
+    if constant == NIL:
+        return ("l", EMPTY_T)
+    if isinstance(constant, Atom):
+        return ("s", AbsSort.ATOM)
+    if isinstance(constant, Int):
+        return ("s", AbsSort.INTEGER)
+    return ("s", AbsSort.CONST)
+
+
+def _walk_spine(heap: Heap, cell: Cell, path: Set[int]):
+    """Walk a list spine: (is_proper, element_cells, tail_elem_tree)."""
+    elements: List[Cell] = []
+    seen: Set[int] = set()
+    current = cell
+    while True:
+        if current[0] == LIS:
+            address = current[1]
+            if address in seen:
+                return False, elements, None  # cyclic spine
+            seen.add(address)  # type: ignore[arg-type]
+            elements.append(_slot(heap, address))  # type: ignore[arg-type]
+            current, _ = deref(heap, _slot(heap, address + 1))  # type: ignore[arg-type]
+            continue
+        if current == (CON, NIL):
+            return True, elements, None
+        if current[0] == ABS and current[1][0] == AbsSort.LIST:  # type: ignore[index]
+            return True, elements, current[1][1]  # type: ignore[index]
+        return False, elements, None
+
+
+def clip_tree(tree: Tree, depth: int) -> Tree:
+    """Depth-restrict an arbitrary type tree.
+
+    ``('l', empty)`` (the nil list) is a constant leaf and costs no depth,
+    keeping clipping consistent with :func:`tree_of_cell`, which never
+    summarizes constants.
+    """
+    if tree[0] == "s":
+        return tree
+    if tree[0] == "l" and tree[1] == EMPTY_T:
+        return tree
+    if depth <= 0:
+        return ("s", tree_summary_sort(tree))
+    if tree[0] == "l":
+        return ("l", clip_tree(tree[1], depth - 1))
+    return (
+        "f",
+        tree[1],
+        tree[2],
+        tuple(clip_tree(arg, depth - 1) for arg in tree[3]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Pattern abstraction (with sharing).
+
+def _survey_hidden_aliases(heap: Heap, cells) -> Set[int]:
+    """Free variables whose aliasing a pattern cannot represent.
+
+    List spines are summarized to an element *type* with no instance ids,
+    so a variable cell that occurs inside a summarized spine AND is
+    reachable a second time (inside or outside the spine) has a hidden
+    alias: the pattern must widen it from ``var`` to ``any``, because a
+    binding through the lost alias could instantiate it.  (Non-var
+    abstract sorts are closed under instantiation and need no widening.)
+    """
+    counts: Dict[int, int] = {}
+    in_spine: Set[int] = set()
+    visited: Set[Tuple[int, bool]] = set()
+
+    def walk(cell: Cell, inside: bool, path: FrozenSet[int]) -> None:
+        cell, address = deref(heap, cell)
+        if address is None:
+            tag = cell[0]
+            if tag == LIS:
+                _walk_compound(cell, inside, path)
+            elif tag == STR:
+                _walk_compound(cell, inside, path)
+            return
+        if address in path:
+            return
+        counts[address] = counts.get(address, 0) + 1
+        if cell[0] == REF and inside:
+            in_spine.add(address)
+        if (address, inside) in visited and counts[address] >= 2:
+            return
+        visited.add((address, inside))
+        if cell[0] in (LIS, STR):
+            _walk_compound(cell, inside, path | {address})
+
+    def _walk_compound(cell: Cell, inside: bool, path: FrozenSet[int]) -> None:
+        if cell[0] == LIS:
+            proper, elements, _ = _walk_spine(heap, cell, set(path))
+            if proper:
+                for element in elements:
+                    walk(element, True, path)
+                return
+            walk(_slot(heap, cell[1]), inside, path)  # type: ignore[arg-type]
+            walk(_slot(heap, cell[1] + 1), inside, path)  # type: ignore[arg-type]
+            return
+        name, arity = heap.cells[cell[1]][1]  # type: ignore[index]
+        for offset in range(arity):
+            walk(_slot(heap, cell[1] + 1 + offset), inside, path)  # type: ignore[arg-type]
+
+    for cell in cells:
+        walk(cell, False, frozenset())
+    return {
+        address
+        for address in in_spine
+        if counts.get(address, 0) >= 2
+    }
+
+
+class _Abstractor:
+    def __init__(
+        self,
+        heap: Heap,
+        depth: int,
+        widen: Optional[Set[int]] = None,
+        list_aware: bool = True,
+    ):
+        self.heap = heap
+        self.depth = depth
+        self.ids: Dict[int, int] = {}
+        self.counter = itertools.count(0)
+        self.widen: Set[int] = widen if widen is not None else set()
+        self.list_aware = list_aware
+
+    def _ident(self, address: Optional[int]) -> int:
+        if address is None:
+            return next(self.counter)
+        existing = self.ids.get(address)
+        if existing is None:
+            existing = next(self.counter)
+            self.ids[address] = existing
+        return existing
+
+    def node(self, cell: Cell, depth: int, path: FrozenSet[int]) -> Node:
+        heap = self.heap
+        cell, address = deref(heap, cell)
+        if address is not None and address in path:
+            return ("i", AbsSort.ANY, self._ident(None))
+        if address is not None:
+            path = path | {address}
+        tag = cell[0]
+        if tag == REF:
+            if address in self.widen:
+                return ("i", AbsSort.ANY, self._ident(address))
+            return ("i", AbsSort.VAR, self._ident(address))
+        if tag == ABS:
+            sort, elem = cell[1]  # type: ignore[misc]
+            if sort == AbsSort.LIST:
+                assert elem is not None
+                return ("li", clip_tree(elem, depth - 1), self._ident(address))
+            return ("i", sort, self._ident(address))
+        if tag == CON:
+            if not self.list_aware and cell[1] == NIL:
+                # Without list awareness [] is just an atom.
+                return ("i", AbsSort.ATOM, self._ident(address))
+            leaf = _constant_leaf_tree(cell[1])
+            if leaf[0] == "l":
+                return ("li", leaf[1], self._ident(address))
+            return ("i", leaf[1], self._ident(address))
+        if depth <= 0:
+            summary = cell_summary(heap, cell)
+            if summary == AbsSort.VAR and address in self.widen:
+                summary = AbsSort.ANY
+            return ("i", summary, self._ident(address))
+        if tag == LIS:
+            proper, elements, tail_elem = (
+                _walk_spine(heap, cell, set(path))
+                if self.list_aware
+                else (False, [], None)
+            )
+            if proper:
+                elem = tail_elem if tail_elem is not None else EMPTY_T
+                for element in elements:
+                    elem = tree_lub(
+                        elem,
+                        tree_of_cell(
+                            heap, element, depth - 1, set(path), self.widen
+                        ),
+                    )
+                return ("li", elem, self._ident(address))
+            head_cell = _slot(heap, cell[1])  # type: ignore[arg-type]
+            tail_cell = _slot(heap, cell[1] + 1)  # type: ignore[arg-type]
+            return (
+                "f",
+                ".",
+                2,
+                (
+                    self.node(head_cell, depth - 1, path),
+                    self.node(tail_cell, depth - 1, path),
+                ),
+            )
+        assert tag == STR
+        name, arity = heap.cells[cell[1]][1]  # type: ignore[index]
+        args = tuple(
+            self.node(_slot(heap, cell[1] + 1 + i), depth - 1, path)  # type: ignore[arg-type]
+            for i in range(arity)
+        )
+        return ("f", name, arity, args)
+
+
+def abstract_cells(
+    heap: Heap,
+    cells: List[Cell],
+    depth: int = DEFAULT_DEPTH,
+    list_aware: bool = True,
+) -> Pattern:
+    """Abstract an argument tuple into a canonical pattern.
+
+    With ``list_aware=False`` (the ablation of the paper's α-list type),
+    proper lists are kept as depth-limited cons structures and ``[]`` is a
+    plain atom — the precision the paper calls "usually very useful" goes
+    away, measurably.
+    """
+    widen = _survey_hidden_aliases(heap, cells) if list_aware else set()
+    abstractor = _Abstractor(heap, depth, widen, list_aware=list_aware)
+    nodes = tuple(
+        abstractor.node(cell, depth, frozenset()) for cell in cells
+    )
+    return canonicalize(Pattern(nodes))
+
+
+# ----------------------------------------------------------------------
+# Materialization: pattern -> fresh heap cells.
+
+def materialize_pattern(heap: Heap, pattern: Pattern) -> List[Cell]:
+    """Build fresh cells shaped like ``pattern``, honoring shared ids."""
+    memo: Dict[int, Cell] = {}
+
+    def build(node: Node) -> Cell:
+        kind = node[0]
+        if kind == "i":
+            sort, ident = node[1], node[2]
+            cached = memo.get(ident)
+            if cached is None:
+                if sort == AbsSort.VAR:
+                    cached = heap.new_var()
+                elif sort == AbsSort.EMPTY:
+                    raise AnalysisError("cannot materialize empty instance")
+                else:
+                    cached = make_abs(heap, sort)
+                memo[ident] = cached
+            return cached
+        if kind == "li":
+            elem, ident = node[1], node[2]
+            cached = memo.get(ident)
+            if cached is None:
+                if elem == EMPTY_T:
+                    cached = (CON, NIL)
+                else:
+                    cached = make_abs(heap, AbsSort.LIST, elem)
+                memo[ident] = cached
+            return cached
+        assert kind == "f"
+        name, arity, arg_nodes = node[1], node[2], node[3]
+        children = [build(child) for child in arg_nodes]
+        if name == "." and arity == 2:
+            address = heap.top
+            heap.cells.extend(children)
+            return (LIS, address)
+        from ..wam.cells import FUN
+
+        functor_address = heap.push((FUN, (name, arity)))
+        heap.cells.extend(children)
+        return (STR, functor_address)
+
+    return [build(node) for node in pattern.args]
+
+
+# ----------------------------------------------------------------------
+# Lub, canonicalization and inspection.
+
+def node_to_tree(node: Node) -> Tree:
+    kind = node[0]
+    if kind == "i":
+        return ("s", node[1])
+    if kind == "li":
+        return ("l", node[1])
+    return ("f", node[1], node[2], tuple(node_to_tree(n) for n in node[3]))
+
+
+def tree_to_node(tree: Tree, counter) -> Node:
+    kind = tree[0]
+    if kind == "s":
+        return ("i", tree[1], next(counter))
+    if kind == "l":
+        return ("li", tree[1], next(counter))
+    return (
+        "f",
+        tree[1],
+        tree[2],
+        tuple(tree_to_node(arg, counter) for arg in tree[3]),
+    )
+
+
+def pattern_to_trees(pattern: Pattern) -> Tuple[Tree, ...]:
+    return tuple(node_to_tree(node) for node in pattern.args)
+
+
+def canonicalize(pattern: Pattern) -> Pattern:
+    """Renumber instance ids in first-occurrence (DFS) order."""
+    mapping: Dict[int, int] = {}
+
+    def renumber(node: Node) -> Node:
+        kind = node[0]
+        if kind in ("i", "li"):
+            ident = node[2]
+            new = mapping.get(ident)
+            if new is None:
+                new = len(mapping)
+                mapping[ident] = new
+            return (kind, node[1], new)
+        return ("f", node[1], node[2], tuple(renumber(n) for n in node[3]))
+
+    return Pattern(tuple(renumber(node) for node in pattern.args))
+
+
+def pattern_lub(a: Pattern, b: Pattern) -> Pattern:
+    """Least upper bound of two patterns.
+
+    Equal argument nodes keep their sharing; differing arguments take the
+    tree lub with fresh (unshared) instances — must-aliasing survives only
+    where both patterns agree, the sound direction.
+    """
+    if a == b:
+        return a
+    if len(a.args) != len(b.args):
+        raise AnalysisError("pattern arity mismatch in lub")
+    counter = itertools.count(10_000_000)  # fresh ids; canonicalized below
+    nodes: List[Node] = []
+    for node_a, node_b in zip(a.args, b.args):
+        if node_a == node_b:
+            nodes.append(node_a)
+        else:
+            merged = tree_lub(node_to_tree(node_a), node_to_tree(node_b))
+            nodes.append(tree_to_node(merged, counter))
+    return canonicalize(Pattern(tuple(nodes)))
+
+
+def pattern_leq(a: Pattern, b: Pattern) -> bool:
+    """Order on patterns ignoring sharing (tree inclusion pointwise)."""
+    from ..domain.lattice import tree_leq
+
+    if len(a.args) != len(b.args):
+        return False
+    return all(
+        tree_leq(x, y)
+        for x, y in zip(pattern_to_trees(a), pattern_to_trees(b))
+    )
+
+
+def _collect_ids(node: Node, into: List[int]) -> None:
+    kind = node[0]
+    if kind in ("i", "li"):
+        into.append(node[2])
+    else:
+        for child in node[3]:
+            _collect_ids(child, into)
+
+
+def pattern_subsumes(general: Pattern, specific: Pattern) -> bool:
+    """Is every call covered by ``specific`` also covered by ``general``?
+
+    Sound criterion for subsumption-based table reuse: the general
+    pattern must make no aliasing demands (sharing in a calling pattern
+    *shrinks* its concretization, so an aliased summary may be unsound
+    for unaliased calls) and the specific pattern's type trees must be
+    pointwise below the general one's.
+    """
+    if len(general.args) != len(specific.args):
+        return False
+    ids: List[int] = []
+    for node in general.args:
+        _collect_ids(node, ids)
+    if len(ids) != len(set(ids)):
+        return False  # the general pattern demands aliasing
+    return pattern_leq(specific, general)
+
+
+def share_pairs(pattern: Pattern) -> FrozenSet[Tuple[int, int]]:
+    """Argument index pairs that share at least one abstract instance."""
+    by_id: Dict[int, Set[int]] = {}
+    for index, node in enumerate(pattern.args):
+        ids: List[int] = []
+        _collect_ids(node, ids)
+        for ident in ids:
+            by_id.setdefault(ident, set()).add(index)
+    pairs: Set[Tuple[int, int]] = set()
+    for positions in by_id.values():
+        ordered = sorted(positions)
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1 :]:
+                pairs.add((left, right))
+    return frozenset(pairs)
+
+
+def pattern_to_text(pattern: Pattern) -> str:
+    """Paper-style rendering with subscripts for shared instances."""
+    counts: Dict[int, int] = {}
+
+    def count(node: Node) -> None:
+        if node[0] in ("i", "li"):
+            counts[node[2]] = counts.get(node[2], 0) + 1
+        else:
+            for child in node[3]:
+                count(child)
+
+    for node in pattern.args:
+        count(node)
+
+    def render(node: Node) -> str:
+        kind = node[0]
+        if kind == "i":
+            base = tree_to_text(("s", node[1]))
+        elif kind == "li":
+            base = tree_to_text(("l", node[1]))
+        else:
+            name, arity, children = node[1], node[2], node[3]
+            inner = ", ".join(render(child) for child in children)
+            if name == "." and arity == 2:
+                return f"[{render(children[0])}|{render(children[1])}]"
+            return f"{name}({inner})"
+        if counts.get(node[2], 0) > 1:
+            return f"{base}_{node[2]}"
+        return base
+
+    return "(" + ", ".join(render(node) for node in pattern.args) + ")"
+
+
+def collect_share_points(heap: Heap, cell: Cell, into: Set[int]) -> None:
+    """Addresses of possibly-unbound cells reachable from ``cell``.
+
+    Ground cells are excluded — sharing a ground subterm cannot transmit
+    bindings.  Summarized lists with non-ground elements count as one
+    share point (their elements are not individually addressable).
+    """
+    cell, address = deref(heap, cell)
+    tag = cell[0]
+    if tag == REF:
+        into.add(address)  # type: ignore[arg-type]
+        return
+    if tag == ABS:
+        sort, elem = cell[1]  # type: ignore[misc]
+        if sort == AbsSort.LIST:
+            if not tree_is_ground(elem):
+                into.add(address)  # type: ignore[arg-type]
+            return
+        if not sort_is_ground(sort):
+            into.add(address)  # type: ignore[arg-type]
+        return
+    if tag == CON:
+        return
+    if address is not None and address in into:
+        return  # already visited through another path
+    if tag == LIS:
+        collect_share_points(heap, _slot(heap, cell[1]), into)  # type: ignore[arg-type]
+        collect_share_points(heap, _slot(heap, cell[1] + 1), into)  # type: ignore[arg-type]
+        return
+    if tag == STR:
+        _, arity = heap.cells[cell[1]][1]  # type: ignore[index]
+        for offset in range(arity):
+            collect_share_points(heap, _slot(heap, cell[1] + 1 + offset), into)  # type: ignore[arg-type]
+
+
+def cell_share_pairs(heap: Heap, cells) -> FrozenSet[Tuple[int, int]]:
+    """Argument pairs that reach a common possibly-unbound cell.
+
+    Richer than :func:`share_pairs` on the abstracted pattern: sharing
+    *through summarized list elements* is invisible in the pattern (the
+    hidden-alias widening keeps the types sound but drops the pair), yet
+    clients like the And-Parallelism annotator need it.  Addresses are
+    compared modulo the heap's sharing component, which records aliasing
+    introduced by re-materialized summaries (list growth, success
+    patterns).
+    """
+    reached: Dict[int, Set[int]] = {}
+    for index, cell in enumerate(cells):
+        points: Set[int] = set()
+        collect_share_points(heap, cell, points)
+        for point in points:
+            reached.setdefault(heap.share_find(point), set()).add(index)
+    pairs: Set[Tuple[int, int]] = set()
+    for indexes in reached.values():
+        ordered = sorted(indexes)
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1 :]:
+                pairs.add((left, right))
+    return frozenset(pairs)

@@ -1,0 +1,117 @@
+"""The extension table (paper Sections 2.2 and 5).
+
+A memo structure mapping (predicate, calling pattern) to the lubbed success
+pattern found so far, with per-iteration *explored* marks.  Multiple calling
+patterns are kept per predicate; the success patterns of one calling
+pattern are summarized by least upper bound, so every invocation returns
+deterministically (at most one success pattern), exactly as the paper
+prescribes.
+
+The ``changes`` counter increases whenever an update actually changes the
+table; the fixpoint driver iterates until one whole pass leaves it
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..prolog.terms import Indicator, format_indicator
+from .patterns import Pattern, pattern_lub, share_pairs
+
+
+@dataclass
+class TableEntry:
+    """State of one calling pattern."""
+
+    calling: Pattern
+    success: Optional[Pattern] = None
+    #: argument-position pairs that may share on success (union over all
+    #: summarized success patterns).
+    may_share: FrozenSet[Tuple[int, int]] = frozenset()
+    #: iteration in which this pattern was last explored (0 = never).
+    explored_iteration: int = 0
+    #: how many times updateET changed this entry (diagnostics).
+    updates: int = 0
+
+
+class ExtensionTable:
+    """The global memo table of the analysis."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Indicator, Dict[Pattern, TableEntry]] = {}
+        self.changes = 0
+        self.lookups = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+
+    def entry(self, indicator: Indicator, calling: Pattern) -> TableEntry:
+        """The entry for a calling pattern, created on first use."""
+        by_pattern = self._entries.setdefault(indicator, {})
+        entry = by_pattern.get(calling)
+        if entry is None:
+            entry = TableEntry(calling)
+            by_pattern[calling] = entry
+            self.changes += 1
+        return entry
+
+    def find(self, indicator: Indicator, calling: Pattern) -> Optional[TableEntry]:
+        self.lookups += 1
+        by_pattern = self._entries.get(indicator)
+        if by_pattern is None:
+            return None
+        return by_pattern.get(calling)
+
+    def update(
+        self,
+        indicator: Indicator,
+        calling: Pattern,
+        success: Pattern,
+        extra_share=frozenset(),
+    ) -> bool:
+        """``updateET``: lub a new success pattern in; True if it changed.
+
+        ``extra_share`` carries may-share pairs the pattern itself cannot
+        express (sharing through summarized list elements).
+        """
+        self.updates += 1
+        entry = self.entry(indicator, calling)
+        new_share = entry.may_share | share_pairs(success) | extra_share
+        if entry.success is None:
+            merged = success
+        else:
+            merged = pattern_lub(entry.success, success)
+        changed = merged != entry.success or new_share != entry.may_share
+        if changed:
+            entry.success = merged
+            entry.may_share = new_share
+            entry.updates += 1
+            self.changes += 1
+        return changed
+
+    # ------------------------------------------------------------------
+
+    def predicates(self) -> List[Indicator]:
+        return list(self._entries.keys())
+
+    def entries_for(self, indicator: Indicator) -> List[TableEntry]:
+        return list(self._entries.get(indicator, {}).values())
+
+    def all_entries(self) -> Iterator[Tuple[Indicator, TableEntry]]:
+        for indicator, by_pattern in self._entries.items():
+            for entry in by_pattern.values():
+                yield indicator, entry
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def to_text(self) -> str:
+        """A human-readable dump, one line per (calling, success) pair."""
+        lines: List[str] = []
+        for indicator, entry in self.all_entries():
+            name = format_indicator(indicator)
+            success = str(entry.success) if entry.success is not None else "FAIL"
+            lines.append(f"{name}{entry.calling} -> {success}")
+        return "\n".join(lines)

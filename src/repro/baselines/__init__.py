@@ -1,0 +1,36 @@
+"""Baseline analyzer implementations the paper compares against.
+
+* :mod:`.prolog_analyzer` — the meta-interpreting analyzer *written in
+  Prolog* and run by the SLD solver (the Table 1 stand-in for Aquarius
+  under Quintus);
+* :mod:`.transform` — the Section 5 source-to-source transformation,
+  executed on the SLD solver;
+* :mod:`.meta` — a Python AST-level meta-interpreter over a
+  copy-on-branch store; computes bit-identical fixpoint tables to the
+  compiled analyzer, used for cross-validation.
+"""
+
+from .absterms import AbsStore
+from .meta import MetaAnalyzer, MetaResult
+from .prolog_analyzer import (
+    ANALYZER_SOURCE,
+    CONTROL_SOURCE,
+    SUPPORT_SOURCE,
+    PrologAnalyzer,
+    PrologBaselineResult,
+)
+from .transform import TransformAnalyzer, transform_predicate, transform_program
+
+__all__ = [
+    "ANALYZER_SOURCE",
+    "AbsStore",
+    "CONTROL_SOURCE",
+    "MetaAnalyzer",
+    "MetaResult",
+    "PrologAnalyzer",
+    "PrologBaselineResult",
+    "SUPPORT_SOURCE",
+    "TransformAnalyzer",
+    "transform_predicate",
+    "transform_program",
+]

@@ -1,0 +1,27 @@
+"""Benchmark harnesses regenerating the paper's tables."""
+
+from .paper_data import PLATFORM_INDEXES, TABLE1, TABLE1_BY_NAME, TABLE2
+from .profile import BenchmarkProfile, profile_program
+from .programs import BENCHMARKS, BY_NAME, Benchmark, get_benchmark
+from .table1 import Table1Row, format_table1, measure_benchmark, run_table1
+from .table2 import Table2Row, format_table2, project_table2
+
+__all__ = [
+    "BENCHMARKS",
+    "BY_NAME",
+    "Benchmark",
+    "BenchmarkProfile",
+    "PLATFORM_INDEXES",
+    "TABLE1",
+    "TABLE1_BY_NAME",
+    "TABLE2",
+    "Table1Row",
+    "Table2Row",
+    "format_table1",
+    "format_table2",
+    "get_benchmark",
+    "measure_benchmark",
+    "profile_program",
+    "project_table2",
+    "run_table1",
+]

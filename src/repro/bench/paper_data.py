@@ -1,0 +1,93 @@
+"""The published numbers from the paper, for side-by-side reporting.
+
+Table 1: per-benchmark profile and timings on a Sun 3/60 —
+Aquarius analyzer time (s), PLM compile time (s), static WAM code size,
+abstract WAM instructions executed, the compiled analyzer's time (ms) and
+the speed-up factor.
+
+Table 2: speed ratios of the compiled analyzer across eight platforms,
+normalized to the Aquarius analyzer on the Sun 3/60, plus the average
+speed index per platform (last row of the paper's Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 1."""
+
+    name: str
+    args: int
+    preds: int
+    aquarius_seconds: float
+    plm_seconds: float
+    size: int
+    exec_count: int
+    ours_ms: float
+    speedup: int
+
+
+TABLE1: List[PaperRow] = [
+    PaperRow("log10", 3, 2, 2.9, 4.5, 179, 749, 38.6, 75),
+    PaperRow("ops8", 3, 2, 3.0, 4.5, 180, 400, 23.3, 129),
+    PaperRow("times10", 3, 2, 3.0, 4.5, 186, 971, 48.4, 62),
+    PaperRow("divide10", 3, 2, 2.9, 4.6, 186, 1043, 50.7, 57),
+    PaperRow("tak", 4, 2, 2.3, 1.2, 53, 110, 4.0, 575),
+    PaperRow("nreverse", 5, 3, 2.2, 1.6, 99, 479, 26.7, 82),
+    PaperRow("qsort", 7, 3, 3.4, 2.5, 164, 763, 44.0, 77),
+    PaperRow("query", 7, 5, 4.2, 4.3, 264, 626, 25.8, 163),
+    PaperRow("zebra", 9, 5, 3.5, 7.5, 271, 1262, 257.9, 14),
+    PaperRow("serialise", 16, 7, 4.2, 3.6, 205, 912, 53.4, 79),
+    PaperRow("queens_8", 16, 7, 6.0, 3.1, 117, 324, 16.5, 364),
+]
+
+TABLE1_BY_NAME: Dict[str, PaperRow] = {row.name: row for row in TABLE1}
+
+#: The paper's reported arithmetic average of the speed-up factors.
+TABLE1_AVERAGE_SPEEDUP = 152
+
+#: Table 2 platforms: (label, average speed index relative to the
+#: analyzer on the Sun 3/60).  The paper's last row.
+PLATFORM_INDEXES: List[Tuple[str, float]] = [
+    ("Aquarius 3/60", 0.007),
+    ("Ours 3/60", 1.0),
+    ("Mac IIx TC 4.0", 0.50),
+    ("uVax 3100", 0.58),
+    ("Vax 8530", 1.2),
+    ("DecS 3100", 3.7),
+    ("SS1+", 5.21),
+    ("DecS 5000", 6.8),
+    ("SS2", 9.0),
+]
+
+#: Table 2 body: per-benchmark speed ratios on each platform (the paper's
+#: measured values, Aquarius-on-3/60 = 1).
+TABLE2: Dict[str, List[float]] = {
+    #              3/60  MacIIx uVax  Vax8530 DecS3100 SS1+  DecS5000  SS2
+    "log10": [75, 37, 49, 86, 284, 363, 500, 630],
+    "ops8": [129, 63, 59, 139, 469, 612, 833, 1034],
+    "times10": [62, 30, 37, 71, 231, 294, 400, 500],
+    "divide10": [57, 28, 34, 65, 215, 266, 372, 453],
+    "tak": [575, 288, 383, 639, 2091, 3286, 3833, 5750],
+    "nreverse": [82, 41, 56, 108, 297, 333, 595, 579],
+    "qsort": [77, 38, 45, 95, 281, 318, 548, 540],
+    "query": [163, 84, 60, 183, 618, 894, 1167, 1556],
+    "zebra": [14, 5.7, 9.4, 16, 55, 63, 95, 107],
+    "serialise": [79, 39, 47, 94, 296, 375, 538, 656],
+    "queens_8": [364, 182, 200, 448, 1364, 1935, 2500, 3333],
+}
+
+TABLE2_PLATFORM_LABELS: List[str] = [
+    "Ours 3/60",
+    "Mac IIx",
+    "uVax 3100",
+    "Vax 8530",
+    "DecS 3100",
+    "SS1+",
+    "DecS 5000",
+    "SS2",
+]

@@ -1,0 +1,39 @@
+"""Static profile of a benchmark, matching Table 1's descriptive columns.
+
+``Args`` is the total number of argument places (sum of predicate
+arities), ``Preds`` the number of predicates — both over the *source*
+program, exactly how the paper profiles the benchmarks — and ``Size`` the
+static instruction count of the compiled WAM code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..prolog.program import Program
+from ..wam.compile import CompiledProgram
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Descriptive columns of one Table 1 row."""
+
+    name: str
+    args: int
+    preds: int
+    size: int
+    clause_count: int
+
+
+def profile_program(
+    name: str, program: Program, compiled: CompiledProgram
+) -> BenchmarkProfile:
+    args = sum(indicator[1] for indicator in program.indicators())
+    preds = len(program.indicators())
+    return BenchmarkProfile(
+        name=name,
+        args=args,
+        preds=preds,
+        size=compiled.total_size(),
+        clause_count=program.clause_count(),
+    )

@@ -1,0 +1,347 @@
+"""The benchmark programs of Table 1 (Van Roy's PLM suite subset).
+
+Each benchmark carries its Prolog source, the analysis entry spec, a
+concrete goal for validating the compiled code on the real WAM, and a
+smaller test goal for quick correctness checks.  The predicate structure
+reproduces the paper's profile columns exactly: ``Args`` (total argument
+places) and ``Preds`` (predicate count) match Table 1 row by row.
+
+The sources are the classic formulations: Warren's symbolic
+differentiation (``log10``/``ops8``/``times10``/``divide10``), ``tak``,
+``nreverse``/``qsort``/``serialise``/``query`` from Warren's thesis
+benchmarks, the five-houses ``zebra`` puzzle, and select-based
+``queens_8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One Table 1 benchmark."""
+
+    name: str
+    source: str
+    #: analysis entry spec (see repro.analysis.driver).
+    entry: str
+    #: goal that runs the full benchmark on the concrete WAM.
+    goal: str
+    #: smaller goal with a checkable answer, for fast tests.
+    test_goal: str
+    #: expected binding (variable name, term text) for the test goal.
+    test_expect: Optional[Tuple[str, str]]
+
+
+_DERIV_RULES = """
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V ^ 2)) :- !, d(U, X, DU), d(V, X, DV).
+d(U ^ N, X, DU * N * U ^ N1) :- !, integer(N), N1 is N - 1, d(U, X, DU).
+d(- U, X, - DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+"""
+
+LOG10 = Benchmark(
+    name="log10",
+    source=(
+        "main :- d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, _).\n"
+        + _DERIV_RULES
+    ),
+    entry="main",
+    goal="main",
+    test_goal="d(log(x), x, D)",
+    test_expect=("D", "1 / x"),
+)
+
+OPS8 = Benchmark(
+    name="ops8",
+    source=(
+        "main :- d((x + 1) * ((x ^ 2 + 2) * (x ^ 3 + 3)), x, _).\n" + _DERIV_RULES
+    ),
+    entry="main",
+    goal="main",
+    test_goal="d(x + 1, x, D)",
+    test_expect=("D", "1 + 0"),
+)
+
+TIMES10 = Benchmark(
+    name="times10",
+    source=(
+        "main :- d(((((((((x * x) * x) * x) * x) * x) * x) * x) * x) * x, x, _).\n"
+        + _DERIV_RULES
+    ),
+    entry="main",
+    goal="main",
+    test_goal="d(x * x, x, D)",
+    test_expect=("D", "1 * x + x * 1"),
+)
+
+DIVIDE10 = Benchmark(
+    name="divide10",
+    source=(
+        "main :- d(((((((((x / x) / x) / x) / x) / x) / x) / x) / x) / x, x, _).\n"
+        + _DERIV_RULES
+    ),
+    entry="main",
+    goal="main",
+    test_goal="d(x / x, x, D)",
+    test_expect=("D", "(1 * x - x * 1) / x ^ 2"),
+)
+
+TAK = Benchmark(
+    name="tak",
+    source="""
+main :- tak(18, 12, 6, _).
+tak(X, Y, Z, A) :- X =< Y, !, Z = A.
+tak(X, Y, Z, A) :-
+    X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+    tak(X1, Y, Z, A1),
+    tak(Y1, Z, X, A2),
+    tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).
+""",
+    entry="main",
+    goal="main",
+    test_goal="tak(8, 4, 0, A)",
+    test_expect=("A", "1"),
+)
+
+NREVERSE = Benchmark(
+    name="nreverse",
+    source="""
+main :- nreverse([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,
+                  21,22,23,24,25,26,27,28,29,30], _).
+nreverse([], []).
+nreverse([H|T], R) :- nreverse(T, RT), concatenate(RT, [H], R).
+concatenate([], L, L).
+concatenate([H|T], L, [H|R]) :- concatenate(T, L, R).
+""",
+    entry="main",
+    goal="main",
+    test_goal="nreverse([1,2,3,4,5], R)",
+    test_expect=("R", "[5, 4, 3, 2, 1]"),
+)
+
+QSORT = Benchmark(
+    name="qsort",
+    source="""
+main :- qsort([27,74,17,33,94,18,46,83,65,2,
+               32,53,28,85,99,47,28,82,6,11,
+               55,29,39,81,90,37,10,0,66,51,
+               7,21,85,27,31,63,75,4,95,99,
+               11,28,61,74,18,92,40,53,59,8], _, []).
+qsort([], R, R).
+qsort([X|L], R0, R) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R),
+    qsort(L1, R0, [X|R1]).
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+""",
+    entry="main",
+    goal="main",
+    test_goal="qsort([3,1,2], S, [])",
+    test_expect=("S", "[1, 2, 3]"),
+)
+
+QUERY = Benchmark(
+    name="query",
+    source="""
+main :- query(_), fail.
+main.
+query([C1, D1, C2, D2]) :-
+    density(C1, D1),
+    density(C2, D2),
+    D1 > D2,
+    T1 is 20 * D1,
+    T2 is 21 * D2,
+    T1 < T2.
+density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.
+pop(china, 8250).
+pop(india, 5863).
+pop(ussr, 2521).
+pop(usa, 2119).
+pop(indonesia, 1276).
+pop(japan, 1097).
+pop(brazil, 1042).
+pop(bangladesh, 750).
+pop(pakistan, 682).
+pop(w_germany, 620).
+pop(nigeria, 613).
+pop(mexico, 581).
+pop(uk, 559).
+pop(italy, 554).
+pop(france, 525).
+pop(philippines, 415).
+pop(thailand, 410).
+pop(turkey, 383).
+pop(egypt, 364).
+pop(spain, 352).
+pop(poland, 337).
+pop(s_korea, 335).
+pop(iran, 320).
+pop(ethiopia, 272).
+pop(argentina, 251).
+area(china, 3380).
+area(india, 1139).
+area(ussr, 8708).
+area(usa, 3609).
+area(indonesia, 570).
+area(japan, 148).
+area(brazil, 3288).
+area(bangladesh, 55).
+area(pakistan, 311).
+area(w_germany, 96).
+area(nigeria, 373).
+area(mexico, 764).
+area(uk, 86).
+area(italy, 116).
+area(france, 213).
+area(philippines, 90).
+area(thailand, 200).
+area(turkey, 296).
+area(egypt, 386).
+area(spain, 190).
+area(poland, 121).
+area(s_korea, 37).
+area(iran, 628).
+area(ethiopia, 350).
+area(argentina, 1080).
+""",
+    entry="main",
+    goal="main",
+    test_goal="density(uk, D)",
+    test_expect=("D", "650"),
+)
+
+ZEBRA = Benchmark(
+    name="zebra",
+    source="""
+main :- zebra(_).
+zebra(Houses) :-
+    Houses = [house(_, norwegian, _, _, _),
+              _,
+              house(_, _, _, milk, _),
+              _,
+              _],
+    member(house(red, englishman, _, _, _), Houses),
+    member(house(_, spaniard, dog, _, _), Houses),
+    member(house(green, _, _, coffee, _), Houses),
+    member(house(_, ukrainian, _, tea, _), Houses),
+    right_of(house(green, _, _, _, _), house(ivory, _, _, _, _), Houses),
+    member(house(_, _, snails, _, old_gold), Houses),
+    member(house(yellow, _, _, _, kools), Houses),
+    next_to(house(_, _, _, _, chesterfield), house(_, _, fox, _, _), Houses),
+    next_to(house(_, _, _, _, kools), house(_, _, horse, _, _), Houses),
+    member(house(_, _, _, orange_juice, lucky_strike), Houses),
+    member(house(_, japanese, _, _, parliament), Houses),
+    next_to(house(blue, _, _, _, _), house(_, norwegian, _, _, _), Houses),
+    member(house(_, _, zebra, _, _), Houses),
+    member(house(_, _, _, water, _), Houses).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+right_of(A, B, [B, A | _]).
+right_of(A, B, [_ | T]) :- right_of(A, B, T).
+next_to(A, B, [A, B | _]).
+next_to(A, B, [B, A | _]).
+next_to(A, B, [_ | T]) :- next_to(A, B, T).
+""",
+    entry="main",
+    goal="main",
+    test_goal="member(X, [a, b, c])",
+    test_expect=("X", "a"),
+)
+
+SERIALISE = Benchmark(
+    name="serialise",
+    source="""
+main :- serialise("ABLE WAS I ERE I SAW ELBA", _).
+serialise(L, R) :-
+    pairlists(L, R, A),
+    arrange(A, T),
+    numbered(T, 1, _).
+pairlists([X|L], [Y|R], [pair(X, Y)|A]) :- pairlists(L, R, A).
+pairlists([], [], []).
+arrange([X|L], tree(T1, X, T2)) :-
+    split(L, X, L1, L2),
+    arrange(L1, T1),
+    arrange(L2, T2).
+arrange([], void).
+split([X|L], X, L1, L2) :- !, split(L, X, L1, L2).
+split([X|L], Y, [X|L1], L2) :- before(X, Y), !, split(L, Y, L1, L2).
+split([X|L], Y, L1, [X|L2]) :- before(Y, X), !, split(L, Y, L1, L2).
+split([], _, [], []).
+before(pair(X1, _), pair(X2, _)) :- X1 < X2.
+numbered(tree(T1, pair(_, N1), T2), N0, N) :-
+    numbered(T1, N0, N1),
+    N2 is N1 + 1,
+    numbered(T2, N2, N).
+numbered(void, N, N).
+""",
+    entry="main",
+    goal="main",
+    test_goal='serialise("CAB", R)',
+    test_expect=("R", "[3, 1, 2]"),
+)
+
+QUEENS_8 = Benchmark(
+    name="queens_8",
+    source="""
+main :- queens(8, _).
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    select(Q, Unplaced, Unplaced1),
+    not_attack(Safe, Q),
+    place(Unplaced1, [Q|Safe], Qs).
+not_attack(Xs, X) :- not_attack(Xs, X, 1).
+not_attack([], _, _).
+not_attack([Y|Ys], X, N) :-
+    X =\\= Y + N,
+    X =\\= Y - N,
+    N1 is N + 1,
+    not_attack(Ys, X, N1).
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+""",
+    entry="main",
+    goal="main",
+    test_goal="queens(4, Qs)",
+    test_expect=None,
+)
+
+#: Table 1 order.
+BENCHMARKS: List[Benchmark] = [
+    LOG10,
+    OPS8,
+    TIMES10,
+    DIVIDE10,
+    TAK,
+    NREVERSE,
+    QSORT,
+    QUERY,
+    ZEBRA,
+    SERIALISE,
+    QUEENS_8,
+]
+
+BY_NAME: Dict[str, Benchmark] = {bench.name: bench for bench in BENCHMARKS}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BY_NAME)}"
+        ) from None

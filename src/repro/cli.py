@@ -1,0 +1,171 @@
+"""Command line entry points.
+
+``repro-analyze file.pl "main(g, var)"`` — run the compiled dataflow
+analysis and print the mode/type/aliasing report.
+
+``repro-prolog file.pl "goal(X)"`` — compile a program to WAM code and run
+a query on the concrete machine (``--engine solver`` uses the SLD solver,
+``--listing`` prints the WAM code instead of running).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.driver import Analyzer
+from .prolog.library import with_library
+from .prolog.parser import parse_term
+from .prolog.program import Program
+from .prolog.solver import Solver
+from .prolog.writer import term_to_text
+from .wam.compile import CompilerOptions, compile_program
+from .wam.listing import disassemble
+from .wam.machine import Machine
+
+
+def _load_program(path: str, use_library: bool) -> Program:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if use_library:
+        return with_library(text)
+    return Program.from_text(text)
+
+
+def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Compiled dataflow analysis of a Prolog program",
+    )
+    parser.add_argument("file", help="Prolog source file")
+    parser.add_argument(
+        "entries",
+        nargs="+",
+        help='entry calling patterns, e.g. "main" or "nrev(glist, var)"',
+    )
+    parser.add_argument("--depth", type=int, default=4, help="term-depth limit")
+    parser.add_argument("--library", action="store_true", help="add list library")
+    parser.add_argument(
+        "--table", action="store_true", help="print the raw extension table too"
+    )
+    parser.add_argument(
+        "--no-trimming", action="store_true", help="disable environment trimming"
+    )
+    parser.add_argument(
+        "--subsumption", action="store_true",
+        help="reuse summaries of more general explored patterns",
+    )
+    parser.add_argument(
+        "--specialize", action="store_true",
+        help="print the WAM specialization report",
+    )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="print the and-parallelism annotation",
+    )
+    parser.add_argument(
+        "--deadcode", action="store_true", help="print the dead-code report"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    parser.add_argument(
+        "--on-undefined",
+        default="error",
+        choices=["error", "fail", "top"],
+        help="policy for calls to undefined predicates",
+    )
+    arguments = parser.parse_args(argv)
+    program = _load_program(arguments.file, arguments.library)
+    options = CompilerOptions(
+        environment_trimming=not arguments.no_trimming
+    )
+    analyzer = Analyzer(
+        program,
+        options=options,
+        depth=arguments.depth,
+        subsumption=arguments.subsumption,
+        on_undefined=arguments.on_undefined,
+    )
+    result = analyzer.analyze(arguments.entries)
+    if arguments.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.to_text())
+    if arguments.table:
+        print()
+        print(result.table_text())
+    if arguments.specialize:
+        from .optimize import specialize
+
+        print()
+        print(specialize(analyzer.compiled, result).to_text())
+    if arguments.parallel:
+        from .optimize import annotate_parallelism
+
+        print()
+        print(annotate_parallelism(program, result).to_text())
+    if arguments.deadcode:
+        from .optimize import find_dead_code
+
+        print()
+        print(find_dead_code(program, result).to_text())
+    return 0
+
+
+def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-prolog",
+        description="Run a Prolog query on the WAM (or the SLD solver)",
+    )
+    parser.add_argument("file", help="Prolog source file")
+    parser.add_argument("goal", nargs="?", default="main", help="query goal")
+    parser.add_argument(
+        "--engine", default="wam", choices=["wam", "solver"]
+    )
+    parser.add_argument("--library", action="store_true", help="add list library")
+    parser.add_argument(
+        "--all", action="store_true", help="print all solutions (default: first)"
+    )
+    parser.add_argument(
+        "--listing", action="store_true", help="print WAM code and exit"
+    )
+    arguments = parser.parse_args(argv)
+    program = _load_program(arguments.file, arguments.library)
+    goal = parse_term(arguments.goal)
+    if arguments.listing:
+        compiled = compile_program(program)
+        print(disassemble(compiled.code))
+        return 0
+    if arguments.engine == "wam":
+        machine = Machine(compile_program(program))
+        solutions = machine.run(goal)
+        output_source = machine
+    else:
+        solver = Solver(program)
+        solutions = solver.solve(goal)
+        output_source = solver
+    found = 0
+    for solution in solutions:
+        found += 1
+        if solution:
+            bindings = ", ".join(
+                f"{name} = {term_to_text(value)}"
+                for name, value in solution.items()
+            )
+            print(bindings)
+        else:
+            print("true")
+        if not arguments.all:
+            break
+    if not found:
+        print("false")
+    text = "".join(output_source.output)
+    if text:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+    return 0 if found else 1

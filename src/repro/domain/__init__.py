@@ -1,0 +1,78 @@
+"""The abstract domain of the analysis (paper Section 3).
+
+Simple sorts live in :mod:`.sorts`; the full domain with α-lists and
+structures is the *type tree* layer in :mod:`.lattice`;
+:mod:`.concrete` connects trees to concrete terms (α / γ).
+"""
+
+from .concrete import (
+    DEFAULT_DEPTH,
+    abstract_term,
+    summary_of_term,
+    tree_contains,
+)
+from .lattice import (
+    ANY_T,
+    ATOM_T,
+    CONST_T,
+    EMPTY_T,
+    GROUND_T,
+    INTEGER_T,
+    NIL_T,
+    NV_T,
+    Tree,
+    VAR_T,
+    make_list_tree,
+    make_struct_tree,
+    tree_glb,
+    tree_is_empty,
+    tree_is_ground,
+    tree_leq,
+    tree_lub,
+    tree_summary_sort,
+    tree_to_text,
+    tree_unify,
+)
+from .sorts import (
+    AbsSort,
+    SIMPLE_SORTS,
+    sort_glb,
+    sort_is_ground,
+    sort_leq,
+    sort_lub,
+    sort_unify,
+)
+
+__all__ = [
+    "ANY_T",
+    "ATOM_T",
+    "AbsSort",
+    "CONST_T",
+    "DEFAULT_DEPTH",
+    "EMPTY_T",
+    "GROUND_T",
+    "INTEGER_T",
+    "NIL_T",
+    "NV_T",
+    "SIMPLE_SORTS",
+    "Tree",
+    "VAR_T",
+    "abstract_term",
+    "make_list_tree",
+    "make_struct_tree",
+    "sort_glb",
+    "sort_is_ground",
+    "sort_leq",
+    "sort_lub",
+    "sort_unify",
+    "summary_of_term",
+    "tree_contains",
+    "tree_glb",
+    "tree_is_empty",
+    "tree_is_ground",
+    "tree_leq",
+    "tree_lub",
+    "tree_summary_sort",
+    "tree_to_text",
+    "tree_unify",
+]

@@ -1,0 +1,137 @@
+"""The abstraction/concretization connection for AST terms.
+
+:func:`abstract_term` is α: it maps a concrete term to the most precise
+type tree under the term-depth restriction.  :func:`tree_contains` is the
+γ-membership test: does a concrete term belong to the set a tree denotes?
+Together they power the soundness property tests::
+
+    tree_contains(abstract_term(t), t)                       # α ⊆ γ
+    unify(t1, t2) = r  ⇒  tree_contains(tree_unify(α t1, α t2), r)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..prolog.terms import (
+    NIL,
+    Atom,
+    Float,
+    Int,
+    Struct,
+    Term,
+    Var,
+    is_cons,
+    is_ground,
+)
+from .lattice import (
+    ANY_T,
+    ATOM_T,
+    CONST_T,
+    EMPTY_T,
+    GROUND_T,
+    INTEGER_T,
+    NIL_T,
+    NV_T,
+    Tree,
+    VAR_T,
+    tree_lub,
+)
+from .sorts import AbsSort
+
+#: The paper's term-depth restriction constant (Section 6).
+DEFAULT_DEPTH = 4
+
+
+def summary_of_term(term: Term) -> Tree:
+    """The most precise *simple* sort containing ``term``."""
+    if isinstance(term, Var):
+        return VAR_T
+    if is_ground(term):
+        return GROUND_T
+    return NV_T
+
+
+def abstract_term(term: Term, depth: int = DEFAULT_DEPTH) -> Tree:
+    """α: abstract a concrete term to a type tree of bounded depth.
+
+    List spines are summarized by an α-list node (one depth level for the
+    whole spine, elements one level deeper), matching the paper's use of
+    ``glist`` for arbitrarily long ground lists.
+    """
+    if depth <= 0:
+        return summary_of_term(term)
+    if isinstance(term, Var):
+        return VAR_T
+    if term == NIL:
+        return NIL_T
+    if isinstance(term, Atom):
+        return ATOM_T
+    if isinstance(term, Int):
+        return INTEGER_T
+    if isinstance(term, Float):
+        return CONST_T
+    assert isinstance(term, Struct)
+    if is_cons(term):
+        elements = []
+        current: Term = term
+        while is_cons(current):
+            assert isinstance(current, Struct)
+            elements.append(current.args[0])
+            current = current.args[1]
+        if current == NIL:
+            elem = EMPTY_T
+            for element in elements:
+                elem = tree_lub(elem, abstract_term(element, depth - 1))
+            return ("l", elem)
+        # Improper list: keep the cons structure, charged against depth.
+        result = abstract_term(current, depth - len(elements))
+        for element in reversed(elements):
+            depth -= 1
+            head = abstract_term(element, max(depth - 1, 0))
+            result = ("f", ".", 2, (head, result))
+        return result
+    args = tuple(abstract_term(argument, depth - 1) for argument in term.args)
+    return ("f", term.name, term.arity, args)
+
+
+def tree_contains(tree: Tree, term: Term) -> bool:
+    """γ-membership: does ``term`` belong to the set ``tree`` denotes?"""
+    kind = tree[0]
+    if kind == "s":
+        sort = tree[1]
+        if sort == AbsSort.ANY:
+            return True
+        if sort == AbsSort.EMPTY:
+            return False
+        if sort == AbsSort.VAR:
+            return isinstance(term, Var)
+        if sort == AbsSort.NV:
+            return not isinstance(term, Var)
+        if sort == AbsSort.GROUND:
+            return is_ground(term)
+        if sort == AbsSort.CONST:
+            return isinstance(term, (Atom, Int, Float))
+        if sort == AbsSort.ATOM:
+            return isinstance(term, Atom)
+        if sort == AbsSort.INTEGER:
+            return isinstance(term, Int)
+        raise ValueError(f"unexpected sort {sort}")
+    if kind == "l":
+        elem = tree[1]
+        current = term
+        while is_cons(current):
+            assert isinstance(current, Struct)
+            if not tree_contains(elem, current.args[0]):
+                return False
+            current = current.args[1]
+        return current == NIL
+    assert kind == "f"
+    if not isinstance(term, Struct):
+        return False
+    if term.name != tree[1] or term.arity != tree[2]:
+        return False
+    return all(
+        tree_contains(sub, argument)
+        for sub, argument in zip(tree[3], term.args)
+    )

@@ -1,0 +1,177 @@
+"""The simple (non-parameterized) abstract sorts of the analysis domain.
+
+The paper's Section 3 domain, minus the two parameterized families
+(``α-list`` and ``struct(f/n, ...)``, which live at the type-tree level in
+:mod:`repro.domain.lattice`):
+
+* ``any`` — all terms (top);
+* ``nv`` — non-variable terms;
+* ``ground`` — ground terms;
+* ``const`` — constants = ``atom`` ∪ ``integer``;
+* ``atom``, ``integer`` — the two constant classes;
+* ``var`` — variables;
+* ``empty`` — no terms (bottom).
+
+The Hasse diagram of the simple sorts::
+
+                 any
+                /   \\
+              nv    var
+               |
+             ground
+               |
+             const
+              / \\
+          atom   integer
+              \\ /
+             empty
+
+``sort_leq``/``sort_lub``/``sort_glb`` implement the order restricted to
+these sorts; ``sort_unify`` is the *set unification* combination where a
+variable absorbs the other operand (``s_unify(var, T) = T``), which is the
+operational rule used by abstract unification.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+
+class AbsSort(enum.IntEnum):
+    """A simple abstract sort.
+
+    An ``IntEnum`` so that hashing tree nodes (which embed sorts) costs an
+    integer hash — sorts are hashed millions of times per analysis.
+    """
+
+    EMPTY = 0
+    VAR = 1
+    ATOM = 2
+    INTEGER = 3
+    CONST = 4
+    GROUND = 5
+    NV = 6
+    ANY = 7
+    # Parameterized families; they appear as tree nodes, never as plain
+    # sorts in lattice tables, but the enum members give them names.
+    LIST = 8
+    STRUCT = 9
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Sorts that can appear in an ``abs`` heap cell or as a tree leaf.
+SIMPLE_SORTS: Tuple[AbsSort, ...] = (
+    AbsSort.EMPTY,
+    AbsSort.VAR,
+    AbsSort.ATOM,
+    AbsSort.INTEGER,
+    AbsSort.CONST,
+    AbsSort.GROUND,
+    AbsSort.NV,
+    AbsSort.ANY,
+)
+
+#: For each simple sort, the set of simple sorts below or equal to it.
+_DOWNSETS: Dict[AbsSort, FrozenSet[AbsSort]] = {
+    AbsSort.EMPTY: frozenset({AbsSort.EMPTY}),
+    AbsSort.VAR: frozenset({AbsSort.EMPTY, AbsSort.VAR}),
+    AbsSort.ATOM: frozenset({AbsSort.EMPTY, AbsSort.ATOM}),
+    AbsSort.INTEGER: frozenset({AbsSort.EMPTY, AbsSort.INTEGER}),
+    AbsSort.CONST: frozenset(
+        {AbsSort.EMPTY, AbsSort.ATOM, AbsSort.INTEGER, AbsSort.CONST}
+    ),
+    AbsSort.GROUND: frozenset(
+        {
+            AbsSort.EMPTY,
+            AbsSort.ATOM,
+            AbsSort.INTEGER,
+            AbsSort.CONST,
+            AbsSort.GROUND,
+        }
+    ),
+    AbsSort.NV: frozenset(
+        {
+            AbsSort.EMPTY,
+            AbsSort.ATOM,
+            AbsSort.INTEGER,
+            AbsSort.CONST,
+            AbsSort.GROUND,
+            AbsSort.NV,
+        }
+    ),
+    AbsSort.ANY: frozenset(
+        {
+            AbsSort.EMPTY,
+            AbsSort.VAR,
+            AbsSort.ATOM,
+            AbsSort.INTEGER,
+            AbsSort.CONST,
+            AbsSort.GROUND,
+            AbsSort.NV,
+            AbsSort.ANY,
+        }
+    ),
+}
+
+
+#: Flat table: _LEQ[lower * 10 + upper], sized for all ten members so a
+#: stray LIST/STRUCT argument reads False instead of raising.
+_LEQ = [False] * 100
+for _upper, _downset in _DOWNSETS.items():
+    for _lower in _downset:
+        _LEQ[int(_lower) * 10 + int(_upper)] = True
+
+
+def sort_leq(lower: AbsSort, upper: AbsSort) -> bool:
+    """Is ``lower`` ⊑ ``upper`` among the simple sorts?"""
+    return _LEQ[lower * 10 + upper]
+
+
+def sort_lub(a: AbsSort, b: AbsSort) -> AbsSort:
+    """Least upper bound of two simple sorts."""
+    if sort_leq(a, b):
+        return b
+    if sort_leq(b, a):
+        return a
+    if a == AbsSort.VAR or b == AbsSort.VAR:
+        return AbsSort.ANY
+    # Remaining incomparable pair within the nv chain: atom and integer.
+    if {a, b} == {AbsSort.ATOM, AbsSort.INTEGER}:
+        return AbsSort.CONST
+    return AbsSort.ANY
+
+
+def sort_glb(a: AbsSort, b: AbsSort) -> AbsSort:
+    """Greatest lower bound of two simple sorts."""
+    if sort_leq(a, b):
+        return a
+    if sort_leq(b, a):
+        return b
+    common = _DOWNSETS[a] & _DOWNSETS[b]
+    # The common downset of any two simple sorts has a maximum element.
+    best = AbsSort.EMPTY
+    for sort in common:
+        if sort_leq(best, sort):
+            best = sort
+    return best
+
+
+def sort_unify(a: AbsSort, b: AbsSort) -> AbsSort:
+    """Set unification of simple sorts: a variable absorbs the other side.
+
+    ``s_unify(var, T) = T`` because unifying a free variable with any term
+    yields that term; everything else is the lattice glb.
+    """
+    if a == AbsSort.VAR:
+        return b
+    if b == AbsSort.VAR:
+        return a
+    return sort_glb(a, b)
+
+
+def sort_is_ground(sort: AbsSort) -> bool:
+    """Does the sort contain only ground terms?"""
+    return sort_leq(sort, AbsSort.GROUND)

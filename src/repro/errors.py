@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  The subclasses mirror the
+major subsystems: reading Prolog text, compiling it to WAM code, running
+the concrete machine, and running the analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PrologSyntaxError(ReproError):
+    """A Prolog source text could not be tokenized or parsed.
+
+    Carries the position of the offending token so tools can point at it.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class PrologError(ReproError):
+    """A runtime error in Prolog execution (solver or concrete WAM).
+
+    The ISO error classes we need are represented by ``kind`` ("type_error",
+    "instantiation_error", "existence_error", "evaluation_error", ...) and a
+    human-readable message.
+    """
+
+    def __init__(self, kind: str, message: str):
+        self.kind = kind
+        super().__init__(f"{kind}: {message}")
+
+
+class CompileError(ReproError):
+    """A clause could not be compiled to WAM code."""
+
+
+class MachineError(ReproError):
+    """The concrete WAM reached an inconsistent state (a bug, not a goal failure)."""
+
+
+class AnalysisError(ReproError):
+    """The abstract machine or fixpoint driver reached an inconsistent state."""

@@ -1,0 +1,30 @@
+"""Analysis clients: using the dataflow facts to improve programs.
+
+* :mod:`.specialize` — WAM code specialization (dereference/trail
+  removal, write-mode specialization, determinism detection);
+* :mod:`.parallel` — Independent And-Parallelism detection (goal-pair
+  independence with CGE-style run-time conditions);
+* :mod:`.deadcode` — unreachable predicates, dead clauses, and
+  proven-failing predicates.
+"""
+
+from .deadcode import DeadCodeReport, find_dead_code
+from .parallel import (
+    ClauseParallelism,
+    GoalPairInfo,
+    ParallelReport,
+    annotate_parallelism,
+)
+from .specialize import Annotation, SpecializationReport, specialize
+
+__all__ = [
+    "Annotation",
+    "ClauseParallelism",
+    "DeadCodeReport",
+    "GoalPairInfo",
+    "ParallelReport",
+    "SpecializationReport",
+    "annotate_parallelism",
+    "find_dead_code",
+    "specialize",
+]

@@ -1,0 +1,181 @@
+"""A compiler client for the analysis: WAM code specialization.
+
+The point of the dataflow analysis (paper Section 1) is to enable the
+"substantial optimizations" that need interprocedural modes, types and
+aliasing.  This module implements the classic ones as an annotation pass
+over linked WAM code, driven by an :class:`~repro.analysis.results.AnalysisResult`:
+
+* **dereference removal** — a ``get`` on an argument whose call type is
+  ``nv`` or below can skip the unbound-variable case entirely (Taylor,
+  "Removal of Dereferencing and Trailing in Prolog Compilation");
+* **trail removal** — a ``get``/``unify`` against a *ground* argument can
+  never bind anything, so no trailing is needed and read mode is the only
+  mode;
+* **write-mode specialization** — a ``get`` on an always-``var`` argument
+  only ever constructs, so the read path and its tag dispatch go away;
+* **determinism detection** — a predicate whose selecting argument is
+  always instantiated and whose clauses have pairwise-distinct first-arg
+  keys needs no choice point.
+
+The result is a :class:`SpecializationReport` carrying per-instruction
+annotations and a simple cost model (saved tag tests, dereference loops
+and trail pushes), plus an annotated listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.results import AnalysisResult
+from ..domain.lattice import GROUND_T, NV_T, Tree, VAR_T, tree_leq
+from ..prolog.terms import Indicator, format_indicator
+from ..wam.compile import CompiledProgram
+from ..wam.instructions import Instr, Reg
+from ..wam.listing import format_instruction
+
+#: Cost model: units saved per specialization kind.
+DEREF_COST = 2
+TRAIL_COST = 1
+TAG_TEST_COST = 1
+CHOICE_POINT_COST = 10
+
+
+@dataclass
+class Annotation:
+    """One specialized instruction."""
+
+    address: int
+    instruction: Instr
+    kind: str  # 'ground', 'nonvar', 'write_only', 'deterministic'
+    saving: int
+
+    def to_text(self, arity: int = 0) -> str:
+        base = format_instruction(self.instruction, arity)
+        return f"{self.address:5d}  {base:40s} ; {self.kind} (saves {self.saving})"
+
+
+@dataclass
+class SpecializationReport:
+    """All annotations for one compiled program."""
+
+    annotations: List[Annotation] = field(default_factory=list)
+    deterministic_predicates: List[Indicator] = field(default_factory=list)
+    instructions_seen: int = 0
+
+    @property
+    def total_saving(self) -> int:
+        return sum(a.saving for a in self.annotations) + CHOICE_POINT_COST * len(
+            self.deterministic_predicates
+        )
+
+    def count(self, kind: str) -> int:
+        return sum(1 for a in self.annotations if a.kind == kind)
+
+    def to_text(self) -> str:
+        lines = [
+            f"% specialization: {len(self.annotations)} of "
+            f"{self.instructions_seen} instructions, "
+            f"{len(self.deterministic_predicates)} deterministic predicates, "
+            f"{self.total_saving} cost units saved",
+        ]
+        for kind in ("ground", "nonvar", "write_only"):
+            lines.append(f"%   {kind}: {self.count(kind)}")
+        for indicator in self.deterministic_predicates:
+            lines.append(f"%   deterministic: {format_indicator(indicator)}")
+        for annotation in self.annotations:
+            lines.append(annotation.to_text())
+        return "\n".join(lines)
+
+
+_GET_OPS = {"get_constant", "get_nil", "get_list", "get_structure", "get_value"}
+
+
+def _argument_class(tree: Optional[Tree]) -> Optional[str]:
+    """'ground', 'nonvar', 'var' or None (no specialization)."""
+    if tree is None:
+        return None
+    if tree_leq(tree, GROUND_T):
+        return "ground"
+    if tree_leq(tree, VAR_T):
+        return "var"
+    if tree_leq(tree, NV_T):
+        return "nonvar"
+    return None
+
+
+def _first_arg_keys_distinct(compiled: CompiledProgram, indicator: Indicator) -> bool:
+    from ..wam.compile.predicate import _first_argument_key
+
+    predicate = compiled.program.predicate(indicator)
+    if predicate is None or len(predicate.clauses) < 2:
+        return predicate is not None
+    keys = [_first_argument_key(clause.head) for clause in predicate.clauses]
+    if any(key == "var" for key in keys):
+        return False
+    return len(set(keys)) == len(keys)
+
+
+def specialize(
+    compiled: CompiledProgram, result: AnalysisResult
+) -> SpecializationReport:
+    """Annotate the code of every analyzed predicate; see module docstring."""
+    report = SpecializationReport()
+    for indicator in result.predicates():
+        info = result.predicate(indicator)
+        if info is None or indicator not in compiled.code.entry:
+            continue
+        classes: Dict[int, Optional[str]] = {
+            argument.position + 1: _argument_class(argument.call_type)
+            for argument in info.arguments
+        }
+        start = compiled.code.entry[indicator]
+        size = compiled.code.size_of(indicator)
+        for address in range(start, start + size):
+            instruction = compiled.code.at(address)
+            report.instructions_seen += 1
+            annotation = _annotate(address, instruction, classes)
+            if annotation is not None:
+                report.annotations.append(annotation)
+        first_class = classes.get(1)
+        if first_class in ("ground", "nonvar") and _first_arg_keys_distinct(
+            compiled, indicator
+        ):
+            report.deterministic_predicates.append(indicator)
+    return report
+
+
+def _annotate(
+    address: int, instruction: Instr, classes: Dict[int, Optional[str]]
+) -> Optional[Annotation]:
+    op = instruction.args
+    name = instruction.op
+    if name not in _GET_OPS and name != "get_variable":
+        return None
+    # Locate the argument register the instruction examines.
+    position: Optional[int] = None
+    if name in ("get_constant",):
+        position = op[1]
+    elif name == "get_nil":
+        position = op[0]
+    elif name in ("get_list", "get_structure"):
+        register = op[-1]
+        if isinstance(register, Reg) and register.kind == "x":
+            position = register.index
+    elif name == "get_value":
+        position = op[1]
+    if position is None:
+        return None
+    argument_class = classes.get(position)
+    if argument_class == "ground":
+        return Annotation(
+            address,
+            instruction,
+            "ground",
+            DEREF_COST + TRAIL_COST + TAG_TEST_COST,
+        )
+    if argument_class == "nonvar":
+        return Annotation(address, instruction, "nonvar", DEREF_COST)
+    if argument_class == "var" and name in ("get_list", "get_structure", "get_constant", "get_nil"):
+        return Annotation(address, instruction, "write_only", TAG_TEST_COST)
+    return None

@@ -1,0 +1,73 @@
+"""Prolog front-end and reference engine.
+
+Public surface:
+
+* term model: :class:`Atom`, :class:`Int`, :class:`Float`, :class:`Var`,
+  :class:`Struct` and the list helpers;
+* reading: :func:`parse_term`, :func:`read_terms`,
+  :class:`~repro.prolog.program.Program`;
+* writing: :func:`term_to_text`;
+* running: :class:`~repro.prolog.solver.Solver`.
+"""
+
+from .operators import OperatorTable
+from .parser import parse_term, parse_term_with_vars, read_terms
+from .program import Clause, Predicate, Program, normalize_program
+from .solver import Bindings, Solver, compare_terms, unify
+from .terms import (
+    NIL,
+    Atom,
+    Float,
+    Indicator,
+    Int,
+    Struct,
+    Term,
+    Var,
+    cons,
+    format_indicator,
+    indicator_of,
+    is_cons,
+    is_ground,
+    is_proper_list,
+    list_elements,
+    make_list,
+    term_depth,
+    term_size,
+    term_vars,
+)
+from .writer import term_to_text
+
+__all__ = [
+    "Atom",
+    "Bindings",
+    "Clause",
+    "Float",
+    "Indicator",
+    "Int",
+    "NIL",
+    "OperatorTable",
+    "Predicate",
+    "Program",
+    "Solver",
+    "Struct",
+    "Term",
+    "Var",
+    "compare_terms",
+    "cons",
+    "format_indicator",
+    "indicator_of",
+    "is_cons",
+    "is_ground",
+    "is_proper_list",
+    "list_elements",
+    "make_list",
+    "normalize_program",
+    "parse_term",
+    "parse_term_with_vars",
+    "read_terms",
+    "term_depth",
+    "term_size",
+    "term_to_text",
+    "term_vars",
+    "unify",
+]

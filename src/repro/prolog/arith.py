@@ -1,0 +1,178 @@
+"""Arithmetic evaluation for ``is/2`` and the comparison builtins.
+
+Works on fully dereferenced AST terms; the concrete WAM decodes heap cells
+to AST terms and reuses this module, so both engines agree on arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Union
+
+from ..errors import PrologError
+from .terms import Atom, Float, Int, Struct, Term, Var
+
+Numeric = Union[int, float]
+
+
+def _as_int(value: Numeric, context: str) -> int:
+    if isinstance(value, int):
+        return value
+    raise PrologError("type_error", f"integer expected in {context}, got {value}")
+
+
+def _int_div(left: Numeric, right: Numeric) -> int:
+    """Truncating integer division (ISO ``//``)."""
+    left_int = _as_int(left, "//")
+    right_int = _as_int(right, "//")
+    if right_int == 0:
+        raise PrologError("evaluation_error", "zero_divisor")
+    quotient = left_int // right_int
+    if quotient < 0 and quotient * right_int != left_int:
+        quotient += 1
+    return quotient
+
+
+def _floor_div(left: Numeric, right: Numeric) -> int:
+    """Flooring integer division (ISO ``div``)."""
+    left_int = _as_int(left, "div")
+    right_int = _as_int(right, "div")
+    if right_int == 0:
+        raise PrologError("evaluation_error", "zero_divisor")
+    return left_int // right_int
+
+
+def _divide(left: Numeric, right: Numeric) -> Numeric:
+    if right == 0:
+        raise PrologError("evaluation_error", "zero_divisor")
+    if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+        return left // right
+    return left / right
+
+
+def _mod(left: Numeric, right: Numeric) -> int:
+    if right == 0:
+        raise PrologError("evaluation_error", "zero_divisor")
+    return _as_int(left, "mod") % _as_int(right, "mod")
+
+
+def _rem(left: Numeric, right: Numeric) -> int:
+    if right == 0:
+        raise PrologError("evaluation_error", "zero_divisor")
+    left_int = _as_int(left, "rem")
+    right_int = _as_int(right, "rem")
+    return left_int - right_int * int(left_int / right_int)
+
+
+_BINARY: Dict[str, Callable[[Numeric, Numeric], Numeric]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _divide,
+    "//": _int_div,
+    "div": _floor_div,
+    "mod": _mod,
+    "rem": _rem,
+    "min": min,
+    "max": max,
+    "**": lambda a, b: float(a) ** float(b),
+    "^": lambda a, b: a ** b,
+    ">>": lambda a, b: _as_int(a, ">>") >> _as_int(b, ">>"),
+    "<<": lambda a, b: _as_int(a, "<<") << _as_int(b, "<<"),
+    "/\\": lambda a, b: _as_int(a, "/\\") & _as_int(b, "/\\"),
+    "\\/": lambda a, b: _as_int(a, "\\/") | _as_int(b, "\\/"),
+    "xor": lambda a, b: _as_int(a, "xor") ^ _as_int(b, "xor"),
+    "gcd": lambda a, b: math.gcd(_as_int(a, "gcd"), _as_int(b, "gcd")),
+}
+
+_UNARY: Dict[str, Callable[[Numeric], Numeric]] = {
+    "-": lambda a: -a,
+    "+": lambda a: a,
+    "abs": abs,
+    "sign": lambda a: (a > 0) - (a < 0) if isinstance(a, int) else float((a > 0) - (a < 0)),
+    "\\": lambda a: ~_as_int(a, "\\"),
+    "truncate": lambda a: int(a),
+    "integer": lambda a: int(a),
+    "float": float,
+    "floor": lambda a: math.floor(a),
+    "ceiling": lambda a: math.ceil(a),
+    "round": lambda a: math.floor(a + 0.5),
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+    "exp": math.exp,
+    "log": math.log,
+    "float_integer_part": lambda a: float(int(a)),
+    "float_fractional_part": lambda a: float(a) - float(int(a)),
+    "msb": lambda a: _as_int(a, "msb").bit_length() - 1,
+}
+
+_CONSTANTS: Dict[str, Numeric] = {
+    "pi": math.pi,
+    "e": math.e,
+    "inf": math.inf,
+    "epsilon": 2.220446049250313e-16,
+    "max_tagged_integer": (1 << 60) - 1,
+}
+
+
+def eval_arith(term: Term, deref: Callable[[Term], Term]) -> Numeric:
+    """Evaluate an arithmetic expression term to a Python number.
+
+    ``deref`` resolves variables to their bindings (identity for already
+    resolved terms).  Raises :class:`PrologError` for unbound variables,
+    non-evaluable functors and arithmetic faults.
+    """
+    term = deref(term)
+    if isinstance(term, Int):
+        return term.value
+    if isinstance(term, Float):
+        return term.value
+    if isinstance(term, Var):
+        raise PrologError("instantiation_error", "unbound variable in arithmetic")
+    if isinstance(term, Atom):
+        constant = _CONSTANTS.get(term.name)
+        if constant is not None:
+            return constant
+        raise PrologError("type_error", f"not evaluable: {term.name}/0")
+    if isinstance(term, Struct):
+        if term.arity == 2:
+            operation = _BINARY.get(term.name)
+            if operation is not None:
+                left = eval_arith(term.args[0], deref)
+                right = eval_arith(term.args[1], deref)
+                return operation(left, right)
+        if term.arity == 1:
+            operation = _UNARY.get(term.name)
+            if operation is not None:
+                return operation(eval_arith(term.args[0], deref))
+        raise PrologError("type_error", f"not evaluable: {term.name}/{term.arity}")
+    raise PrologError("type_error", f"not evaluable: {term!r}")
+
+
+def number_term(value: Numeric) -> Term:
+    """Wrap a Python number back into an :class:`Int` or :class:`Float`."""
+    if isinstance(value, bool):
+        raise PrologError("type_error", "boolean is not a Prolog number")
+    if isinstance(value, int):
+        return Int(value)
+    return Float(value)
+
+
+def compare_numeric(operator: str, left: Numeric, right: Numeric) -> bool:
+    """Apply one of the six arithmetic comparison operators."""
+    if operator == "=:=":
+        return left == right
+    if operator == "=\\=":
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == ">":
+        return left > right
+    if operator == "=<":
+        return left <= right
+    if operator == ">=":
+        return left >= right
+    raise PrologError("type_error", f"unknown comparison {operator}")

@@ -1,0 +1,409 @@
+"""Builtin predicates for the SLD solver.
+
+Each builtin is a generator ``fn(solver, args, depth)`` that yields once per
+solution; bindings it creates are trailed through ``solver.bindings`` and
+undone by the caller after all alternatives are exhausted.  Nondeterministic
+builtins must undo their own bindings *between* alternatives.
+
+The table covers the control, unification, type-testing, arithmetic,
+term-inspection and (buffered) output builtins needed by the benchmark
+suite and by realistic small programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import PrologError
+from .arith import compare_numeric, eval_arith, number_term
+from .terms import (
+    NIL,
+    Atom,
+    Float,
+    Indicator,
+    Int,
+    Struct,
+    Term,
+    Var,
+    is_proper_list,
+    list_elements,
+    make_list,
+    rename_term,
+)
+
+# ``solver`` is typed loosely to avoid a circular import.
+
+
+def _b_true(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    yield
+
+
+def _b_fail(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    return
+    yield  # pragma: no cover
+
+
+def _b_unify(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    if unify(args[0], args[1], solver.bindings):
+        yield
+
+
+def _b_not_unify(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    mark = solver.bindings.mark()
+    unifiable = unify(args[0], args[1], solver.bindings)
+    solver.bindings.undo_to(mark)
+    if not unifiable:
+        yield
+
+
+def _structural(op: str):
+    def builtin(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+        from .solver import compare_terms
+
+        result = compare_terms(args[0], args[1], solver.bindings)
+        passed = {
+            "==": result == 0,
+            "\\==": result != 0,
+            "@<": result < 0,
+            "@>": result > 0,
+            "@=<": result <= 0,
+            "@>=": result >= 0,
+        }[op]
+        if passed:
+            yield
+
+    return builtin
+
+
+def _b_compare(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import compare_terms, unify
+
+    result = compare_terms(args[1], args[2], solver.bindings)
+    symbol = Atom("<" if result < 0 else ">" if result > 0 else "=")
+    if unify(args[0], symbol, solver.bindings):
+        yield
+
+
+def _type_test(predicate):
+    def builtin(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+        term = solver.bindings.walk(args[0])
+        if predicate(term):
+            yield
+
+    return builtin
+
+
+def _b_is(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    value = eval_arith(args[1], solver.bindings.walk)
+    if unify(args[0], number_term(value), solver.bindings):
+        yield
+
+
+def _arith_compare(op: str):
+    def builtin(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+        left = eval_arith(args[0], solver.bindings.walk)
+        right = eval_arith(args[1], solver.bindings.walk)
+        if compare_numeric(op, left, right):
+            yield
+
+    return builtin
+
+
+def _b_functor(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    term = solver.bindings.walk(args[0])
+    if isinstance(term, Var):
+        name = solver.bindings.walk(args[1])
+        arity = solver.bindings.walk(args[2])
+        if isinstance(arity, Var) or isinstance(name, Var):
+            raise PrologError("instantiation_error", "functor/3")
+        if not isinstance(arity, Int):
+            raise PrologError("type_error", "functor/3 arity must be integer")
+        if arity.value == 0:
+            if unify(term, name, solver.bindings):
+                yield
+            return
+        if not isinstance(name, Atom):
+            raise PrologError("type_error", "functor/3 name must be an atom")
+        fresh = Struct(name.name, tuple(Var() for _ in range(arity.value)))
+        if unify(term, fresh, solver.bindings):
+            yield
+        return
+    if isinstance(term, Struct):
+        name_term: Term = Atom(term.name)
+        arity_value = term.arity
+    elif isinstance(term, Atom):
+        name_term = term
+        arity_value = 0
+    else:
+        name_term = term
+        arity_value = 0
+    if unify(args[1], name_term, solver.bindings) and unify(
+        args[2], Int(arity_value), solver.bindings
+    ):
+        yield
+
+
+def _b_arg(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    index = solver.bindings.walk(args[0])
+    term = solver.bindings.walk(args[1])
+    if not isinstance(index, Int) or not isinstance(term, Struct):
+        raise PrologError("type_error", "arg/3 expects integer and compound")
+    if 1 <= index.value <= term.arity:
+        if unify(args[2], term.args[index.value - 1], solver.bindings):
+            yield
+
+
+def _b_univ(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    term = solver.bindings.walk(args[0])
+    if not isinstance(term, Var):
+        if isinstance(term, Struct):
+            items = [Atom(term.name)] + list(term.args)
+        else:
+            items = [term]
+        if unify(args[1], make_list(items), solver.bindings):
+            yield
+        return
+    spec = solver.bindings.resolve(args[1])
+    if not is_proper_list(spec):
+        raise PrologError("instantiation_error", "=../2 needs a proper list")
+    items, _ = list_elements(spec)
+    if not items:
+        raise PrologError("domain_error", "=../2 with empty list")
+    head = items[0]
+    if len(items) == 1:
+        if unify(term, head, solver.bindings):
+            yield
+        return
+    if not isinstance(head, Atom):
+        raise PrologError("type_error", "=../2 functor must be an atom")
+    if unify(term, Struct(head.name, tuple(items[1:])), solver.bindings):
+        yield
+
+
+def _b_copy_term(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    source = solver.bindings.resolve(args[0])
+    copy = rename_term(source, {})
+    if unify(args[1], copy, solver.bindings):
+        yield
+
+
+def _b_call(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    goal = solver.bindings.walk(args[0])
+    if len(args) > 1:
+        extra = list(args[1:])
+        if isinstance(goal, Atom):
+            goal = Struct(goal.name, tuple(extra))
+        elif isinstance(goal, Struct):
+            goal = Struct(goal.name, tuple(goal.args) + tuple(extra))
+        else:
+            raise PrologError("type_error", "call/N on non-callable")
+    yield from solver._solve([goal], depth + 1)
+
+
+def _b_between(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    low = solver.bindings.walk(args[0])
+    high = solver.bindings.walk(args[1])
+    if not isinstance(low, Int) or not isinstance(high, Int):
+        raise PrologError("type_error", "between/3 bounds must be integers")
+    value = solver.bindings.walk(args[2])
+    if isinstance(value, Int):
+        if low.value <= value.value <= high.value:
+            yield
+        return
+    for number in range(low.value, high.value + 1):
+        mark = solver.bindings.mark()
+        if unify(args[2], Int(number), solver.bindings):
+            yield
+        solver.bindings.undo_to(mark)
+
+
+def _b_write(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .writer import term_to_text
+
+    solver.output.append(term_to_text(solver.bindings.resolve(args[0])))
+    yield
+
+
+def _b_writeq(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .writer import term_to_text
+
+    solver.output.append(
+        term_to_text(solver.bindings.resolve(args[0]), quoted=True)
+    )
+    yield
+
+
+def _b_nl(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    solver.output.append("\n")
+    yield
+
+
+def _b_tab(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    count = eval_arith(args[0], solver.bindings.walk)
+    solver.output.append(" " * int(count))
+    yield
+
+
+def _b_atom_length(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    atom = solver.bindings.walk(args[0])
+    if not isinstance(atom, Atom):
+        raise PrologError("type_error", "atom_length/2 expects an atom")
+    if unify(args[1], Int(len(atom.name)), solver.bindings):
+        yield
+
+
+def _b_name(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    from .solver import unify
+
+    term = solver.bindings.walk(args[0])
+    if isinstance(term, Atom):
+        codes = make_list([Int(ord(c)) for c in term.name])
+        if unify(args[1], codes, solver.bindings):
+            yield
+        return
+    if isinstance(term, Int):
+        codes = make_list([Int(ord(c)) for c in str(term.value)])
+        if unify(args[1], codes, solver.bindings):
+            yield
+        return
+    spec = solver.bindings.resolve(args[1])
+    if not is_proper_list(spec):
+        raise PrologError("instantiation_error", "name/2")
+    items, _ = list_elements(spec)
+    chars = []
+    for item in items:
+        if not isinstance(item, Int):
+            raise PrologError("type_error", "name/2 expects character codes")
+        chars.append(chr(item.value))
+    text = "".join(chars)
+    try:
+        result: Term = Int(int(text))
+    except ValueError:
+        result = Atom(text)
+    if unify(term, result, solver.bindings):
+        yield
+
+
+def _b_findall(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    """findall(Template, Goal, List): collect every solution's template.
+
+    Solver-only (the WAM has no re-entrant builtin support); bindings made
+    while solving Goal are undone, only the copied templates survive.
+    """
+    from .solver import unify
+
+    template, goal, result = args
+    collected = []
+    mark = solver.bindings.mark()
+    for _ in solver._solve([goal], depth + 1):
+        collected.append(rename_term(solver.bindings.resolve(template), {}))
+    solver.bindings.undo_to(mark)
+    if unify(result, make_list(collected), solver.bindings):
+        yield
+
+
+def _b_forall(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    """forall(Cond, Action): no solution of Cond may fail Action."""
+    condition, action = args
+    mark = solver.bindings.mark()
+    for _ in solver._solve([condition], depth + 1):
+        inner = solver.bindings.mark()
+        satisfied = False
+        for _ in solver._solve([action], depth + 1):
+            satisfied = True
+            break
+        solver.bindings.undo_to(inner)
+        if not satisfied:
+            solver.bindings.undo_to(mark)
+            return
+    solver.bindings.undo_to(mark)
+    yield
+
+
+def _b_aggregate_count(solver, args: Tuple[Term, ...], depth: int) -> Iterator[None]:
+    """aggregate_all(count, Goal, N) in its common special case."""
+    from .solver import unify
+
+    goal, result = args
+    mark = solver.bindings.mark()
+    count = 0
+    for _ in solver._solve([goal], depth + 1):
+        count += 1
+    solver.bindings.undo_to(mark)
+    if unify(result, Int(count), solver.bindings):
+        yield
+
+
+def _is_atomic(term: Term) -> bool:
+    return isinstance(term, (Atom, Int, Float))
+
+
+STANDARD_BUILTINS: Dict[Indicator, object] = {
+    ("true", 0): _b_true,
+    ("fail", 0): _b_fail,
+    ("false", 0): _b_fail,
+    ("=", 2): _b_unify,
+    ("\\=", 2): _b_not_unify,
+    ("==", 2): _structural("=="),
+    ("\\==", 2): _structural("\\=="),
+    ("@<", 2): _structural("@<"),
+    ("@>", 2): _structural("@>"),
+    ("@=<", 2): _structural("@=<"),
+    ("@>=", 2): _structural("@>="),
+    ("compare", 3): _b_compare,
+    ("var", 1): _type_test(lambda t: isinstance(t, Var)),
+    ("nonvar", 1): _type_test(lambda t: not isinstance(t, Var)),
+    ("atom", 1): _type_test(lambda t: isinstance(t, Atom)),
+    ("number", 1): _type_test(lambda t: isinstance(t, (Int, Float))),
+    ("integer", 1): _type_test(lambda t: isinstance(t, Int)),
+    ("float", 1): _type_test(lambda t: isinstance(t, Float)),
+    ("atomic", 1): _type_test(_is_atomic),
+    ("compound", 1): _type_test(lambda t: isinstance(t, Struct)),
+    ("callable", 1): _type_test(lambda t: isinstance(t, (Atom, Struct))),
+    ("is", 2): _b_is,
+    ("=:=", 2): _arith_compare("=:="),
+    ("=\\=", 2): _arith_compare("=\\="),
+    ("<", 2): _arith_compare("<"),
+    (">", 2): _arith_compare(">"),
+    ("=<", 2): _arith_compare("=<"),
+    (">=", 2): _arith_compare(">="),
+    ("functor", 3): _b_functor,
+    ("arg", 3): _b_arg,
+    ("=..", 2): _b_univ,
+    ("copy_term", 2): _b_copy_term,
+    ("call", 1): _b_call,
+    ("call", 2): _b_call,
+    ("call", 3): _b_call,
+    ("between", 3): _b_between,
+    ("write", 1): _b_write,
+    ("writeq", 1): _b_writeq,
+    ("print", 1): _b_write,
+    ("nl", 0): _b_nl,
+    ("tab", 1): _b_tab,
+    ("atom_length", 2): _b_atom_length,
+    ("name", 2): _b_name,
+    ("findall", 3): _b_findall,
+    ("forall", 2): _b_forall,
+    ("$count", 2): _b_aggregate_count,
+}
+
+#: Indicators the WAM treats as inline builtins as well.
+BUILTIN_INDICATORS = frozenset(STANDARD_BUILTINS.keys())

@@ -1,0 +1,107 @@
+"""DCG (definite clause grammar) translation.
+
+``Head --> Body`` rules are rewritten into ordinary clauses threading a
+difference list through the body, the standard expansion:
+
+* a nonterminal ``nt(Args)`` becomes ``nt(Args, S0, S1)``;
+* a terminal list ``[a, b]`` becomes ``S0 = [a, b | S1]``;
+* a string ``"ab"`` is a terminal list of character codes;
+* ``{Goal}`` calls ``Goal`` without consuming input;
+* ``!`` stays a cut; ``(A, B)``, ``(A ; B)`` and ``(A -> B)`` thread both
+  sides (control constructs are later normalized away as usual).
+
+:class:`~repro.prolog.program.Program` applies the expansion
+automatically when it encounters a ``-->/2`` term, so grammars parse,
+compile, run and analyze like any other predicate (each nonterminal gains
+two argument places).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import PrologSyntaxError
+from .program import Clause
+from .terms import (
+    NIL,
+    Atom,
+    Struct,
+    Term,
+    Var,
+    is_cons,
+    is_proper_list,
+    list_elements,
+    make_list,
+)
+
+CUT = Atom("!")
+
+
+def _add_arguments(callable_term: Term, extra: Tuple[Term, ...]) -> Term:
+    if isinstance(callable_term, Atom):
+        return Struct(callable_term.name, extra)
+    if isinstance(callable_term, Struct):
+        return Struct(callable_term.name, tuple(callable_term.args) + extra)
+    raise PrologSyntaxError(f"DCG nonterminal is not callable: {callable_term}")
+
+
+def _translate_body(body: Term, start: Term, end: Term) -> Term:
+    """Translate one DCG body item threading ``start`` to ``end``."""
+    if isinstance(body, Struct) and body.indicator == (",", 2):
+        middle = Var("_S")
+        left = _translate_body(body.args[0], start, middle)
+        right = _translate_body(body.args[1], middle, end)
+        return Struct(",", (left, right))
+    if isinstance(body, Struct) and body.indicator in ((";", 2),):
+        left = _translate_body(body.args[0], start, end)
+        right = _translate_body(body.args[1], start, end)
+        return Struct(";", (left, right))
+    if isinstance(body, Struct) and body.indicator == ("->", 2):
+        middle = Var("_S")
+        condition = _translate_body(body.args[0], start, middle)
+        then_part = _translate_body(body.args[1], middle, end)
+        return Struct("->", (condition, then_part))
+    if isinstance(body, Struct) and body.indicator == ("{}", 1):
+        # A plain goal: no input is consumed, so the ends must meet.
+        return Struct(",", (body.args[0], Struct("=", (start, end))))
+    if body == CUT:
+        return Struct(",", (CUT, Struct("=", (start, end))))
+    if body == NIL:
+        return Struct("=", (start, end))
+    if is_cons(body):
+        if not is_proper_list(body):
+            raise PrologSyntaxError("DCG terminal must be a proper list")
+        elements, _ = list_elements(body)
+        return Struct("=", (start, make_list(elements, end)))
+    if isinstance(body, Var):
+        raise PrologSyntaxError("DCG body may not be an unbound variable")
+    return _add_arguments(body, (start, end))
+
+
+def translate_dcg(rule: Term) -> Clause:
+    """Translate one ``Head --> Body`` term into a clause."""
+    if not (isinstance(rule, Struct) and rule.indicator == ("-->", 2)):
+        raise PrologSyntaxError(f"not a DCG rule: {rule}")
+    head, body = rule.args
+    start, end = Var("S0"), Var("S")
+    pushback = None
+    if isinstance(head, Struct) and head.indicator == (",", 2):
+        # Pushback rule: Head, PB --> Body.
+        head, pushback = head.args
+    new_head = _add_arguments(head, (start, end))
+    if pushback is not None:
+        if not is_proper_list(pushback):
+            raise PrologSyntaxError("DCG pushback must be a proper list")
+        elements, _ = list_elements(pushback)
+        middle = Var("_S")
+        new_head = _add_arguments(head, (start, end))
+        translated = Struct(
+            ",",
+            (
+                _translate_body(body, start, middle),
+                Struct("=", (end, make_list(elements, middle))),
+            ),
+        )
+        return Clause.from_term(Struct(":-", (new_head, translated)))
+    translated = _translate_body(body, start, end)
+    return Clause.from_term(Struct(":-", (new_head, translated)))

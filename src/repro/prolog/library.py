@@ -1,0 +1,90 @@
+"""A small Prolog library of list and control predicates.
+
+The machine keeps its inline builtins deterministic, so the classic
+nondeterministic library predicates (``member/2``, ``append/3``,
+``between/3``, ``select/3``, ...) are provided as plain Prolog and
+compiled like user code.  :func:`with_library` prepends the library to a
+program text; predicates the program defines itself win (the library is
+appended *after*, and only for predicates not already defined).
+"""
+
+from __future__ import annotations
+
+from .program import Clause, Program
+
+LIBRARY_SOURCE = """
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, [X|_]) :- !.
+memberchk(X, [_|T]) :- memberchk(X, T).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], A, A).
+reverse_([H|T], A, R) :- reverse_(T, [H|A], R).
+
+length(L, N) :- length_(L, 0, N).
+length_([], N, N).
+length_([_|T], N0, N) :- N1 is N0 + 1, length_(T, N1, N).
+
+nth0(I, L, E) :- nth_(L, 0, I, E).
+nth1(I, L, E) :- nth_(L, 1, I, E).
+nth_([H|_], N, N, H).
+nth_([_|T], N0, N, E) :- N1 is N0 + 1, nth_(T, N1, N, E).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S0), S is S0 + H.
+
+max_list([X], X) :- !.
+max_list([H|T], M) :- max_list(T, M0), ( H >= M0 -> M = H ; M = M0 ).
+
+min_list([X], X) :- !.
+min_list([H|T], M) :- min_list(T, M0), ( H =< M0 -> M = H ; M = M0 ).
+
+msort(L, S) :- msort_split(L, S).
+msort_split([], []) :- !.
+msort_split([X], [X]) :- !.
+msort_split(L, S) :-
+    msort_half(L, L1, L2),
+    msort_split(L1, S1),
+    msort_split(L2, S2),
+    msort_merge(S1, S2, S).
+msort_half([], [], []).
+msort_half([X], [X], []).
+msort_half([X, Y | T], [X | A], [Y | B]) :- msort_half(T, A, B).
+msort_merge([], L, L) :- !.
+msort_merge(L, [], L) :- !.
+msort_merge([A|As], [B|Bs], [A|Rs]) :- A @=< B, !, msort_merge(As, [B|Bs], Rs).
+msort_merge(As, [B|Bs], [B|Rs]) :- msort_merge(As, Bs, Rs).
+"""
+
+
+def library_program() -> Program:
+    """The library as a parsed program."""
+    return Program.from_text(LIBRARY_SOURCE)
+
+
+def with_library(text: str) -> Program:
+    """Parse ``text`` and add library predicates it does not define."""
+    program = Program.from_text(text)
+    library = library_program()
+    for indicator, predicate in library.predicates.items():
+        if program.predicate(indicator) is None:
+            for clause in predicate.clauses:
+                program.add_clause(clause)
+    return program

@@ -1,0 +1,306 @@
+"""The Prolog term model.
+
+Terms are immutable AST values (except :class:`Var`, which has identity):
+
+* :class:`Atom` — symbolic constants, including ``[]`` and ``{}``;
+* :class:`Int` and :class:`Float` — numbers;
+* :class:`Var` — logic variables, compared by identity;
+* :class:`Struct` — compound terms ``f(t1, ..., tn)`` with n >= 1.
+
+Lists are ordinary structures with functor ``'.'/2`` terminated by the atom
+``[]``, exactly as in the WAM.  Helpers at the bottom of the module build
+and take apart lists, enumerate variables, and compute functor indicators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+
+class Term:
+    """Base class for all Prolog terms."""
+
+    __slots__ = ()
+
+    def is_callable(self) -> bool:
+        """True for atoms and structures (terms usable as goals)."""
+        return isinstance(self, (Atom, Struct))
+
+
+class Atom(Term):
+    """A symbolic constant such as ``foo``, ``[]`` or ``'hello world'``."""
+
+    __slots__ = ("name",)
+
+    _interned: Dict[str, "Atom"] = {}
+
+    def __new__(cls, name: str) -> "Atom":
+        cached = cls._interned.get(name)
+        if cached is not None:
+            return cached
+        atom = super().__new__(cls)
+        object.__setattr__(atom, "name", name)
+        if len(cls._interned) < 65536:
+            cls._interned[name] = atom
+        return atom
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Atom", self.name))
+
+
+class Int(Term):
+    """An integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        object.__setattr__(self, "value", int(value))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Int is immutable")
+
+    def __repr__(self) -> str:
+        return f"Int({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Int) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Int", self.value))
+
+
+class Float(Term):
+    """A floating point constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        object.__setattr__(self, "value", float(value))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Float is immutable")
+
+    def __repr__(self) -> str:
+        return f"Float({self.value})"
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Float) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Float", self.value))
+
+
+_var_counter = itertools.count(1)
+
+
+class Var(Term):
+    """A logic variable.
+
+    Variables compare and hash by identity: two ``Var("X")`` objects are
+    different variables that happen to share a print name.  ``name`` may be
+    None for machine-generated variables; ``str`` then shows ``_G<n>``.
+    """
+
+    __slots__ = ("name", "ordinal")
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name
+        self.ordinal = next(_var_counter)
+
+    def __repr__(self) -> str:
+        return f"Var({str(self)})"
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return self.name
+        return f"_G{self.ordinal}"
+
+
+class Struct(Term):
+    """A compound term ``name(arg1, ..., argn)`` with at least one argument."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Iterable[Term]):
+        arg_tuple = tuple(args)
+        if not arg_tuple:
+            raise ValueError("Struct needs at least one argument; use Atom")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", arg_tuple)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Struct is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The functor indicator ``(name, arity)``."""
+        return (self.name, len(self.args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"Struct({self.name!r}, [{inner}])"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Struct)
+            and other.name == self.name
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Struct", self.name, self.args))
+
+
+# Well-known atoms.
+NIL = Atom("[]")
+TRUE = Atom("true")
+FAIL = Atom("fail")
+CURLY = Atom("{}")
+
+#: Functor of list cells.
+CONS = "."
+
+Indicator = Tuple[str, int]
+Number = Union[Int, Float]
+
+
+def cons(head: Term, tail: Term) -> Struct:
+    """Build one list cell ``'.'(head, tail)``."""
+    return Struct(CONS, (head, tail))
+
+
+def make_list(items: Iterable[Term], tail: Term = NIL) -> Term:
+    """Build the list ``[i1, i2, ... | tail]``."""
+    result = tail
+    for item in reversed(list(items)):
+        result = cons(item, result)
+    return result
+
+
+def is_cons(term: Term) -> bool:
+    """True for a list cell ``'.'/2``."""
+    return isinstance(term, Struct) and term.name == CONS and len(term.args) == 2
+
+
+def list_elements(term: Term) -> Tuple[List[Term], Term]:
+    """Split a (possibly improper) list into ``(elements, tail)``.
+
+    A proper list yields ``(elements, NIL)``; a partial list yields the
+    variable or other term in tail position.
+    """
+    elements: List[Term] = []
+    while is_cons(term):
+        assert isinstance(term, Struct)
+        elements.append(term.args[0])
+        term = term.args[1]
+    return elements, term
+
+
+def is_proper_list(term: Term) -> bool:
+    """True if ``term`` is a nil-terminated list at the AST level."""
+    _, tail = list_elements(term)
+    return tail == NIL
+
+
+def indicator_of(term: Term) -> Indicator:
+    """Functor indicator of a callable term (atom arity 0, struct name/arity)."""
+    if isinstance(term, Atom):
+        return (term.name, 0)
+    if isinstance(term, Struct):
+        return term.indicator
+    raise TypeError(f"not a callable term: {term!r}")
+
+
+def format_indicator(indicator: Indicator) -> str:
+    """Render ``(name, arity)`` in the traditional ``name/arity`` form."""
+    name, arity = indicator
+    return f"{name}/{arity}"
+
+
+def term_vars(term: Term) -> List[Var]:
+    """All distinct variables in ``term`` in first-occurrence order."""
+    seen: List[Var] = []
+    seen_ids = set()
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            if id(current) not in seen_ids:
+                seen_ids.add(id(current))
+                seen.append(current)
+        elif isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+    return seen
+
+
+def rename_term(term: Term, mapping: Dict[int, Var]) -> Term:
+    """Copy ``term`` replacing variables via ``mapping`` (keyed by ``id``).
+
+    Unmapped variables get fresh replacements which are added to the
+    mapping, so repeated calls with one mapping rename consistently.
+    """
+    if isinstance(term, Var):
+        replacement = mapping.get(id(term))
+        if replacement is None:
+            replacement = Var(term.name)
+            mapping[id(term)] = replacement
+        return replacement
+    if isinstance(term, Struct):
+        return Struct(term.name, tuple(rename_term(a, mapping) for a in term.args))
+    return term
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term tree (constants and variables count 1)."""
+    if isinstance(term, Struct):
+        return 1 + sum(term_size(a) for a in term.args)
+    return 1
+
+
+def term_depth(term: Term) -> int:
+    """Depth of the term tree; constants and variables have depth 1."""
+    if isinstance(term, Struct):
+        return 1 + max(term_depth(a) for a in term.args)
+    return 1
+
+
+def iter_subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and every subterm, preorder."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+
+
+def is_ground(term: Term) -> bool:
+    """True if the term contains no variables."""
+    return not any(isinstance(sub, Var) for sub in iter_subterms(term))

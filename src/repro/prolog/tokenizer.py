@@ -1,0 +1,280 @@
+"""Tokenizer for Prolog source text.
+
+Produces a stream of :class:`Token` objects for the operator-precedence
+parser.  The token classes follow the standard Prolog lexical conventions:
+
+* unquoted atoms (``foo``), quoted atoms (``'hello world'``), and symbolic
+  atoms made of the symbol characters ``+-*/\\^<>=~:.?@#&$``;
+* variables (``X``, ``_foo``, ``_``);
+* integers (decimal, ``0x``/``0o``/``0b`` radix forms, ``0'c`` character
+  codes) and floats (``1.5``, ``2.0e3``);
+* double-quoted strings (tokenized whole; the parser turns them into code
+  lists);
+* punctuation ``( ) [ ] { } , |`` and the clause-terminating end token
+  ``.`` (a dot followed by layout or end of input);
+* ``%`` line comments and ``/* ... */`` block comments, which are skipped.
+
+An atom token directly followed by ``(`` (no layout between) is marked
+``functor=True`` — the parser needs that distinction to tell ``f(a)`` from
+``f (a)`` per the standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..errors import PrologSyntaxError
+
+#: Characters that form symbolic atoms such as ``:-`` and ``=..``.
+SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+
+#: Solo characters: each is an atom on its own.
+SOLO_CHARS = set("!;")
+
+PUNCT_CHARS = set("()[]{},|")
+
+
+@dataclass
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``atom``, ``var``, ``int``, ``float``, ``string``,
+    ``punct``, ``end`` and ``eof``; ``value`` holds the text or number.
+    """
+
+    kind: str
+    value: Union[str, int, float]
+    line: int
+    column: int
+    functor: bool = field(default=False)
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.value!r})"
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "`": "`",
+    "0": "\0",
+}
+
+
+class Tokenizer:
+    """Converts Prolog source text to a list of tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    # Low-level character handling.
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _error(self, message: str) -> PrologSyntaxError:
+        return PrologSyntaxError(message, self.line, self.column)
+
+    # ------------------------------------------------------------------
+    # Layout and comments.
+
+    def _skip_layout(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "%":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while True:
+                    if not self._peek():
+                        raise self._error("unterminated block comment")
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Token scanners.
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole text, ending with a single ``eof`` token."""
+        result: List[Token] = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind == "eof":
+                return result
+
+    def next_token(self) -> Token:
+        self._skip_layout()
+        line, column = self.line, self.column
+        ch = self._peek()
+        if not ch:
+            return Token("eof", "", line, column)
+        if ch == ".":
+            follower = self._peek(1)
+            if follower == "" or follower in " \t\r\n%":
+                self._advance()
+                return Token("end", ".", line, column)
+        if ch in PUNCT_CHARS:
+            self._advance()
+            return Token("punct", ch, line, column)
+        if ch.isdigit():
+            return self._scan_number(line, column)
+        if ch == "_" or ch.isalpha():
+            return self._scan_name(line, column)
+        if ch == "'":
+            return self._scan_quoted_atom(line, column)
+        if ch == '"':
+            return self._scan_string(line, column)
+        if ch in SOLO_CHARS:
+            self._advance()
+            return self._atom_token(ch, line, column)
+        if ch in SYMBOL_CHARS:
+            return self._scan_symbol(line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _atom_token(self, name: str, line: int, column: int) -> Token:
+        functor = self._peek() == "("
+        return Token("atom", name, line, column, functor=functor)
+
+    def _scan_name(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        name = self.text[start:self.pos]
+        if name[0] == "_" or name[0].isupper():
+            return Token("var", name, line, column)
+        return self._atom_token(name, line, column)
+
+    def _scan_symbol(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek() in SYMBOL_CHARS:
+            self._advance()
+        return self._atom_token(self.text[start:self.pos], line, column)
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        if self._peek() == "0" and self._peek(1) == "'":
+            self._advance(2)
+            return Token("int", ord(self._scan_char("'")), line, column)
+        if self._peek() == "0" and self._peek(1) in ("x", "o", "b"):
+            base = {"x": 16, "o": 8, "b": 2}[self._peek(1)]
+            digits = {16: "0123456789abcdefABCDEF", 8: "01234567", 2: "01"}[base]
+            self._advance(2)
+            start = self.pos
+            while self._peek() and self._peek() in digits:
+                self._advance()
+            if start == self.pos:
+                raise self._error("missing digits after radix prefix")
+            return Token("int", int(self.text[start:self.pos], base), line, column)
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE":
+            mark = self.pos
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            if self._peek().isdigit():
+                is_float = True
+                while self._peek().isdigit():
+                    self._advance()
+            else:
+                # Not an exponent after all (e.g. ``2e`` in ``X is 2*e``).
+                self.pos = mark
+        text = self.text[start:self.pos]
+        if is_float:
+            return Token("float", float(text), line, column)
+        return Token("int", int(text), line, column)
+
+    def _scan_char(self, quote: str) -> str:
+        """Read one (possibly escaped) character inside a quoted token."""
+        ch = self._peek()
+        if not ch:
+            raise self._error("unterminated quoted token")
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc == "x":
+                self._advance()
+                start = self.pos
+                while self._peek() in "0123456789abcdefABCDEF":
+                    self._advance()
+                code = int(self.text[start:self.pos], 16)
+                if self._peek() == "\\":
+                    self._advance()
+                return chr(code)
+            if esc in _ESCAPES:
+                self._advance()
+                return _ESCAPES[esc]
+            raise self._error(f"unknown escape \\{esc}")
+        if ch == quote and self._peek(1) == quote:
+            self._advance(2)
+            return quote
+        self._advance()
+        return ch
+
+    def _scan_quoted(self, quote: str) -> str:
+        assert self._peek() == quote
+        self._advance()
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated quoted token")
+            if ch == quote:
+                if self._peek(1) == quote:
+                    chars.append(self._scan_char(quote))
+                    continue
+                self._advance()
+                return "".join(chars)
+            chars.append(self._scan_char(quote))
+
+    def _scan_quoted_atom(self, line: int, column: int) -> Token:
+        name = self._scan_quoted("'")
+        return self._atom_token(name, line, column)
+
+    def _scan_string(self, line: int, column: int) -> Token:
+        text = self._scan_quoted('"')
+        return Token("string", text, line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an ``eof`` token."""
+    return Tokenizer(text).tokens()

@@ -1,0 +1,165 @@
+"""Operator-aware term output (``write``/``writeq`` equivalents).
+
+:func:`term_to_text` renders a term back into Prolog syntax: lists print in
+``[a, b | T]`` notation, operator structures use infix/prefix form with the
+minimum necessary parentheses, and with ``quoted=True`` atoms that need
+quotes get them.  ``parse_term(term_to_text(t, quoted=True))`` round-trips
+for tree-equal terms (variables rename).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .operators import MAX_PRIORITY, OperatorTable
+from .terms import (
+    NIL,
+    Atom,
+    Float,
+    Int,
+    Struct,
+    Term,
+    Var,
+    is_cons,
+)
+
+_DEFAULT_OPERATORS = OperatorTable()
+
+_UNQUOTED_SYMBOLIC = set("+-*/\\^<>=~:.?@#&$")
+
+
+def atom_needs_quotes(name: str) -> bool:
+    """True if ``name`` must be quoted to read back as the same atom."""
+    if name == "":
+        return True
+    if name in ("[]", "{}", "!", ";", ","):
+        return name == ","
+    if name[0].islower() and all(ch.isalnum() or ch == "_" for ch in name):
+        return False
+    if all(ch in _UNQUOTED_SYMBOLIC for ch in name):
+        return False
+    return True
+
+
+def _quote_atom(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f"'{escaped}'"
+
+
+class TermWriter:
+    """Stateful writer so recursive helpers share settings."""
+
+    def __init__(
+        self,
+        quoted: bool = False,
+        operators: Optional[OperatorTable] = None,
+        max_depth: int = 0,
+    ):
+        self.quoted = quoted
+        self.operators = operators if operators is not None else _DEFAULT_OPERATORS
+        self.max_depth = max_depth
+
+    def write(self, term: Term) -> str:
+        return self._write(term, MAX_PRIORITY, 0)
+
+    # ------------------------------------------------------------------
+
+    def _atom_text(self, name: str) -> str:
+        if self.quoted and atom_needs_quotes(name):
+            return _quote_atom(name)
+        return name
+
+    def _write(self, term: Term, max_priority: int, depth: int) -> str:
+        if self.max_depth and depth > self.max_depth:
+            return "..."
+        if isinstance(term, Var):
+            return str(term)
+        if isinstance(term, Int):
+            text = str(term.value)
+            return self._maybe_negative(text, max_priority)
+        if isinstance(term, Float):
+            text = repr(term.value)
+            return self._maybe_negative(text, max_priority)
+        if isinstance(term, Atom):
+            return self._atom_text(term.name)
+        assert isinstance(term, Struct)
+        if is_cons(term):
+            return self._write_list(term, depth)
+        if term.name == "{}" and term.arity == 1:
+            inner = self._write(term.args[0], MAX_PRIORITY, depth + 1)
+            return "{" + inner + "}"
+        rendered = self._write_operator(term, max_priority, depth)
+        if rendered is not None:
+            return rendered
+        args = ", ".join(
+            self._write(arg, 999, depth + 1) for arg in term.args
+        )
+        return f"{self._atom_text(term.name)}({args})"
+
+    def _maybe_negative(self, text: str, max_priority: int) -> str:
+        # ``f(a) - 1`` must not print its right operand as a bare ``-1``
+        # operand of priority 0 inside priority-200 context... a negative
+        # number is fine anywhere except directly after a symbolic atom;
+        # parenthesize when the context allows nothing (priority 0).
+        if text.startswith("-") and max_priority == 0:
+            return f"({text})"
+        return text
+
+    def _write_list(self, term: Struct, depth: int) -> str:
+        parts = []
+        current: Term = term
+        while is_cons(current):
+            assert isinstance(current, Struct)
+            if self.max_depth and len(parts) >= self.max_depth > 0:
+                parts.append("...")
+                return "[" + ", ".join(parts) + "]"
+            parts.append(self._write(current.args[0], 999, depth + 1))
+            current = current.args[1]
+        if current == NIL:
+            return "[" + ", ".join(parts) + "]"
+        tail = self._write(current, 999, depth + 1)
+        return "[" + ", ".join(parts) + " | " + tail + "]"
+
+    def _write_operator(
+        self, term: Struct, max_priority: int, depth: int
+    ) -> Optional[str]:
+        if term.arity == 2:
+            definition = self.operators.infix(term.name)
+            if definition is None:
+                return None
+            left_max, right_max = definition.argument_priorities()
+            left = self._write(term.args[0], left_max, depth + 1)
+            right = self._write(term.args[1], right_max, depth + 1)
+            name = term.name
+            if name == ",":
+                text = f"{left}{name} {right}"
+            else:
+                text = f"{left} {self._atom_text(name)} {right}"
+            if definition.priority > max_priority:
+                return f"({text})"
+            return text
+        if term.arity == 1:
+            definition = self.operators.prefix(term.name)
+            if definition is None:
+                return None
+            (arg_max,) = definition.argument_priorities()
+            operand = self._write(term.args[0], arg_max, depth + 1)
+            if term.name in ("-", "+") and operand[:1].isdigit():
+                # ``-(1)`` must not read back as the literal ``-1``.
+                operand = f"({operand})"
+            text = f"{self._atom_text(term.name)} {operand}"
+            if definition.priority > max_priority:
+                return f"({text})"
+            return text
+        return None
+
+
+def term_to_text(
+    term: Term,
+    quoted: bool = False,
+    operators: Optional[OperatorTable] = None,
+    max_depth: int = 0,
+) -> str:
+    """Render ``term`` as Prolog text; see module docstring."""
+    return TermWriter(quoted=quoted, operators=operators, max_depth=max_depth).write(term)

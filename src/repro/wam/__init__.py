@@ -1,0 +1,67 @@
+"""The Warren Abstract Machine: instruction set, compiler, and engine.
+
+Typical use::
+
+    from repro.prolog import Program, parse_term
+    from repro.wam import Machine, compile_program
+
+    compiled = compile_program(Program.from_text("p(a). p(b)."))
+    machine = Machine(compiled)
+    for solution in machine.run(parse_term("p(X)")):
+        print(solution["X"])
+"""
+
+from .assembler import assemble_instruction, assemble_unit
+from .builtins import MACHINE_BUILTIN_INDICATORS, MACHINE_BUILTINS
+from .cells import CON, FUN, LIS, REF, STR, Cell, Heap, cell_type
+from .code import CodeArea, PredicateCode
+from .compile import (
+    CompiledProgram,
+    CompilerOptions,
+    FAIL_ADDRESS,
+    HALT_ADDRESS,
+    compile_clause,
+    compile_predicate,
+    compile_program,
+)
+from .instructions import Instr, Label, Reg, xreg, yreg
+from .listing import disassemble, format_instruction, format_unit
+from .machine import ChoicePoint, Environment, Machine
+from .trace import TraceLine, Tracer
+
+__all__ = [
+    "CON",
+    "assemble_instruction",
+    "assemble_unit",
+    "Cell",
+    "ChoicePoint",
+    "CodeArea",
+    "CompiledProgram",
+    "CompilerOptions",
+    "Environment",
+    "FAIL_ADDRESS",
+    "FUN",
+    "HALT_ADDRESS",
+    "Heap",
+    "Instr",
+    "LIS",
+    "Label",
+    "MACHINE_BUILTINS",
+    "MACHINE_BUILTIN_INDICATORS",
+    "Machine",
+    "PredicateCode",
+    "REF",
+    "Reg",
+    "STR",
+    "TraceLine",
+    "Tracer",
+    "cell_type",
+    "compile_clause",
+    "compile_predicate",
+    "compile_program",
+    "disassemble",
+    "format_instruction",
+    "format_unit",
+    "xreg",
+    "yreg",
+]

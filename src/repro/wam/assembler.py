@@ -1,0 +1,247 @@
+"""A WAM assembler: parse listing text back into instructions.
+
+The inverse of :mod:`repro.wam.listing` for unlinked units: labels are
+lines ending in ``:``, operands are registers (``A1``/``X3``/``Y2``),
+quoted or plain constants, functor indicators (``f/2``), labels, and
+integers. ``assemble_unit`` round-trips with ``format_unit``, which the
+tests verify over every compiled benchmark; it also makes hand-written
+WAM code runnable:
+
+    unit = assemble_unit('''
+        get_constant a, A1
+        proceed
+    ''', ("p", 1))
+    code = CodeArea(); code.link([unit])
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import CompileError
+from ..prolog.parser import parse_term
+from ..prolog.terms import Atom, Float, Indicator, Int
+from .code import PredicateCode
+from .instructions import Instr, Label, Reg
+
+_REGISTER = re.compile(r"^([AXY])(\d+)$")
+_INDICATOR = re.compile(r"^(.+)/(\d+)$")
+
+#: opcode -> operand shape signature.
+#: r = register (A→x), a = argument position (A1 → 1), c = constant,
+#: f = indicator, t = jump target (label or address), n = integer,
+#: T = switch table {key: target, ...}, 4 = four targets.
+_SIGNATURES: Dict[str, str] = {
+    "put_variable": "ra",
+    "put_value": "ra",
+    "put_constant": "ca",
+    "put_nil": "a",
+    "put_list": "r",
+    "put_structure": "fr",
+    "get_variable": "ra",
+    "get_value": "ra",
+    "get_constant": "ca",
+    "get_nil": "a",
+    "get_list": "r",
+    "get_structure": "fr",
+    "unify_variable": "r",
+    "unify_value": "r",
+    "unify_constant": "c",
+    "unify_nil": "",
+    "unify_void": "n",
+    "allocate": "n",
+    "deallocate": "",
+    "call": "fn",
+    "execute": "f",
+    "builtin": "f",
+    "proceed": "",
+    "neck_cut": "",
+    "get_level": "r",
+    "cut": "r",
+    "fail": "",
+    "halt": "",
+    "try_me_else": "t",
+    "retry_me_else": "t",
+    "trust_me": "",
+    "try": "t",
+    "retry": "t",
+    "trust": "t",
+    "switch_on_term": "4",
+    "switch_on_constant": "T",
+    "switch_on_structure": "T",
+}
+
+
+def _parse_register(text: str) -> Reg:
+    match = _REGISTER.match(text)
+    if not match:
+        raise CompileError(f"bad register {text!r}")
+    kind = {"A": "x", "X": "x", "Y": "y"}[match.group(1)]
+    return Reg(kind, int(match.group(2)))
+
+
+def _parse_argument_position(text: str) -> int:
+    match = _REGISTER.match(text)
+    if not match or match.group(1) not in ("A", "X"):
+        raise CompileError(f"bad argument register {text!r}")
+    return int(match.group(2))
+
+
+def _parse_constant(text: str):
+    term = parse_term(text)
+    if not isinstance(term, (Atom, Int, Float)):
+        raise CompileError(f"bad constant {text!r}")
+    return term
+
+
+def _parse_indicator(text: str) -> Indicator:
+    match = _INDICATOR.match(text)
+    if not match:
+        raise CompileError(f"bad indicator {text!r}")
+    name = match.group(1)
+    if name.startswith("'") and name.endswith("'") and len(name) > 1:
+        parsed = parse_term(name)
+        assert isinstance(parsed, Atom)
+        name = parsed.name
+    return (name, int(match.group(2)))
+
+
+def _parse_target(text: str) -> Union[Label, int]:
+    try:
+        return int(text)
+    except ValueError:
+        return Label(text)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside quotes or braces."""
+    parts: List[str] = []
+    depth = 0
+    quote = False
+    current = []
+    for char in text:
+        if char == "'" and not quote:
+            quote = True
+        elif char == "'" and quote:
+            quote = False
+        if not quote:
+            if char in "{[(":
+                depth += 1
+            elif char in "}])":
+                depth -= 1
+            if char == "," and depth == 0:
+                parts.append("".join(current).strip())
+                current = []
+                continue
+        current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_table(text: str) -> Tuple[Tuple[object, Union[Label, int]], ...]:
+    text = text.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise CompileError(f"bad switch table {text!r}")
+    inner = text[1:-1].strip()
+    entries = []
+    if inner:
+        for pair in _split_operands(inner):
+            key_text, _, target_text = pair.rpartition(":")
+            key_text = key_text.strip()
+            target_text = target_text.strip()
+            if _INDICATOR.match(key_text) and not key_text.lstrip("-").isdigit():
+                key: object = _parse_indicator(key_text)
+            else:
+                key = _parse_constant(key_text)
+            entries.append((key, _parse_target(target_text)))
+    return tuple(sorted(entries, key=lambda kv: str(kv[0])))
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``%`` comment, respecting quoted atoms."""
+    quote = False
+    for index, char in enumerate(line):
+        if char == "'":
+            quote = not quote
+        elif char == "%" and not quote:
+            return line[:index]
+    return line
+
+
+def assemble_instruction(line: str) -> Instr:
+    """Parse one instruction line."""
+    line = line.strip()
+    space = line.find(" ")
+    if space < 0:
+        op, rest = line, ""
+    else:
+        op, rest = line[:space], line[space + 1 :].strip()
+    signature = _SIGNATURES.get(op)
+    if signature is None:
+        raise CompileError(f"unknown opcode {op!r}")
+    if signature == "4":
+        operands = _split_operands(rest)
+        if len(operands) != 4:
+            raise CompileError(f"switch_on_term needs 4 targets: {line!r}")
+        return Instr(op, tuple(_parse_target(o) for o in operands))
+    if signature == "T":
+        return Instr(op, (_parse_table(rest),))
+    operands = _split_operands(rest) if rest else []
+    if len(operands) != len(signature):
+        raise CompileError(
+            f"{op} expects {len(signature)} operand(s), got {len(operands)}"
+        )
+    parsed: List[object] = []
+    for shape, text in zip(signature, operands):
+        if shape == "r":
+            parsed.append(_parse_register(text))
+        elif shape == "a":
+            parsed.append(_parse_argument_position(text))
+        elif shape == "c":
+            parsed.append(_parse_constant(text))
+        elif shape == "f":
+            parsed.append(_parse_indicator(text))
+        elif shape == "t":
+            parsed.append(_parse_target(text))
+        elif shape == "n":
+            parsed.append(int(text))
+        else:  # pragma: no cover
+            raise CompileError(f"bad signature shape {shape!r}")
+    return Instr(op, tuple(parsed))
+
+
+def assemble_unit(
+    text: str,
+    indicator: Indicator,
+    clause_labels: Optional[List[str]] = None,
+) -> PredicateCode:
+    """Assemble a whole unit: instructions and ``label:`` lines.
+
+    ``clause_labels`` names the labels that mark clause entries (for the
+    abstract machine); defaults to labels matching ``c<digits>``.
+    """
+    instructions: List[Instr] = []
+    seen_labels: List[str] = []
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.endswith(":") and " " not in line:
+            name = line[:-1]
+            seen_labels.append(name)
+            instructions.append(Instr("label", (Label(name),)))
+            continue
+        instructions.append(assemble_instruction(line))
+    if clause_labels is None:
+        clause_labels = [
+            name for name in seen_labels if re.fullmatch(r"c\d+", name)
+        ]
+    return PredicateCode(
+        indicator=indicator,
+        instructions=instructions,
+        clause_count=len(clause_labels),
+        clause_labels=[Label(name) for name in clause_labels],
+    )

@@ -1,0 +1,393 @@
+"""Inline builtins of the concrete WAM.
+
+Each builtin is a function ``fn(machine) -> bool`` operating on the
+argument registers; ``False`` triggers backtracking.  All machine builtins
+are deterministic — nondeterministic library predicates (``between/3``,
+``member/2``, ``append/3``, ...) are provided as plain Prolog in
+:mod:`repro.prolog.library` and compiled like user code.
+
+The compiler consults :data:`MACHINE_BUILTIN_INDICATORS` so that exactly
+the predicates listed here compile to ``builtin`` instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import MachineError, PrologError
+from ..prolog.arith import compare_numeric, eval_arith, number_term
+from ..prolog.terms import (
+    NIL,
+    Atom,
+    Float,
+    Indicator,
+    Int,
+    Struct,
+    Term,
+    Var,
+    is_proper_list,
+    list_elements,
+    make_list,
+)
+from ..prolog.writer import term_to_text
+from .cells import CON, FUN, LIS, REF, STR, Cell
+
+BuiltinFn = Callable[[object], bool]
+
+
+# ----------------------------------------------------------------------
+# Cell-level helpers.
+
+def _deref1(machine) -> Cell:
+    return machine.heap.deref(machine.get_x(1))
+
+
+def _compare_cells(machine, left: Cell, right: Cell) -> int:
+    """Standard order of terms on cells: Var < Number < Atom < Compound."""
+    heap = machine.heap
+    left = heap.deref(left)
+    right = heap.deref(right)
+
+    def rank(cell: Cell) -> int:
+        if cell[0] == REF:
+            return 0
+        if cell[0] == CON:
+            return 1 if isinstance(cell[1], (Int, Float)) else 2
+        return 3
+
+    rank_left, rank_right = rank(left), rank(right)
+    if rank_left != rank_right:
+        return -1 if rank_left < rank_right else 1
+    if rank_left == 0:
+        return (left[1] > right[1]) - (left[1] < right[1])  # type: ignore[operator]
+    if rank_left == 1:
+        a, b = left[1].value, right[1].value  # type: ignore[union-attr]
+        return (a > b) - (a < b)
+    if rank_left == 2:
+        a, b = left[1].name, right[1].name  # type: ignore[union-attr]
+        return (a > b) - (a < b)
+    functor_left = _functor_of(machine, left)
+    functor_right = _functor_of(machine, right)
+    key_left = (functor_left[1], functor_left[0])
+    key_right = (functor_right[1], functor_right[0])
+    if key_left != key_right:
+        return -1 if key_left < key_right else 1
+    for offset in range(functor_left[1]):
+        result = _compare_cells(
+            machine,
+            _argument_cell(machine, left, offset),
+            _argument_cell(machine, right, offset),
+        )
+        if result != 0:
+            return result
+    return 0
+
+
+def _functor_of(machine, cell: Cell) -> Indicator:
+    if cell[0] == LIS:
+        return (".", 2)
+    assert cell[0] == STR
+    return machine.heap.cells[cell[1]][1]
+
+
+def _argument_cell(machine, cell: Cell, offset: int) -> Cell:
+    if cell[0] == LIS:
+        return machine.heap.cells[cell[1] + offset]
+    return machine.heap.cells[cell[1] + 1 + offset]
+
+
+# ----------------------------------------------------------------------
+# Control and unification.
+
+def _bi_true(machine) -> bool:
+    return True
+
+
+def _bi_fail(machine) -> bool:
+    return False
+
+
+def _bi_unify(machine) -> bool:
+    return machine.unify(machine.get_x(1), machine.get_x(2))
+
+
+def _bi_not_unify(machine) -> bool:
+    mark = machine.heap.trail_mark()
+    result = machine.unify(machine.get_x(1), machine.get_x(2))
+    machine.heap.undo_to(mark)
+    return not result
+
+
+def _structural(op: str) -> BuiltinFn:
+    def builtin(machine) -> bool:
+        result = _compare_cells(machine, machine.get_x(1), machine.get_x(2))
+        return {
+            "==": result == 0,
+            "\\==": result != 0,
+            "@<": result < 0,
+            "@>": result > 0,
+            "@=<": result <= 0,
+            "@>=": result >= 0,
+        }[op]
+
+    return builtin
+
+
+def _bi_compare(machine) -> bool:
+    result = _compare_cells(machine, machine.get_x(2), machine.get_x(3))
+    symbol = Atom("<" if result < 0 else ">" if result > 0 else "=")
+    return machine.unify(machine.get_x(1), (CON, symbol))
+
+
+# ----------------------------------------------------------------------
+# Type tests.
+
+def _type_test(predicate: Callable[[Cell], bool]) -> BuiltinFn:
+    def builtin(machine) -> bool:
+        return predicate(machine.heap.deref(machine.get_x(1)))
+
+    return builtin
+
+
+def _is_atom(cell: Cell) -> bool:
+    return cell[0] == CON and isinstance(cell[1], Atom)
+
+
+def _is_number(cell: Cell) -> bool:
+    return cell[0] == CON and isinstance(cell[1], (Int, Float))
+
+
+# ----------------------------------------------------------------------
+# Arithmetic.
+
+def _decode_arg(machine, position: int) -> Term:
+    return machine.heap.decode(machine.get_x(position))
+
+
+def _bi_is(machine) -> bool:
+    expression = _decode_arg(machine, 2)
+    value = eval_arith(expression, lambda t: t)
+    return machine.unify(machine.get_x(1), (CON, number_term(value)))
+
+
+def _arith_compare(op: str) -> BuiltinFn:
+    def builtin(machine) -> bool:
+        left = eval_arith(_decode_arg(machine, 1), lambda t: t)
+        right = eval_arith(_decode_arg(machine, 2), lambda t: t)
+        return compare_numeric(op, left, right)
+
+    return builtin
+
+
+# ----------------------------------------------------------------------
+# Term construction and inspection.
+
+def _bi_functor(machine) -> bool:
+    heap = machine.heap
+    cell = _deref1(machine)
+    if cell[0] != REF:
+        functor: Term
+        if cell[0] == CON:
+            functor, arity = cell[1], 0  # type: ignore[assignment]
+        else:
+            name, arity = _functor_of(machine, cell)
+            functor = Atom(name)
+        return machine.unify(
+            machine.get_x(2), (CON, functor)
+        ) and machine.unify(machine.get_x(3), (CON, Int(arity)))
+    name_cell = heap.deref(machine.get_x(2))
+    arity_cell = heap.deref(machine.get_x(3))
+    if name_cell[0] == REF or arity_cell[0] == REF:
+        raise PrologError("instantiation_error", "functor/3")
+    if arity_cell[0] != CON or not isinstance(arity_cell[1], Int):
+        raise PrologError("type_error", "functor/3 arity must be an integer")
+    arity = arity_cell[1].value
+    if arity == 0:
+        return machine.unify(cell, name_cell)
+    if name_cell[0] != CON or not isinstance(name_cell[1], Atom):
+        raise PrologError("type_error", "functor/3 name must be an atom")
+    name = name_cell[1].name
+    if name == "." and arity == 2:
+        address = heap.top
+        heap.new_var()
+        heap.new_var()
+        return machine.unify(cell, (LIS, address))
+    functor_address = heap.push((FUN, (name, arity)))
+    for _ in range(arity):
+        heap.new_var()
+    return machine.unify(cell, (STR, functor_address))
+
+
+def _bi_arg(machine) -> bool:
+    heap = machine.heap
+    index_cell = heap.deref(machine.get_x(1))
+    term_cell = heap.deref(machine.get_x(2))
+    if index_cell[0] != CON or not isinstance(index_cell[1], Int):
+        raise PrologError("type_error", "arg/3 index must be an integer")
+    if term_cell[0] not in (LIS, STR):
+        raise PrologError("type_error", "arg/3 term must be compound")
+    arity = _functor_of(machine, term_cell)[1]
+    index = index_cell[1].value
+    if not 1 <= index <= arity:
+        return False
+    return machine.unify(
+        machine.get_x(3), _argument_cell(machine, term_cell, index - 1)
+    )
+
+
+def _bi_univ(machine) -> bool:
+    heap = machine.heap
+    cell = _deref1(machine)
+    if cell[0] != REF:
+        if cell[0] == CON:
+            items: List[Cell] = [cell]
+        else:
+            name, arity = _functor_of(machine, cell)
+            items = [(CON, Atom(name))] + [
+                _argument_cell(machine, cell, offset) for offset in range(arity)
+            ]
+        list_cell: Cell = (CON, NIL)
+        for item in reversed(items):
+            address = heap.top
+            heap.push(item)
+            heap.push(list_cell)
+            list_cell = (LIS, address)
+        return machine.unify(machine.get_x(2), list_cell)
+    # Construction side: decode the list of cells.
+    items = []
+    current = heap.deref(machine.get_x(2))
+    while current[0] == LIS:
+        items.append(heap.cells[current[1]])  # type: ignore[index]
+        current = heap.deref(heap.cells[current[1] + 1])  # type: ignore[index]
+    if current != (CON, NIL):
+        raise PrologError("instantiation_error", "=../2 needs a proper list")
+    if not items:
+        raise PrologError("domain_error", "=../2 with empty list")
+    head = heap.deref(items[0])
+    if len(items) == 1:
+        return machine.unify(cell, head)
+    if head[0] != CON or not isinstance(head[1], Atom):
+        raise PrologError("type_error", "=../2 functor must be an atom")
+    name = head[1].name
+    arguments = items[1:]
+    if name == "." and len(arguments) == 2:
+        address = heap.top
+        heap.push(arguments[0])
+        heap.push(arguments[1])
+        return machine.unify(cell, (LIS, address))
+    functor_address = heap.push((FUN, (name, len(arguments))))
+    for argument in arguments:
+        heap.push(argument)
+    return machine.unify(cell, (STR, functor_address))
+
+
+def _bi_copy_term(machine) -> bool:
+    term = machine.heap.decode(machine.get_x(1))
+    copy_cell = machine.heap.encode(term, {})
+    return machine.unify(machine.get_x(2), copy_cell)
+
+
+# ----------------------------------------------------------------------
+# Output (buffered on the machine).
+
+def _bi_write(machine) -> bool:
+    machine.output.append(term_to_text(_decode_arg(machine, 1)))
+    return True
+
+
+def _bi_writeq(machine) -> bool:
+    machine.output.append(term_to_text(_decode_arg(machine, 1), quoted=True))
+    return True
+
+
+def _bi_nl(machine) -> bool:
+    machine.output.append("\n")
+    return True
+
+
+def _bi_tab(machine) -> bool:
+    count = eval_arith(_decode_arg(machine, 1), lambda t: t)
+    machine.output.append(" " * int(count))
+    return True
+
+
+def _bi_atom_length(machine) -> bool:
+    cell = _deref1(machine)
+    if not _is_atom(cell):
+        raise PrologError("type_error", "atom_length/2 expects an atom")
+    return machine.unify(machine.get_x(2), (CON, Int(len(cell[1].name))))  # type: ignore[union-attr]
+
+
+def _bi_name(machine) -> bool:
+    heap = machine.heap
+    cell = _deref1(machine)
+    if cell[0] == CON:
+        if isinstance(cell[1], Atom):
+            text = cell[1].name
+        elif isinstance(cell[1], Int):
+            text = str(cell[1].value)
+        else:
+            text = repr(cell[1].value)  # type: ignore[union-attr]
+        codes = make_list([Int(ord(ch)) for ch in text])
+        return machine.unify(machine.get_x(2), heap.encode(codes))
+    spec = heap.decode(machine.get_x(2))
+    if not is_proper_list(spec):
+        raise PrologError("instantiation_error", "name/2")
+    items, _ = list_elements(spec)
+    characters = []
+    for item in items:
+        if not isinstance(item, Int):
+            raise PrologError("type_error", "name/2 expects character codes")
+        characters.append(chr(item.value))
+    text = "".join(characters)
+    try:
+        result: Term = Int(int(text))
+    except ValueError:
+        result = Atom(text)
+    return machine.unify(cell, (CON, result))
+
+
+MACHINE_BUILTINS: Dict[Indicator, BuiltinFn] = {
+    ("true", 0): _bi_true,
+    ("fail", 0): _bi_fail,
+    ("false", 0): _bi_fail,
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unify,
+    ("==", 2): _structural("=="),
+    ("\\==", 2): _structural("\\=="),
+    ("@<", 2): _structural("@<"),
+    ("@>", 2): _structural("@>"),
+    ("@=<", 2): _structural("@=<"),
+    ("@>=", 2): _structural("@>="),
+    ("compare", 3): _bi_compare,
+    ("var", 1): _type_test(lambda c: c[0] == REF),
+    ("nonvar", 1): _type_test(lambda c: c[0] != REF),
+    ("atom", 1): _type_test(_is_atom),
+    ("number", 1): _type_test(_is_number),
+    ("integer", 1): _type_test(lambda c: c[0] == CON and isinstance(c[1], Int)),
+    ("float", 1): _type_test(lambda c: c[0] == CON and isinstance(c[1], Float)),
+    ("atomic", 1): _type_test(lambda c: c[0] == CON),
+    ("compound", 1): _type_test(lambda c: c[0] in (LIS, STR)),
+    ("callable", 1): _type_test(lambda c: _is_atom(c) or c[0] in (LIS, STR)),
+    ("is", 2): _bi_is,
+    ("=:=", 2): _arith_compare("=:="),
+    ("=\\=", 2): _arith_compare("=\\="),
+    ("<", 2): _arith_compare("<"),
+    (">", 2): _arith_compare(">"),
+    ("=<", 2): _arith_compare("=<"),
+    (">=", 2): _arith_compare(">="),
+    ("functor", 3): _bi_functor,
+    ("arg", 3): _bi_arg,
+    ("=..", 2): _bi_univ,
+    ("copy_term", 2): _bi_copy_term,
+    ("write", 1): _bi_write,
+    ("writeq", 1): _bi_writeq,
+    ("print", 1): _bi_write,
+    ("nl", 0): _bi_nl,
+    ("tab", 1): _bi_tab,
+    ("atom_length", 2): _bi_atom_length,
+    ("name", 2): _bi_name,
+}
+
+#: The set the compiler treats as inline builtins.
+MACHINE_BUILTIN_INDICATORS = frozenset(MACHINE_BUILTINS.keys())

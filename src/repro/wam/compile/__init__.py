@@ -1,0 +1,35 @@
+"""The Prolog-to-WAM compiler.
+
+Layered bottom-up:
+
+* :mod:`.classify` — clause analysis (chunks, permanents, slots);
+* :mod:`.clause` — instruction emission for one clause;
+* :mod:`.predicate` — clause chains and first-argument indexing;
+* :mod:`.program` — whole-program linking and query compilation.
+"""
+
+from .classify import ClauseAnalysis, analyze_clause, goal_kind
+from .clause import CompilerOptions, compile_clause
+from .predicate import FAIL_TARGET, compile_predicate
+from .program import (
+    FAIL_ADDRESS,
+    HALT_ADDRESS,
+    PROCEED_ADDRESS,
+    CompiledProgram,
+    compile_program,
+)
+
+__all__ = [
+    "ClauseAnalysis",
+    "CompiledProgram",
+    "CompilerOptions",
+    "FAIL_ADDRESS",
+    "FAIL_TARGET",
+    "HALT_ADDRESS",
+    "PROCEED_ADDRESS",
+    "analyze_clause",
+    "compile_clause",
+    "compile_predicate",
+    "compile_program",
+    "goal_kind",
+]

@@ -1,0 +1,310 @@
+"""The WAM instruction set.
+
+Instructions are uniform :class:`Instr` records (an opcode plus an operand
+tuple) built through the typed factory functions below; the factories are
+the documented surface, one per instruction, grouped exactly as in Warren's
+report and in the paper (get, put, unify, procedural, indexing).
+
+Registers are :class:`Reg` values: ``Reg('x', i)`` for temporary/argument
+registers and ``Reg('y', i)`` for permanent (environment) slots.  Argument
+registers ``Ai`` are simply ``X1..Xn``.
+
+Design notes relative to the textbook machine:
+
+* all variables are heap-allocated (``put_variable Yn, Ai`` creates a heap
+  cell too), so ``put_unsafe_value`` and ``unify_local_value`` are not
+  needed: last-call optimization is always safe;
+* ``builtin`` invokes an inline builtin (arithmetic, comparison, type
+  tests, ``=/2``, buffered output) on the argument registers;
+* cut uses the ``B0`` register: ``neck_cut`` for a cut in the first body
+  position, ``get_level Yn`` + ``cut Yn`` for deeper cuts.
+
+Labels inside a predicate's code are symbolic :class:`Label` operands until
+:mod:`repro.wam.code` resolves them to absolute addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..prolog.terms import Atom, Float, Indicator, Int, Term
+
+Constant = Union[Atom, Int, Float]
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A machine register: ``kind`` is ``'x'`` or ``'y'``, index is 1-based."""
+
+    kind: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.upper()}{self.index}"
+
+
+def xreg(index: int) -> Reg:
+    return Reg("x", index)
+
+
+def yreg(index: int) -> Reg:
+    return Reg("y", index)
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic code label, unique within one compilation unit."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction: opcode plus operand tuple.
+
+    Operands are registers, constants (AST terms), functor indicators,
+    labels/addresses, or small integers, depending on the opcode.
+    """
+
+    op: str
+    args: Tuple[object, ...] = ()
+
+    def __str__(self) -> str:
+        from .listing import format_instruction
+
+        return format_instruction(self)
+
+
+RegLike = Union[Reg, int]
+
+
+def _as_reg(value: RegLike) -> Reg:
+    """Accept an argument-register index or a :class:`Reg`."""
+    if isinstance(value, Reg):
+        return value
+    return Reg("x", value)
+
+
+# ----------------------------------------------------------------------
+# put instructions (head-argument construction in the body).
+
+def put_variable(register: Reg, argument: int) -> Instr:
+    """Create a fresh variable in ``register`` and argument register Ai."""
+    return Instr("put_variable", (register, argument))
+
+
+def put_value(register: Reg, argument: int) -> Instr:
+    return Instr("put_value", (register, argument))
+
+
+def put_constant(constant: Constant, argument: int) -> Instr:
+    return Instr("put_constant", (constant, argument))
+
+
+def put_nil(argument: int) -> Instr:
+    return Instr("put_nil", (argument,))
+
+
+def put_list(target: RegLike) -> Instr:
+    return Instr("put_list", (_as_reg(target),))
+
+
+def put_structure(functor: Indicator, target: RegLike) -> Instr:
+    return Instr("put_structure", (functor, _as_reg(target)))
+
+
+# ----------------------------------------------------------------------
+# get instructions (head-argument matching).
+
+def get_variable(register: Reg, argument: int) -> Instr:
+    return Instr("get_variable", (register, argument))
+
+
+def get_value(register: Reg, argument: int) -> Instr:
+    return Instr("get_value", (register, argument))
+
+
+def get_constant(constant: Constant, argument: int) -> Instr:
+    return Instr("get_constant", (constant, argument))
+
+
+def get_nil(argument: int) -> Instr:
+    return Instr("get_nil", (argument,))
+
+
+def get_list(target: RegLike) -> Instr:
+    return Instr("get_list", (_as_reg(target),))
+
+
+def get_structure(functor: Indicator, target: RegLike) -> Instr:
+    return Instr("get_structure", (functor, _as_reg(target)))
+
+
+# ----------------------------------------------------------------------
+# unify instructions (subterm matching/construction, read or write mode).
+
+def unify_variable(register: Reg) -> Instr:
+    return Instr("unify_variable", (register,))
+
+
+def unify_value(register: Reg) -> Instr:
+    return Instr("unify_value", (register,))
+
+
+def unify_constant(constant: Constant) -> Instr:
+    return Instr("unify_constant", (constant,))
+
+
+def unify_nil() -> Instr:
+    return Instr("unify_nil", ())
+
+
+def unify_void(count: int) -> Instr:
+    return Instr("unify_void", (count,))
+
+
+# ----------------------------------------------------------------------
+# procedural instructions.
+
+def allocate(slot_count: int) -> Instr:
+    return Instr("allocate", (slot_count,))
+
+
+def deallocate() -> Instr:
+    return Instr("deallocate", ())
+
+
+def call(predicate: Indicator, live_slots: int = 0) -> Instr:
+    """Call a user predicate; ``live_slots`` supports environment trimming."""
+    return Instr("call", (predicate, live_slots))
+
+
+def execute(predicate: Indicator) -> Instr:
+    return Instr("execute", (predicate,))
+
+
+def proceed() -> Instr:
+    return Instr("proceed", ())
+
+
+def builtin(predicate: Indicator) -> Instr:
+    """Execute an inline builtin on the argument registers."""
+    return Instr("builtin", (predicate,))
+
+
+def neck_cut() -> Instr:
+    return Instr("neck_cut", ())
+
+
+def get_level(register: Reg) -> Instr:
+    return Instr("get_level", (register,))
+
+
+def cut(register: Reg) -> Instr:
+    return Instr("cut", (register,))
+
+
+def fail_instr() -> Instr:
+    return Instr("fail", ())
+
+
+def halt_instr() -> Instr:
+    """Stop the machine with success (used by query stubs)."""
+    return Instr("halt", ())
+
+
+# ----------------------------------------------------------------------
+# indexing instructions.
+
+Target = Union[Label, int]
+
+
+def try_me_else(alternative: Target) -> Instr:
+    return Instr("try_me_else", (alternative,))
+
+
+def retry_me_else(alternative: Target) -> Instr:
+    return Instr("retry_me_else", (alternative,))
+
+
+def trust_me() -> Instr:
+    return Instr("trust_me", ())
+
+
+def try_clause(target: Target) -> Instr:
+    return Instr("try", (target,))
+
+
+def retry_clause(target: Target) -> Instr:
+    return Instr("retry", (target,))
+
+
+def trust_clause(target: Target) -> Instr:
+    return Instr("trust", (target,))
+
+
+def switch_on_term(
+    on_variable: Target,
+    on_constant: Target,
+    on_list: Target,
+    on_structure: Target,
+) -> Instr:
+    return Instr("switch_on_term", (on_variable, on_constant, on_list, on_structure))
+
+
+def switch_on_constant(table: Dict[Constant, Target]) -> Instr:
+    return Instr("switch_on_constant", (tuple(sorted(table.items(), key=lambda kv: str(kv[0]))),))
+
+
+def switch_on_structure(table: Dict[Indicator, Target]) -> Instr:
+    return Instr("switch_on_structure", (tuple(sorted(table.items(), key=lambda kv: str(kv[0]))),))
+
+
+def label_marker(label: Label) -> Instr:
+    """Pseudo-instruction marking a label position; removed at link time."""
+    return Instr("label", (label,))
+
+
+#: Opcode groups, mirroring the paper's classification.
+GET_OPS = frozenset(
+    ["get_variable", "get_value", "get_constant", "get_nil", "get_list", "get_structure"]
+)
+PUT_OPS = frozenset(
+    ["put_variable", "put_value", "put_constant", "put_nil", "put_list", "put_structure"]
+)
+UNIFY_OPS = frozenset(
+    ["unify_variable", "unify_value", "unify_constant", "unify_nil", "unify_void"]
+)
+PROCEDURAL_OPS = frozenset(
+    [
+        "allocate",
+        "deallocate",
+        "call",
+        "execute",
+        "proceed",
+        "builtin",
+        "neck_cut",
+        "get_level",
+        "cut",
+        "fail",
+        "halt",
+    ]
+)
+INDEXING_OPS = frozenset(
+    [
+        "try_me_else",
+        "retry_me_else",
+        "trust_me",
+        "try",
+        "retry",
+        "trust",
+        "switch_on_term",
+        "switch_on_constant",
+        "switch_on_structure",
+    ]
+)
+ALL_OPS = GET_OPS | PUT_OPS | UNIFY_OPS | PROCEDURAL_OPS | INDEXING_OPS | {"label"}

@@ -1,0 +1,106 @@
+"""Human-readable WAM code listings.
+
+:func:`format_instruction` renders one instruction in the conventional
+assembly style used by the paper (``get_structure f/1, X3``); with an
+``arity`` hint, X registers at argument positions print as ``A1..An``
+exactly like the paper's Figure 2.  :func:`disassemble` renders a linked
+code area with addresses and predicate headers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..prolog.terms import Atom, Float, Indicator, Int, format_indicator
+from ..prolog.writer import term_to_text
+from .code import CodeArea
+from .instructions import Instr, Label, Reg
+
+
+def _operand(value: object, arity: int = 0) -> str:
+    if isinstance(value, Reg):
+        if value.kind == "x" and 1 <= value.index <= arity:
+            return f"A{value.index}"
+        return str(value)
+    if isinstance(value, Label):
+        return str(value)
+    if isinstance(value, (Atom, Int, Float)):
+        return term_to_text(value, quoted=True)
+    if isinstance(value, tuple) and len(value) == 2 and isinstance(value[0], str):
+        # A functor indicator.
+        return format_indicator(value)  # type: ignore[arg-type]
+    return str(value)
+
+
+def format_instruction(instruction: Instr, arity: int = 0) -> str:
+    """Render one instruction; ``arity`` turns low X registers into An."""
+    op = instruction.op
+    args = instruction.args
+    if op in ("put_variable", "put_value", "get_variable", "get_value"):
+        register, position = args
+        return f"{op} {_operand(register, arity)}, A{position}"
+    if op in ("put_constant", "get_constant"):
+        constant, position = args
+        return f"{op} {_operand(constant)}, A{position}"
+    if op in ("put_nil", "get_nil"):
+        return f"{op} A{args[0]}"
+    if op in ("put_list", "get_list"):
+        return f"{op} {_operand(args[0], arity)}"
+    if op in ("put_structure", "get_structure"):
+        functor, register = args
+        return f"{op} {_operand(functor)}, {_operand(register, arity)}"
+    if op in ("call",):
+        predicate, live = args
+        return f"call {format_indicator(predicate)}, {live}"
+    if op in ("execute", "builtin"):
+        return f"{op} {format_indicator(args[0])}"
+    if op == "switch_on_term":
+        targets = ", ".join(_operand(a) for a in args)
+        return f"switch_on_term {targets}"
+    if op in ("switch_on_constant", "switch_on_structure"):
+        pairs = ", ".join(
+            f"{_operand(key)}: {_operand(target)}" for key, target in args[0]
+        )
+        return f"{op} {{{pairs}}}"
+    if not args:
+        return op
+    rendered = ", ".join(_operand(a, arity) for a in args)
+    return f"{op} {rendered}"
+
+
+def format_unit(
+    instructions: Iterable[Instr], arity: int = 0, indent: str = "    "
+) -> str:
+    """Render an unlinked instruction list; labels outdent."""
+    lines: List[str] = []
+    for instruction in instructions:
+        if instruction.op == "label":
+            lines.append(f"{instruction.args[0]}:")
+        else:
+            lines.append(indent + format_instruction(instruction, arity))
+    return "\n".join(lines)
+
+
+def disassemble(
+    code: CodeArea, indicator: Optional[Indicator] = None
+) -> str:
+    """Render a linked code area (or just one predicate) with addresses."""
+    if indicator is not None:
+        start = code.entry[indicator]
+        size = code.size_of(indicator)
+        addresses = range(start, start + size)
+    else:
+        addresses = range(len(code.instructions))
+    lines: List[str] = []
+    entries = {address: owner for address, owner in code.owners.items()}
+    for address in addresses:
+        owner = entries.get(address)
+        if owner is not None:
+            lines.append(f"{format_indicator(owner)}:")
+        arity = 0
+        predicate = code.predicate_at(address)
+        if predicate is not None:
+            arity = predicate[1]
+        instruction = code.instructions[address]
+        lines.append(f"{address:5d}  {format_instruction(instruction, arity)}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prolog import Program, Solver, parse_term, term_to_text
+from repro.wam import Machine, compile_program
+
+
+def solve_texts(program_text: str, goal_text: str, limit: int = 50):
+    """All solver solutions as {name: text} dicts."""
+    solver = Solver(Program.from_text(program_text))
+    results = []
+    for solution in solver.solve(parse_term(goal_text)):
+        results.append({k: term_to_text(v) for k, v in solution.items()})
+        if len(results) >= limit:
+            break
+    return results
+
+
+def wam_texts(program_text: str, goal_text: str, limit: int = 50, options=None):
+    """All WAM solutions as {name: text} dicts."""
+    machine = Machine(compile_program(Program.from_text(program_text), options))
+    results = []
+    for solution in machine.run(parse_term(goal_text)):
+        results.append({k: term_to_text(v) for k, v in solution.items()})
+        if len(results) >= limit:
+            break
+    return results
+
+
+APPEND_NREV = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+"""
+
+
+@pytest.fixture
+def append_nrev() -> str:
+    return APPEND_NREV

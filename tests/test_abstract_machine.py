@@ -1,0 +1,273 @@
+"""Tests for the abstract WAM: reinterpreted instructions and analysis runs."""
+
+import pytest
+
+from repro.analysis import AbstractMachine, analyze
+from repro.domain import AbsSort, tree_to_text
+from repro.errors import PrologError
+from repro.prolog import Program
+from repro.wam import compile_program
+
+S = AbsSort
+
+
+def success_types(result, name, arity):
+    return [
+        tree_to_text(t) if t is not None else "fail"
+        for t in result.success_types((name, arity))
+    ]
+
+
+def call_types(result, name, arity):
+    return [tree_to_text(t) for t in result.call_types((name, arity))]
+
+
+class TestSimplePredicates:
+    def test_fact_types(self):
+        result = analyze("p(a).", "p(var)")
+        assert success_types(result, "p", 1) == ["atom"]
+
+    def test_multiple_facts_lub(self):
+        result = analyze("p(a). p(1).", "p(var)")
+        assert success_types(result, "p", 1) == ["const"]
+
+    def test_failing_predicate(self):
+        result = analyze("p(a).", "p(int)")
+        info = result.predicate(("p", 1))
+        assert not info.can_succeed
+
+    def test_structure_type(self):
+        result = analyze("p(f(1, a)).", "p(var)")
+        assert success_types(result, "p", 1) == ["f(int, atom)"]
+
+    def test_ground_input_stays_ground(self):
+        result = analyze("p(X).", "p(g)")
+        assert success_types(result, "p", 1) == ["g"]
+
+    def test_list_input(self):
+        # The success abstraction re-summarizes the grown cons cell into
+        # the list type (the spine walk sees [g | g-list]).
+        result = analyze("first([H|_], H).", "first(glist, var)")
+        assert success_types(result, "first", 2) == ["g-list", "g"]
+
+
+class TestModes:
+    def test_in_out_modes(self):
+        result = analyze(
+            "len([], 0). len([_|T], N) :- len(T, M), N is M + 1.",
+            "len(glist, var)",
+        )
+        assert result.modes(("len", 2)) == ["+g", "-"]
+
+    def test_any_mode(self):
+        result = analyze("p(X).", "p(any)")
+        assert result.modes(("p", 1)) == ["?"]
+
+    def test_nonvar_mode(self):
+        result = analyze("p(f(X)).", "p(nv)")
+        assert result.modes(("p", 1)) == ["+"]
+
+
+class TestRecursionAndFixpoint:
+    def test_append(self, append_nrev):
+        result = analyze(append_nrev, "app(glist, glist, var)")
+        assert success_types(result, "app", 3) == ["g-list", "g-list", "g-list"]
+
+    def test_nrev_converges(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        assert result.iterations <= 4
+        assert success_types(result, "nrev", 2) == ["g-list", "g-list"]
+
+    def test_left_recursive_terminates(self):
+        # Subsumption through the table prevents divergence.
+        result = analyze("p(X) :- p(X). p(a).", "p(var)")
+        assert success_types(result, "p", 1) == ["atom"]
+
+    def test_mutual_recursion(self):
+        text = """
+        even(0).
+        even(N) :- N > 0, M is N - 1, odd(M).
+        odd(N) :- N > 0, M is N - 1, even(M).
+        """
+        result = analyze(text, "even(int)")
+        assert success_types(result, "even", 1) == ["int"]
+        assert success_types(result, "odd", 1) == ["int"]
+
+    def test_growing_structure_bounded_by_depth(self):
+        # s(s(s(...))) towers are cut off by the term-depth restriction.
+        text = "grow(X, s(X)). chain(X, Z) :- grow(X, Y), chain(Y, Z). chain(X, X)."
+        result = analyze(text, "chain(atom, var)", depth=3)
+        assert result.iterations < 30
+
+    def test_arithmetic_counter(self):
+        text = "count(0). count(N) :- N > 0, M is N - 1, count(M)."
+        result = analyze(text, "count(int)")
+        assert success_types(result, "count", 1) == ["int"]
+
+
+class TestAliasing:
+    def test_equal_args_alias_in_success(self):
+        result = analyze("eq(X, X).", "eq(var, var)")
+        info = result.predicate(("eq", 2))
+        assert (0, 1) in info.success_aliasing
+
+    def test_aliased_call_pattern(self):
+        result = analyze("p(X, Y). main :- q(Z, Z). q(A, B) :- p(A, B).", "main")
+        info = result.predicate(("q", 2))
+        assert (0, 1) in info.call_aliasing
+
+    def test_aliasing_propagates_bindings(self):
+        # After eq(X, Y), binding X must be reflected in Y's success type.
+        text = "main(Y) :- eq(X, Y), X = 3. eq(A, A)."
+        result = analyze(text, "main(var)")
+        assert success_types(result, "main", 1) == ["int"]
+
+
+class TestBuiltinsAbstract:
+    def test_is_gives_integer(self):
+        result = analyze("f(X, Y) :- Y is X + 1.", "f(int, var)")
+        assert success_types(result, "f", 2) == ["int", "int"]
+
+    def test_comparison_no_bindings(self):
+        result = analyze("f(X) :- X > 0.", "f(int)")
+        assert success_types(result, "f", 1) == ["int"]
+
+    def test_comparison_on_definite_var_fails(self):
+        result = analyze("f(X, Y) :- X > Y.", "f(var, var)")
+        assert not result.predicate(("f", 2)).can_succeed
+
+    def test_type_test_prunes(self):
+        result = analyze("f(X) :- atom(X).", "f(int)")
+        assert not result.predicate(("f", 1)).can_succeed
+
+    def test_type_test_passes_when_possible(self):
+        result = analyze("f(X) :- atom(X).", "f(const)")
+        assert result.predicate(("f", 1)).can_succeed
+
+    def test_unify_builtin(self):
+        result = analyze("f(X) :- X = g(1).", "f(var)")
+        assert success_types(result, "f", 1) == ["g(int)"]
+
+    def test_var_test(self):
+        result = analyze("f(X) :- var(X).", "f(g)")
+        assert not result.predicate(("f", 1)).can_succeed
+
+    def test_univ(self):
+        result = analyze("f(L) :- foo(1) =.. L.", "f(var)")
+        assert success_types(result, "f", 1) == ["any-list"]
+
+
+class TestCutSoundness:
+    def test_all_clauses_explored(self):
+        # Cut is a no-op abstractly: both clauses contribute.
+        text = "p(X, a) :- X >= 0, !. p(_, 1)."
+        result = analyze(text, "p(int, var)")
+        assert success_types(result, "p", 2) == ["int", "const"]
+
+
+class TestExecCountsAndErrors:
+    def test_instruction_count_positive(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        assert result.instructions_executed > 0
+
+    def test_unknown_predicate(self):
+        with pytest.raises(PrologError):
+            analyze("p :- missing.", "p")
+
+    def test_machine_reaches_table_fixpoint(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        machine = AbstractMachine(compiled)
+        from repro.analysis.driver import parse_entry_spec
+
+        spec = parse_entry_spec("nrev(glist, var)")
+        previous = -1
+        for _ in range(10):
+            before = machine.table.changes
+            machine.run_pattern(spec.indicator, spec.pattern)
+            if machine.table.changes == before:
+                break
+        else:
+            pytest.fail("no fixpoint in 10 passes")
+        size = len(machine.table)
+        machine.run_pattern(spec.indicator, spec.pattern)
+        assert len(machine.table) == size
+
+    def test_heap_reclaimed_between_passes(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        machine = AbstractMachine(compiled)
+        from repro.analysis.driver import parse_entry_spec
+
+        spec = parse_entry_spec("nrev(glist, var)")
+        machine.run_pattern(spec.indicator, spec.pattern)
+        top = machine.heap.top
+        machine.run_pattern(spec.indicator, spec.pattern)
+        assert machine.heap.top == top
+
+
+class TestFigure4:
+    """The reinterpreted get_list of Figure 4, via tiny programs."""
+
+    def test_get_list_on_glist(self):
+        result = analyze("p([H|T], H, T).", "p(glist, var, var)")
+        assert success_types(result, "p", 3) == ["g-list", "g", "g-list"]
+
+    def test_get_list_on_any(self):
+        result = analyze("p([H|T], H, T).", "p(any, var, var)")
+        assert success_types(result, "p", 3)[1] == "any"
+
+    def test_get_list_on_ground(self):
+        result = analyze("p([H|T], H, T).", "p(g, var, var)")
+        assert success_types(result, "p", 3) == ["[g|g]", "g", "g"]
+
+    def test_get_list_on_const_fails(self):
+        result = analyze("p([H|T]).", "p(const)")
+        assert not result.predicate(("p", 1)).can_succeed
+
+    def test_get_list_on_var_constructs(self):
+        result = analyze("p([a, b]).", "p(var)")
+        assert success_types(result, "p", 1) == ["atom-list"]
+
+    def test_get_struct_on_ground(self):
+        result = analyze("p(f(X), X).", "p(g, var)")
+        assert success_types(result, "p", 2) == ["f(g)", "g"]
+
+    def test_get_struct_wrong_functor_on_list_fails(self):
+        result = analyze("p(f(_)).", "p(glist)")
+        assert not result.predicate(("p", 1)).can_succeed
+
+
+class TestDepthPrecision:
+    """The term-depth knob trades precision for table size (paper §3)."""
+
+    DERIV = """
+    main(D) :- d(f(g(h(k(x)))), D).
+    d(f(X), f(Y)) :- d(X, Y).
+    d(g(X), g(Y)) :- d(X, Y).
+    d(h(X), h(Y)) :- d(X, Y).
+    d(k(X), k(Y)) :- d(X, Y).
+    d(x, 1).
+    """
+
+    def test_deep_limit_keeps_structure(self):
+        from repro.domain import tree_to_text
+
+        result = analyze(self.DERIV, "main(var)", depth=8)
+        assert tree_to_text(result.success_types(("main", 1))[0]) == (
+            "f(g(h(k(int))))"
+        )
+
+    def test_shallow_limit_summarizes(self):
+        from repro.domain import tree_to_text
+
+        result = analyze(self.DERIV, "main(var)", depth=2)
+        text = tree_to_text(result.success_types(("main", 1))[0])
+        assert text.startswith("f(")
+        assert "k(" not in text  # the deep layers were summarized
+
+    def test_both_sound_on_groundness(self):
+        from repro.domain import GROUND_T, tree_leq
+
+        for depth in (1, 2, 4, 8):
+            result = analyze(self.DERIV, "main(var)", depth=depth)
+            tree = result.success_types(("main", 1))[0]
+            assert tree_leq(tree, GROUND_T)

@@ -1,0 +1,143 @@
+"""Tests for arithmetic evaluation."""
+
+import math
+
+import pytest
+
+from repro.errors import PrologError
+from repro.prolog import parse_term
+from repro.prolog.arith import compare_numeric, eval_arith, number_term
+from repro.prolog.terms import Float, Int
+
+
+def ev(text):
+    return eval_arith(parse_term(text), lambda t: t)
+
+
+class TestBasicOps:
+    def test_add(self):
+        assert ev("1 + 2") == 3
+
+    def test_sub(self):
+        assert ev("5 - 9") == -4
+
+    def test_mul(self):
+        assert ev("6 * 7") == 42
+
+    def test_nested(self):
+        assert ev("(1 + 2) * (3 + 4)") == 21
+
+    def test_unary_minus(self):
+        assert ev("- (3 + 4)") == -7
+
+    def test_unary_plus(self):
+        assert ev("+ (5)") == 5
+
+    def test_abs(self):
+        assert ev("abs(-3)") == 3
+
+    def test_sign(self):
+        assert ev("sign(-9)") == -1
+
+    def test_min_max(self):
+        assert ev("min(3, 5)") == 3
+        assert ev("max(3, 5)") == 5
+
+
+class TestDivision:
+    def test_exact_int_division(self):
+        assert ev("6 / 3") == 2
+        assert isinstance(ev("6 / 3"), int)
+
+    def test_inexact_division_float(self):
+        assert ev("7 / 2") == 3.5
+
+    def test_int_div_truncates_toward_zero(self):
+        assert ev("7 // 2") == 3
+        assert ev("-7 // 2") == -3
+
+    def test_floor_div(self):
+        assert ev("-7 div 2") == -4
+
+    def test_mod_sign_follows_divisor(self):
+        assert ev("7 mod 2") == 1
+        assert ev("-7 mod 2") == 1
+
+    def test_rem_sign_follows_dividend(self):
+        assert ev("-7 rem 2") == -1
+
+    def test_zero_divisor(self):
+        with pytest.raises(PrologError):
+            ev("1 / 0")
+        with pytest.raises(PrologError):
+            ev("1 // 0")
+        with pytest.raises(PrologError):
+            ev("1 mod 0")
+
+
+class TestBitwiseAndMisc:
+    def test_shift(self):
+        assert ev("1 << 4") == 16
+        assert ev("16 >> 2") == 4
+
+    def test_and_or_xor(self):
+        assert ev("12 /\\ 10") == 8
+        assert ev("12 \\/ 10") == 14
+        assert ev("12 xor 10") == 6
+
+    def test_complement(self):
+        assert ev("\\ (0)") == -1
+
+    def test_gcd(self):
+        assert ev("gcd(12, 18)") == 6
+
+    def test_power(self):
+        assert ev("2 ^ 10") == 1024
+        assert ev("2 ** 3") == 8.0
+
+    def test_constants(self):
+        assert ev("pi") == math.pi
+
+    def test_floor_ceiling(self):
+        assert ev("floor(2.7)") == 2
+        assert ev("ceiling(2.1)") == 3
+
+    def test_truncate_round(self):
+        assert ev("truncate(2.7)") == 2
+        assert ev("round(2.5)") == 3
+
+    def test_sqrt(self):
+        assert ev("sqrt(16)") == 4.0
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(PrologError) as info:
+            ev("X + 1")
+        assert info.value.kind == "instantiation_error"
+
+    def test_non_evaluable_atom(self):
+        with pytest.raises(PrologError) as info:
+            ev("foo")
+        assert info.value.kind == "type_error"
+
+    def test_non_evaluable_functor(self):
+        with pytest.raises(PrologError):
+            ev("foo(1, 2)")
+
+    def test_shift_requires_integers(self):
+        with pytest.raises(PrologError):
+            ev("1.5 << 2")
+
+
+class TestHelpers:
+    def test_number_term(self):
+        assert number_term(3) == Int(3)
+        assert number_term(2.5) == Float(2.5)
+
+    def test_compare(self):
+        assert compare_numeric("<", 1, 2)
+        assert compare_numeric(">=", 2, 2)
+        assert compare_numeric("=:=", 1, 1.0)
+        assert compare_numeric("=\\=", 1, 2)
+        assert not compare_numeric(">", 1, 2)

@@ -1,0 +1,138 @@
+"""Tests for the WAM assembler: round-trips with the listing and
+hand-written code that runs."""
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.errors import CompileError
+from repro.prolog import Program, parse_term, term_to_text
+from repro.wam import Machine, compile_program
+from repro.wam.assembler import assemble_instruction, assemble_unit
+from repro.wam.code import CodeArea
+from repro.wam.compile import compile_predicate
+from repro.wam.instructions import Label, Reg
+from repro.wam.listing import format_instruction, format_unit
+
+
+class TestInstructionParsing:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "get_constant a, A1",
+            "get_constant 'hello world', A2",
+            "get_constant 42, A1",
+            "get_constant -7, A3",
+            "get_structure f/2, X3",
+            "get_list A2",
+            "put_variable Y1, A2",
+            "put_value X4, A1",
+            "unify_variable X5",
+            "unify_constant []",
+            "unify_void 3",
+            "allocate 2",
+            "call foo/2, 3",
+            "execute bar/0",
+            "builtin is/2",
+            "proceed",
+            "neck_cut",
+            "cut Y1",
+            "try_me_else t2",
+            "trust_me",
+            "try c0",
+            "switch_on_term chain1, tbl1, c2, -1",
+            "switch_on_constant {a: c0, 5: c1}",
+            "switch_on_structure {f/2: c0}",
+        ],
+    )
+    def test_roundtrip_line(self, line):
+        instruction = assemble_instruction(line)
+        assert (
+            assemble_instruction(format_instruction(instruction)) == instruction
+        )
+
+    def test_a_registers_become_x(self):
+        instruction = assemble_instruction("put_value A3, A1")
+        assert instruction.args[0] == Reg("x", 3)
+
+    def test_y_register(self):
+        instruction = assemble_instruction("get_variable Y2, A1")
+        assert instruction.args[0] == Reg("y", 2)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(CompileError):
+            assemble_instruction("frobnicate X1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(CompileError):
+            assemble_instruction("get_list A1, A2")
+
+    def test_bad_register(self):
+        with pytest.raises(CompileError):
+            assemble_instruction("unify_variable Z9")
+
+
+class TestUnitRoundTrips:
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_every_benchmark_predicate_roundtrips(self, bench):
+        program = Program.from_text(bench.source)
+        for predicate in program.predicates.values():
+            unit = compile_predicate(predicate)
+            text = format_unit(unit.instructions)
+            again = assemble_unit(text, predicate.indicator)
+            assert again.instructions == unit.instructions
+
+    def test_clause_labels_detected(self):
+        program = Program.from_text("p(a). p(b).")
+        unit = compile_predicate(program.predicate(("p", 1)))
+        text = format_unit(unit.instructions)
+        again = assemble_unit(text, ("p", 1))
+        assert again.clause_labels == unit.clause_labels
+
+
+class TestHandWrittenCode:
+    def test_assembled_code_runs(self):
+        # A hand-written fact p(hello) plus the service prologue.
+        unit = assemble_unit(
+            """
+            c0:
+                get_constant hello, A1
+                proceed
+            """,
+            ("p", 1),
+        )
+        compiled = compile_program(Program.from_text("dummy."))
+        compiled.code.link([unit])
+        machine = Machine(compiled)
+        solution = machine.run_once(parse_term("p(X)"))
+        assert term_to_text(solution["X"]) == "hello"
+
+    def test_comment_stripping(self):
+        unit = assemble_unit(
+            "get_constant 'a%b', A1  % keeps the quoted percent\nproceed\n",
+            ("p", 1),
+        )
+        assert unit.instructions[0].args[0].name == "a%b"
+
+    def test_hand_written_chain(self):
+        unit = assemble_unit(
+            """
+            chain:
+                try_me_else t1
+            c0:
+                get_constant 1, A1
+                proceed
+            t1:
+                trust_me
+            c1:
+                get_constant 2, A1
+                proceed
+            """,
+            ("two", 1),
+        )
+        compiled = compile_program(Program.from_text("dummy."))
+        compiled.code.link([unit])
+        machine = Machine(compiled)
+        values = [
+            term_to_text(s["X"]) for s in machine.run(parse_term("two(X)"))
+        ]
+        assert values == ["1", "2"]

@@ -1,0 +1,260 @@
+"""Tests for the abstract heap and abstract unification (s_unify)."""
+
+import pytest
+
+from repro.domain import ANY_T, AbsSort, GROUND_T, INTEGER_T, make_struct_tree
+from repro.analysis.aheap import (
+    ABS,
+    cell_summary,
+    constant_tree,
+    deref,
+    make_abs,
+    materialize,
+)
+from repro.analysis.aunify import complex_term_inst, s_unify
+from repro.prolog import parse_term
+from repro.prolog.terms import NIL, Atom, Int
+from repro.wam.cells import CON, LIS, REF, STR, Heap
+
+S = AbsSort
+
+
+def abs_cell(heap, sort, elem=None):
+    return make_abs(heap, sort, elem)
+
+
+def sort_of(heap, cell):
+    resolved, _ = deref(heap, cell)
+    assert resolved[0] == ABS
+    return resolved[1][0]
+
+
+class TestAbstractHeap:
+    def test_make_abs_returns_ref(self):
+        heap = Heap()
+        cell = make_abs(heap, S.ANY)
+        assert cell[0] == REF
+        assert heap.cells[cell[1]][0] == ABS
+
+    def test_deref_follows_to_abs(self):
+        heap = Heap()
+        cell = make_abs(heap, S.GROUND)
+        resolved, address = deref(heap, cell)
+        assert resolved == (ABS, (S.GROUND, None))
+        assert address == cell[1]
+
+    def test_materialize_var(self):
+        heap = Heap()
+        cell = materialize(heap, ("s", S.VAR))
+        assert heap.is_unbound(cell)
+
+    def test_materialize_nil(self):
+        heap = Heap()
+        assert materialize(heap, ("l", ("s", S.EMPTY))) == (CON, NIL)
+
+    def test_materialize_struct(self):
+        heap = Heap()
+        cell = materialize(heap, make_struct_tree("f", (GROUND_T, ANY_T)))
+        assert cell[0] == STR
+
+    def test_constant_tree(self):
+        assert constant_tree(Atom("x")) == ("s", S.ATOM)
+        assert constant_tree(Int(1)) == ("s", S.INTEGER)
+        assert constant_tree(NIL) == ("l", ("s", S.EMPTY))
+
+    def test_cell_summary(self):
+        heap = Heap()
+        assert cell_summary(heap, heap.new_var()) == S.VAR
+        assert cell_summary(heap, make_abs(heap, S.NV)) == S.NV
+        assert cell_summary(heap, (CON, Atom("a"))) == S.ATOM
+        assert cell_summary(heap, heap.encode(parse_term("f(a)"))) == S.GROUND
+        assert cell_summary(heap, heap.encode(parse_term("f(X)"))) == S.NV
+
+
+class TestSUnifySimple:
+    def test_any_with_ground(self):
+        # Paper: s_unify(any, ground) = ground.
+        heap = Heap()
+        any_cell = abs_cell(heap, S.ANY)
+        ground_cell = abs_cell(heap, S.GROUND)
+        assert s_unify(heap, any_cell, ground_cell)
+        assert sort_of(heap, any_cell) == S.GROUND
+        assert sort_of(heap, ground_cell) == S.GROUND
+
+    def test_aliasing_created(self):
+        heap = Heap()
+        a = abs_cell(heap, S.ANY)
+        b = abs_cell(heap, S.NV)
+        assert s_unify(heap, a, b)
+        # Later refinement through one side is seen through the other.
+        c = abs_cell(heap, S.GROUND)
+        assert s_unify(heap, a, c)
+        assert sort_of(heap, b) == S.GROUND
+
+    def test_atom_vs_integer_fails(self):
+        heap = Heap()
+        assert not s_unify(heap, abs_cell(heap, S.ATOM), abs_cell(heap, S.INTEGER))
+
+    def test_var_bound_to_abs(self):
+        heap = Heap()
+        var = heap.new_var()
+        nv = abs_cell(heap, S.NV)
+        assert s_unify(heap, var, nv)
+        resolved, _ = deref(heap, var)
+        assert resolved[0] == ABS
+
+    def test_var_var(self):
+        heap = Heap()
+        a, b = heap.new_var(), heap.new_var()
+        assert s_unify(heap, a, b)
+        ra, aa = deref(heap, a)
+        rb, ab = deref(heap, b)
+        assert aa == ab
+
+    def test_abs_with_constant_instantiates_precisely(self):
+        heap = Heap()
+        cell = abs_cell(heap, S.CONST)
+        assert s_unify(heap, cell, (CON, Atom("hello")))
+        resolved, _ = deref(heap, cell)
+        assert resolved == (CON, Atom("hello"))
+
+    def test_integer_abs_vs_atom_constant_fails(self):
+        heap = Heap()
+        assert not s_unify(heap, abs_cell(heap, S.INTEGER), (CON, Atom("a")))
+
+    def test_trail_undoes_instantiation(self):
+        heap = Heap()
+        cell = abs_cell(heap, S.ANY)
+        mark = heap.trail_mark()
+        top = heap.top
+        assert s_unify(heap, cell, abs_cell(heap, S.GROUND))
+
+        heap.undo_to(mark, top)
+        assert sort_of(heap, cell) == S.ANY
+
+
+class TestSUnifyStructural:
+    def test_paper_example_glist_cons(self):
+        # s_unify(glist, [Head|Tail]) = [g|glist] (paper Section 4.1).
+        heap = Heap()
+        glist = abs_cell(heap, S.LIST, GROUND_T)
+        head, tail = heap.new_var(), heap.new_var()
+        cons_address = heap.top
+        heap.cells.extend([head, tail])
+        cons = (LIS, cons_address)
+        assert s_unify(heap, glist, cons)
+        head_resolved, _ = deref(heap, head)
+        tail_resolved, _ = deref(heap, tail)
+        assert head_resolved[1][0] == S.GROUND
+        assert tail_resolved[1][0] == S.LIST
+
+    def test_paper_example_g_with_struct(self):
+        # s_unify(g, f(V)) = f(g) with V/g.
+        heap = Heap()
+        g = abs_cell(heap, S.GROUND)
+        v = heap.new_var()
+        struct_cell = heap.encode(parse_term("f(X)"))
+        # Find the argument slot and alias our variable with it.
+        arg_slot = struct_cell[1] + 1
+        assert s_unify(heap, v, (REF, arg_slot))
+        assert s_unify(heap, g, struct_cell)
+        resolved, _ = deref(heap, g)
+        assert resolved[0] == STR
+        v_resolved, _ = deref(heap, v)
+        assert v_resolved[1][0] == S.GROUND
+
+    def test_list_with_nil(self):
+        heap = Heap()
+        glist = abs_cell(heap, S.LIST, GROUND_T)
+        assert s_unify(heap, glist, (CON, NIL))
+        resolved, _ = deref(heap, glist)
+        assert resolved == (CON, NIL)
+
+    def test_list_vs_wrong_struct_fails(self):
+        heap = Heap()
+        glist = abs_cell(heap, S.LIST, GROUND_T)
+        assert not s_unify(heap, glist, heap.encode(parse_term("f(a)")))
+
+    def test_list_vs_integer_fails(self):
+        heap = Heap()
+        glist = abs_cell(heap, S.LIST, GROUND_T)
+        assert not s_unify(heap, glist, (CON, Int(3)))
+
+    def test_two_lists_merge_elements(self):
+        heap = Heap()
+        a = abs_cell(heap, S.LIST, ANY_T)
+        b = abs_cell(heap, S.LIST, INTEGER_T)
+        assert s_unify(heap, a, b)
+        resolved, _ = deref(heap, a)
+        assert resolved[1] == (S.LIST, INTEGER_T)
+
+    def test_concrete_structures_recursive(self):
+        heap = Heap()
+        left = heap.encode(parse_term("f(X, b)"))
+        right = heap.encode(parse_term("f(a, Y)"))
+        assert s_unify(heap, left, right)
+        assert heap.decode(left) == parse_term("f(a, b)")
+
+    def test_concrete_mismatch_fails(self):
+        heap = Heap()
+        assert not s_unify(
+            heap,
+            heap.encode(parse_term("f(a)")),
+            heap.encode(parse_term("g(a)")),
+        )
+
+    def test_ground_through_structure(self):
+        heap = Heap()
+        g = abs_cell(heap, S.GROUND)
+        struct_cell = heap.encode(parse_term("f(X, Y)"))
+        assert s_unify(heap, g, struct_cell)
+        for offset in (1, 2):
+            slot, _ = deref(heap, (REF, struct_cell[1] + offset))
+            assert slot[1][0] == S.GROUND
+
+
+class TestComplexTermInst:
+    def test_any_grows_any_children(self):
+        heap = Heap()
+        cell = complex_term_inst(heap, S.ANY, None, ("f", 2))
+        assert cell is not None and cell[0] == STR
+        for offset in (1, 2):
+            slot, _ = deref(heap, heap.cells[cell[1] + offset])
+            assert slot == (ABS, (S.ANY, None))
+
+    def test_ground_grows_ground_children(self):
+        heap = Heap()
+        cell = complex_term_inst(heap, S.GROUND, None, (".", 2))
+        assert cell is not None and cell[0] == LIS
+        slot, _ = deref(heap, heap.cells[cell[1]])
+        assert slot == (ABS, (S.GROUND, None))
+
+    def test_list_grows_elem_and_tail(self):
+        heap = Heap()
+        cell = complex_term_inst(heap, S.LIST, INTEGER_T, (".", 2))
+        assert cell is not None and cell[0] == LIS
+        head, _ = deref(heap, heap.cells[cell[1]])
+        tail, _ = deref(heap, heap.cells[cell[1] + 1])
+        assert head == (ABS, (S.INTEGER, None))
+        assert tail == (ABS, (S.LIST, INTEGER_T))
+
+    def test_list_with_structured_elem_materializes(self):
+        heap = Heap()
+        elem = make_struct_tree("pair", (INTEGER_T, ANY_T))
+        cell = complex_term_inst(heap, S.LIST, elem, (".", 2))
+        assert cell is not None
+        head, _ = deref(heap, heap.cells[cell[1]])
+        assert head[0] == STR
+
+    def test_const_cannot_grow(self):
+        heap = Heap()
+        assert complex_term_inst(heap, S.CONST, None, ("f", 1)) is None
+        assert complex_term_inst(heap, S.ATOM, None, (".", 2)) is None
+
+    def test_list_wrong_functor(self):
+        heap = Heap()
+        assert complex_term_inst(heap, S.LIST, GROUND_T, ("f", 1)) is None
+
+    def test_empty_list_cannot_grow(self):
+        heap = Heap()
+        assert complex_term_inst(heap, S.LIST, ("s", S.EMPTY), (".", 2)) is None

@@ -1,0 +1,181 @@
+"""Tests for the three baseline analyzers and their agreement with the
+compiled abstract WAM."""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.patterns import pattern_to_trees
+from repro.baselines import (
+    AbsStore,
+    MetaAnalyzer,
+    PrologAnalyzer,
+    TransformAnalyzer,
+    transform_program,
+)
+from repro.domain import AbsSort, GROUND_T, INTEGER_T, tree_leq, tree_lub
+from repro.errors import AnalysisError
+from repro.prolog import Program, normalize_program
+
+S = AbsSort
+
+
+def table_map(table):
+    return {
+        (indicator, entry.calling): entry.success
+        for indicator, entry in table.all_entries()
+    }
+
+
+def per_pred_success(table):
+    out = {}
+    for indicator, entry in table.all_entries():
+        if entry.success is None:
+            continue
+        trees = pattern_to_trees(entry.success)
+        if indicator in out:
+            out[indicator] = tuple(
+                tree_lub(a, b) for a, b in zip(out[indicator], trees)
+            )
+        else:
+            out[indicator] = trees
+    return out
+
+
+def assert_coarser_or_equal(fast_table, baseline_table):
+    fast = per_pred_success(fast_table)
+    base = per_pred_success(baseline_table)
+    for indicator, trees in fast.items():
+        assert indicator in base, f"baseline missing {indicator}"
+        for fast_tree, base_tree in zip(trees, base[indicator]):
+            assert tree_leq(fast_tree, base_tree), (
+                f"{indicator}: {fast_tree} not below {base_tree}"
+            )
+
+
+class TestAbsStore:
+    def test_copy_isolates(self):
+        store = AbsStore()
+        node = store.new_node(("sort", S.ANY))
+        snapshot = store.copy()
+        snapshot.nodes[node] = ("sort", S.GROUND)
+        assert store.nodes[node] == ("sort", S.ANY)
+
+    def test_unify_sorts(self):
+        store = AbsStore()
+        a = store.new_node(("sort", S.ANY))
+        b = store.new_node(("sort", S.GROUND))
+        assert store.s_unify(a, b)
+        _, value = store.walk(a)
+        assert value == ("sort", S.GROUND)
+
+    def test_unify_failure(self):
+        store = AbsStore()
+        a = store.new_node(("sort", S.ATOM))
+        b = store.new_node(("sort", S.INTEGER))
+        assert not store.s_unify(a, b)
+
+    def test_abstract_matches_pattern_module(self):
+        from repro.analysis.patterns import Pattern, canonicalize
+
+        store = AbsStore()
+        v = store.new_var()
+        pattern = store.abstract([v, v], 4)
+        assert pattern == canonicalize(
+            Pattern((("i", S.VAR, 0), ("i", S.VAR, 0)))
+        )
+
+    def test_materialize_roundtrip(self):
+        from repro.analysis.patterns import Pattern, canonicalize
+
+        store = AbsStore()
+        pattern = canonicalize(
+            Pattern((("i", S.GROUND, 0), ("li", INTEGER_T, 1)))
+        )
+        idents = store.materialize(pattern)
+        assert store.abstract(idents, 4) == pattern
+
+
+class TestMetaAnalyzer:
+    def test_matches_fast_path_exactly(self, append_nrev):
+        fast = Analyzer(append_nrev).analyze(["nrev(glist, var)"])
+        meta = MetaAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert table_map(fast.table) == table_map(meta.table)
+
+    def test_counts_interpretive_work(self, append_nrev):
+        meta = MetaAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert meta.store_copies > 0
+        assert meta.goals_interpreted > 0
+
+    def test_cut_program(self):
+        text = "max(X, Y, X) :- X >= Y, !. max(_, Y, Y)."
+        fast = Analyzer(text).analyze(["max(int, int, var)"])
+        meta = MetaAnalyzer(text).analyze(["max(int, int, var)"])
+        assert table_map(fast.table) == table_map(meta.table)
+
+    def test_no_entries_rejected(self, append_nrev):
+        with pytest.raises(AnalysisError):
+            MetaAnalyzer(append_nrev).analyze([])
+
+
+class TestPrologAnalyzer:
+    def test_nrev_sound_and_coarser(self, append_nrev):
+        fast = Analyzer(append_nrev).analyze(["nrev(glist, var)"])
+        baseline = PrologAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert_coarser_or_equal(fast.table, baseline.table)
+
+    def test_nrev_types_exact(self, append_nrev):
+        baseline = PrologAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        succ = per_pred_success(baseline.table)
+        assert succ[("nrev", 2)] == (("l", GROUND_T), ("l", GROUND_T))
+
+    def test_counts_resolution_steps(self, append_nrev):
+        baseline = PrologAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert baseline.resolution_steps > 100
+
+    def test_reserved_atoms_rejected(self):
+        with pytest.raises(AnalysisError):
+            PrologAnalyzer("p(any).")
+
+    def test_reserved_functor_rejected(self):
+        with pytest.raises(AnalysisError):
+            PrologAnalyzer("p(list(x)).")
+
+    def test_cut_program(self):
+        text = "max(X, Y, X) :- X >= Y, !. max(_, Y, Y)."
+        fast = Analyzer(text).analyze(["max(int, int, var)"])
+        baseline = PrologAnalyzer(text).analyze(["max(int, int, var)"])
+        assert_coarser_or_equal(fast.table, baseline.table)
+
+    def test_slower_than_compiled(self, append_nrev):
+        fast = Analyzer(append_nrev).analyze(["nrev(glist, var)"])
+        baseline = PrologAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert baseline.seconds > fast.seconds
+
+
+class TestTransformAnalyzer:
+    def test_transformation_shape(self, append_nrev):
+        program = normalize_program(Program.from_text(append_nrev))
+        transformed = transform_program(program)
+        names = {indicator[0] for indicator in transformed.indicators()}
+        assert "app$call" in names and "app$exp" in names
+        # Exploring predicate: one clause per source clause + terminator.
+        assert len(transformed.clauses(("app$exp", 2))) == 3
+
+    def test_update_and_fail_at_clause_end(self, append_nrev):
+        program = normalize_program(Program.from_text(append_nrev))
+        transformed = transform_program(program)
+        clause = transformed.clauses(("app$exp", 2))[0]
+        names = [
+            goal.name for goal in clause.body if goal.is_callable()
+        ]
+        assert names[-1] == "fail"
+        assert names[-2] == "$update"
+
+    def test_nrev_sound_and_coarser(self, append_nrev):
+        fast = Analyzer(append_nrev).analyze(["nrev(glist, var)"])
+        baseline = TransformAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert_coarser_or_equal(fast.table, baseline.table)
+
+    def test_table_keyed_by_source_predicates(self, append_nrev):
+        baseline = TransformAnalyzer(append_nrev).analyze(["nrev(glist, var)"])
+        assert ("nrev", 2) in {ind for ind, _ in baseline.table.all_entries()}

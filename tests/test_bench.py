@@ -1,0 +1,111 @@
+"""Tests for the benchmark programs and the Table 1 / Table 2 harnesses."""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.bench import (
+    BENCHMARKS,
+    TABLE1_BY_NAME,
+    format_table1,
+    format_table2,
+    get_benchmark,
+    measure_benchmark,
+    profile_program,
+    project_table2,
+)
+from repro.prolog import Program
+from repro.wam import compile_program
+
+
+class TestBenchmarkPrograms:
+    def test_eleven_benchmarks(self):
+        assert len(BENCHMARKS) == 11
+
+    def test_names_match_paper(self):
+        assert [b.name for b in BENCHMARKS] == [
+            "log10",
+            "ops8",
+            "times10",
+            "divide10",
+            "tak",
+            "nreverse",
+            "qsort",
+            "query",
+            "zebra",
+            "serialise",
+            "queens_8",
+        ]
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_parses_and_compiles(self, bench):
+        compiled = compile_program(Program.from_text(bench.source))
+        assert compiled.total_size() > 0
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_profile_matches_paper_args_preds(self, bench):
+        program = Program.from_text(bench.source)
+        compiled = compile_program(program)
+        profile = profile_program(bench.name, program, compiled)
+        paper = TABLE1_BY_NAME[bench.name]
+        assert profile.args == paper.args, "Args column must match the paper"
+        assert profile.preds == paper.preds, "Preds column must match the paper"
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_code_size_same_magnitude_as_paper(self, bench):
+        compiled = compile_program(Program.from_text(bench.source))
+        paper = TABLE1_BY_NAME[bench.name]
+        ratio = compiled.total_size() / paper.size
+        assert 0.4 < ratio < 3.5
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_analysis_succeeds(self, bench):
+        result = Analyzer(bench.source).analyze([bench.entry])
+        assert result.predicate(("main", 0)).can_succeed
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_exec_count_same_magnitude_as_paper(self, bench):
+        result = Analyzer(bench.source).analyze([bench.entry])
+        paper = TABLE1_BY_NAME[bench.name]
+        ratio = result.instructions_executed / paper.exec_count
+        assert 0.1 < ratio < 10
+
+    def test_get_benchmark(self):
+        assert get_benchmark("tak").name == "tak"
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+
+class TestHarness:
+    def test_measure_one_row_meta_baseline(self):
+        row = measure_benchmark(get_benchmark("tak"), repeats=1, baseline="meta")
+        assert row.name == "tak"
+        assert row.ours_seconds > 0
+        assert row.baseline_seconds > 0
+        assert row.size > 0
+        assert row.exec_count > 0
+
+    def test_format_table1(self):
+        row = measure_benchmark(get_benchmark("tak"), repeats=1, baseline="meta")
+        text = format_table1([row])
+        assert "tak" in text
+        assert "Speed-Up" in text
+        assert "average" in text
+        assert "paper" in text
+
+    def test_format_table1_without_paper(self):
+        row = measure_benchmark(get_benchmark("tak"), repeats=1, baseline="meta")
+        assert "paper" not in format_table1([row], show_paper=False)
+
+    def test_table2_projection(self):
+        row = measure_benchmark(get_benchmark("tak"), repeats=1, baseline="meta")
+        projected = project_table2([row])
+        assert len(projected) == 1
+        ratios = projected[0].ratios
+        # The SS2 column (index 9.0) must be 9x the 3/60 column (index 1).
+        assert ratios[-1] == pytest.approx(ratios[0] * 9.0)
+        text = format_table2(projected)
+        assert "tak" in text and "SS2" in text
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            measure_benchmark(get_benchmark("tak"), repeats=1, baseline="x")

@@ -1,0 +1,110 @@
+"""Tests for the command line entry points."""
+
+import pytest
+
+from repro.cli import main_analyze, main_prolog
+from tests.conftest import APPEND_NREV
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.pl"
+    path.write_text(APPEND_NREV)
+    return str(path)
+
+
+class TestAnalyzeCli:
+    def test_basic(self, program_file, capsys):
+        assert main_analyze([program_file, "nrev(glist, var)"]) == 0
+        out = capsys.readouterr().out
+        assert "nrev/2" in out
+
+    def test_table_flag(self, program_file, capsys):
+        main_analyze([program_file, "nrev(glist, var)", "--table"])
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_depth_flag(self, program_file, capsys):
+        main_analyze([program_file, "nrev(glist, var)", "--depth", "2"])
+        assert "depth 2" in capsys.readouterr().out
+
+    def test_multiple_entries(self, program_file, capsys):
+        main_analyze([program_file, "nrev(glist, var)", "app(var, var, glist)"])
+        assert "app/3" in capsys.readouterr().out
+
+
+class TestPrologCli:
+    def test_run_query(self, program_file, capsys):
+        assert main_prolog([program_file, "nrev([1,2,3], R)"]) == 0
+        assert "R = [3, 2, 1]" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, program_file, capsys):
+        assert main_prolog([program_file, "nrev(abc, R)"]) == 1
+        assert "false" in capsys.readouterr().out
+
+    def test_all_solutions(self, program_file, capsys):
+        main_prolog([program_file, "app(X, Y, [1, 2])", "--all"])
+        out = capsys.readouterr().out
+        assert out.count("X =") == 3
+
+    def test_solver_engine(self, program_file, capsys):
+        main_prolog([program_file, "nrev([1,2], R)", "--engine", "solver"])
+        assert "R = [2, 1]" in capsys.readouterr().out
+
+    def test_listing(self, program_file, capsys):
+        main_prolog([program_file, "--listing"])
+        out = capsys.readouterr().out
+        assert "nrev/2:" in out
+
+    def test_zero_arity_goal(self, tmp_path, capsys):
+        path = tmp_path / "hello.pl"
+        path.write_text("main :- write(hello), nl.")
+        main_prolog([str(path), "main"])
+        out = capsys.readouterr().out
+        assert "true" in out
+        assert "hello" in out
+
+    def test_library_flag(self, tmp_path, capsys):
+        path = tmp_path / "uses_lib.pl"
+        path.write_text("go(R) :- append([1], [2], R).")
+        main_prolog([str(path), "go(R)", "--library"])
+        assert "R = [1, 2]" in capsys.readouterr().out
+
+
+class TestAnalyzeClientFlags:
+    def test_parallel_flag(self, tmp_path, capsys):
+        path = tmp_path / "par.pl"
+        path.write_text("main :- p(X), q(X). p(1). q(_).")
+        main_analyze([str(path), "main", "--parallel"])
+        out = capsys.readouterr().out
+        assert "and-parallelism" in out
+        assert "ground(X)" in out
+
+    def test_deadcode_flag(self, tmp_path, capsys):
+        path = tmp_path / "dead.pl"
+        path.write_text("main :- p. p. orphan.")
+        main_analyze([str(path), "main", "--deadcode"])
+        assert "unreachable: orphan/0" in capsys.readouterr().out
+
+    def test_specialize_flag(self, program_file, capsys):
+        main_analyze([program_file, "nrev(glist, var)", "--specialize"])
+        assert "specialization" in capsys.readouterr().out
+
+    def test_subsumption_flag(self, program_file, capsys):
+        main_analyze([program_file, "nrev(glist, var)", "--subsumption"])
+        assert "nrev/2" in capsys.readouterr().out
+
+
+class TestJsonAndUndefinedFlags:
+    def test_json_flag(self, program_file, capsys):
+        import json
+
+        main_analyze([program_file, "nrev(glist, var)", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["predicates"]["nrev/2"]["modes"] == ["+g", "-"]
+
+    def test_on_undefined_flag(self, tmp_path, capsys):
+        path = tmp_path / "partial.pl"
+        path.write_text("main :- missing(X), p(X). p(_).")
+        main_analyze([str(path), "main", "--on-undefined", "top"])
+        assert "missing/1" in capsys.readouterr().out

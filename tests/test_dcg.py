@@ -1,0 +1,114 @@
+"""Tests for DCG translation."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog import Program, parse_term, term_to_text
+from repro.prolog.dcg import translate_dcg
+from repro.wam import Machine, compile_program
+from tests.conftest import solve_texts, wam_texts
+
+GRAMMAR = """
+greeting --> [hello], who.
+who --> [world].
+who --> [prolog].
+
+digits([D|T]) --> digit(D), digits(T).
+digits([D]) --> digit(D).
+digit(0'0) --> "0".
+digit(0'1) --> "1".
+
+ab --> [].
+ab --> [a], ab, [b].
+"""
+
+
+class TestTranslation:
+    def test_nonterminal_gains_two_args(self):
+        clause = translate_dcg(parse_term("s --> np, vp"))
+        assert clause.indicator == ("s", 2)
+        assert [g.indicator for g in clause.body] == [("np", 2), ("vp", 2)]
+
+    def test_terminal_list(self):
+        clause = translate_dcg(parse_term("d --> [the]"))
+        assert clause.body[0].name == "="
+        assert "the" in term_to_text(clause.body[0])
+
+    def test_empty_body(self):
+        clause = translate_dcg(parse_term("e --> []"))
+        goal = clause.body[0]
+        assert goal.name == "="
+
+    def test_curly_goal_does_not_consume(self):
+        clause = translate_dcg(parse_term("n(X) --> [a], {X is 1 + 1}"))
+        names = [g.name for g in clause.body]
+        assert "is" in names
+
+    def test_cut_preserved(self):
+        clause = translate_dcg(parse_term("c --> [x], !, [y]"))
+        assert any(term_to_text(g) == "!" for g in clause.body)
+
+    def test_threading_order(self):
+        clause = translate_dcg(parse_term("s --> a, b, c"))
+        # a: S0->X, b: X->Y, c: Y->S.
+        first, second, third = clause.body
+        assert first.args[1] is second.args[0]
+        assert second.args[1] is third.args[0]
+
+    def test_not_a_rule_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            translate_dcg(parse_term("p :- q"))
+
+    def test_variable_body_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            translate_dcg(parse_term("p --> X"))
+
+    def test_pushback(self):
+        clause = translate_dcg(parse_term("h, [t] --> [x]"))
+        assert clause.indicator == ("h", 2)
+
+
+class TestExecution:
+    def test_recognize(self):
+        assert wam_texts(GRAMMAR, "greeting([hello, world], [])") == [{}]
+        assert wam_texts(GRAMMAR, "greeting([hello, mars], [])") == []
+
+    def test_enumerate(self):
+        solutions = wam_texts(GRAMMAR, "greeting(L, [])")
+        assert len(solutions) == 2
+
+    def test_string_terminals(self):
+        assert wam_texts(GRAMMAR, 'digits(D, "101", [])') == [
+            {"D": "[49, 48, 49]"}
+        ]
+
+    def test_recursive_grammar(self):
+        assert wam_texts(GRAMMAR, "ab([a, a, b, b], [])") == [{}]
+        assert wam_texts(GRAMMAR, "ab([a, b, b], [])") == []
+
+    def test_solver_agrees(self):
+        for goal in ["greeting([hello, prolog], [])", "ab([a, b], [])"]:
+            assert (wam_texts(GRAMMAR, goal) == []) == (
+                solve_texts(GRAMMAR, goal) == []
+            )
+
+    def test_remainder_threading(self):
+        solutions = wam_texts(GRAMMAR, "greeting([hello, world, extra], R)")
+        assert solutions == [{"R": "[extra]"}]
+
+
+class TestAnalysisOfGrammars:
+    def test_grammar_modes(self):
+        from repro.analysis import analyze
+
+        result = analyze(GRAMMAR, "greeting(list(atom), [])")
+        modes = result.modes(("who", 2))
+        assert modes[0] == "+g"
+
+    def test_grammar_types(self):
+        from repro.analysis import analyze
+        from repro.domain import tree_to_text
+
+        result = analyze(GRAMMAR, "greeting(list(atom), var)")
+        success = result.success_types(("greeting", 2))
+        assert tree_to_text(success[0]) == "atom-list"

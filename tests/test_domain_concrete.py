@@ -1,0 +1,112 @@
+"""Tests for abstraction (α) and membership (γ) of concrete terms."""
+
+from repro.domain import (
+    ANY_T,
+    ATOM_T,
+    GROUND_T,
+    INTEGER_T,
+    NIL_T,
+    NV_T,
+    VAR_T,
+    abstract_term,
+    make_list_tree,
+    make_struct_tree,
+    summary_of_term,
+    tree_contains,
+)
+from repro.prolog import parse_term
+
+
+class TestAbstraction:
+    def test_atom(self):
+        assert abstract_term(parse_term("foo")) == ATOM_T
+
+    def test_nil_is_empty_list(self):
+        assert abstract_term(parse_term("[]")) == NIL_T
+
+    def test_integer(self):
+        assert abstract_term(parse_term("42")) == INTEGER_T
+
+    def test_variable(self):
+        assert abstract_term(parse_term("X")) == VAR_T
+
+    def test_ground_list(self):
+        assert abstract_term(parse_term("[1, 2, 3]")) == make_list_tree(
+            INTEGER_T
+        )
+
+    def test_mixed_list(self):
+        tree = abstract_term(parse_term("[1, a]"))
+        assert tree[0] == "l"
+
+    def test_long_list_stays_list(self):
+        # The paper: a 30-element ground list abstracts to glist, not to a
+        # depth-truncated cons tower.
+        term = parse_term("[" + ", ".join(str(i) for i in range(30)) + "]")
+        assert abstract_term(term, depth=4) == make_list_tree(INTEGER_T)
+
+    def test_structure(self):
+        assert abstract_term(parse_term("f(a, X)")) == make_struct_tree(
+            "f", (ATOM_T, VAR_T)
+        )
+
+    def test_depth_restriction(self):
+        deep = parse_term("f(g(h(i(j(k)))))")
+        tree = abstract_term(deep, depth=2)
+        assert tree[0] == "f"
+        inner = tree[3][0]
+        assert inner[3][0] == GROUND_T
+
+    def test_depth_zero_summary(self):
+        assert abstract_term(parse_term("f(X)"), depth=0) == NV_T
+        assert abstract_term(parse_term("f(a)"), depth=0) == GROUND_T
+
+    def test_partial_list_keeps_cons(self):
+        tree = abstract_term(parse_term("[a | T]"))
+        assert tree[0] == "f" and tree[1] == "."
+
+    def test_summary_of_term(self):
+        assert summary_of_term(parse_term("X")) == VAR_T
+        assert summary_of_term(parse_term("f(a)")) == GROUND_T
+        assert summary_of_term(parse_term("f(X)")) == NV_T
+
+
+class TestMembership:
+    def test_alpha_gamma_soundness_samples(self):
+        samples = [
+            "foo",
+            "42",
+            "[]",
+            "[1, 2]",
+            "f(a, g(1))",
+            "[a | T]",
+            "f(X, [Y])",
+        ]
+        for text in samples:
+            term = parse_term(text)
+            assert tree_contains(abstract_term(term), term)
+
+    def test_any_contains_everything(self):
+        for text in ["a", "1", "f(X)", "[1 | T]"]:
+            assert tree_contains(ANY_T, parse_term(text))
+
+    def test_ground(self):
+        assert tree_contains(GROUND_T, parse_term("f(a, [1])"))
+        assert not tree_contains(GROUND_T, parse_term("f(X)"))
+
+    def test_list_membership(self):
+        glist = make_list_tree(GROUND_T)
+        assert tree_contains(glist, parse_term("[]"))
+        assert tree_contains(glist, parse_term("[a, 1]"))
+        assert not tree_contains(glist, parse_term("[X]"))
+        assert not tree_contains(glist, parse_term("[a | T]"))
+
+    def test_struct_membership(self):
+        tree = make_struct_tree("f", (INTEGER_T,))
+        assert tree_contains(tree, parse_term("f(3)"))
+        assert not tree_contains(tree, parse_term("f(a)"))
+        assert not tree_contains(tree, parse_term("g(3)"))
+
+    def test_var_membership(self):
+        assert tree_contains(VAR_T, parse_term("X"))
+        assert not tree_contains(VAR_T, parse_term("a"))

@@ -1,0 +1,197 @@
+"""Tests for entry specs, the fixpoint driver, and the results API."""
+
+import pytest
+
+from repro.analysis import Analyzer, analyze
+from repro.analysis.driver import EntrySpec, parse_entry_spec
+from repro.domain import AbsSort, tree_to_text
+from repro.errors import AnalysisError
+
+S = AbsSort
+
+
+class TestEntrySpecs:
+    def test_zero_arity(self):
+        spec = parse_entry_spec("main")
+        assert spec.indicator == ("main", 0)
+        assert spec.pattern.args == ()
+
+    def test_sort_atoms(self):
+        spec = parse_entry_spec("p(any, nv, g, const, atom, int, var)")
+        sorts = [node[1] for node in spec.pattern.args]
+        assert sorts == [S.ANY, S.NV, S.GROUND, S.CONST, S.ATOM, S.INTEGER, S.VAR]
+
+    def test_ground_alias(self):
+        assert parse_entry_spec("p(ground)").pattern.args[0][1] == S.GROUND
+
+    def test_list_shorthands(self):
+        spec = parse_entry_spec("p(glist, intlist, anylist)")
+        kinds = [node[0] for node in spec.pattern.args]
+        assert kinds == ["li", "li", "li"]
+
+    def test_list_functor(self):
+        spec = parse_entry_spec("p(list(f(g)))")
+        node = spec.pattern.args[0]
+        assert node[0] == "li"
+        assert tree_to_text(node[1]) == "f(g)"
+
+    def test_structures(self):
+        spec = parse_entry_spec("p(f(g, var))")
+        assert spec.pattern.args[0][0] == "f"
+
+    def test_shared_variables_alias(self):
+        spec = parse_entry_spec("p(X, f(X))")
+        from repro.analysis.patterns import share_pairs
+
+        assert share_pairs(spec.pattern) == frozenset({(0, 1)})
+
+    def test_nil(self):
+        spec = parse_entry_spec("p([])")
+        assert spec.pattern.args[0][0] == "li"
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(AnalysisError):
+            parse_entry_spec("p(bogus)")
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(AnalysisError):
+            parse_entry_spec("42")
+
+    def test_spec_passthrough(self):
+        spec = parse_entry_spec("p(g)")
+        assert parse_entry_spec(spec) is spec
+
+
+class TestDriver:
+    def test_multiple_entries(self, append_nrev):
+        analyzer = Analyzer(append_nrev)
+        result = analyzer.analyze(["nrev(glist, var)", "app(var, var, glist)"])
+        assert len(result.table.entries_for(("app", 3))) >= 2
+
+    def test_no_entries_rejected(self, append_nrev):
+        with pytest.raises(AnalysisError):
+            Analyzer(append_nrev).analyze([])
+
+    def test_accepts_program_object(self, append_nrev):
+        from repro.prolog import Program
+
+        result = Analyzer(Program.from_text(append_nrev)).analyze(
+            ["nrev(glist, var)"]
+        )
+        assert result.iterations >= 1
+
+    def test_accepts_compiled_program(self, append_nrev):
+        from repro.prolog import Program
+        from repro.wam import compile_program
+
+        compiled = compile_program(Program.from_text(append_nrev))
+        result = Analyzer(compiled).analyze(["nrev(glist, var)"])
+        assert result.iterations >= 1
+
+    def test_depth_parameter(self, append_nrev):
+        shallow = analyze(append_nrev, "nrev(glist, var)", depth=1)
+        assert shallow.depth == 1
+
+    def test_seconds_recorded(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        assert result.seconds > 0
+
+
+class TestResultsApi:
+    def test_predicates_exclude_query_stubs(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        names = [ind[0] for ind in result.predicates()]
+        assert "nrev" in names and "app" in names
+        assert not any(name.startswith("$query") for name in names)
+
+    def test_unknown_predicate_info(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        assert result.predicate(("nothere", 9)) is None
+        assert result.modes(("nothere", 9)) == []
+
+    def test_argument_info(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        info = result.predicate(("nrev", 2))
+        assert info.arguments[0].mode == "+g"
+        assert info.arguments[1].mode == "-"
+
+    def test_info_cached(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        assert result.predicate(("nrev", 2)) is result.predicate(("nrev", 2))
+
+    def test_to_text_report(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        text = result.to_text()
+        assert "nrev/2" in text
+        assert "app/3" in text
+        assert "iteration" in text
+
+    def test_report_flags_never_succeeds(self):
+        result = analyze("p(a).", "p(int)")
+        assert "never succeeds" in result.to_text()
+
+    def test_table_text(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        assert "nrev/2" in result.table_text()
+
+    def test_zero_arity_report(self):
+        result = analyze("main. ", "main")
+        assert "main/0: succeeds" in result.to_text()
+
+    def test_aliasing_in_report(self):
+        result = analyze("eq(X, X).", "eq(var, var)")
+        assert "alias" in result.predicate(("eq", 2)).to_text()
+
+
+class TestUndefinedPolicy:
+    PARTIAL = "main :- helper(X), use(X). use(_)."
+
+    def test_error_default(self):
+        from repro.errors import PrologError
+
+        with pytest.raises(PrologError):
+            analyze(self.PARTIAL, "main")
+
+    def test_fail_policy(self):
+        result = analyze(self.PARTIAL, "main", on_undefined="fail")
+        assert not result.predicate(("main", 0)).can_succeed
+
+    def test_top_policy(self):
+        from repro.domain import ANY_T
+
+        result = analyze(self.PARTIAL, "main", on_undefined="top")
+        assert result.predicate(("main", 0)).can_succeed
+        assert result.success_types(("helper", 1)) == [ANY_T]
+
+    def test_top_policy_assumes_aliasing(self):
+        text = "main :- mystery(A, B), p(A), q(B). p(_). q(_)."
+        result = analyze(text, "main", on_undefined="top")
+        info = result.predicate(("mystery", 2))
+        assert (0, 1) in info.success_aliasing
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze(self.PARTIAL, "main", on_undefined="nonsense")
+
+
+class TestJsonView:
+    def test_to_dict_shape(self, append_nrev):
+        result = analyze(append_nrev, "nrev(glist, var)")
+        data = result.to_dict()
+        assert data["iterations"] >= 2
+        nrev = data["predicates"]["nrev/2"]
+        assert nrev["modes"] == ["+g", "-"]
+        assert nrev["success_types"] == ["g-list", "g-list"]
+        assert nrev["can_succeed"]
+
+    def test_to_dict_json_serializable(self, append_nrev):
+        import json
+
+        result = analyze(append_nrev, "nrev(glist, var)")
+        text = json.dumps(result.to_dict())
+        assert "g-list" in text
+
+    def test_failing_predicate_nulls(self):
+        result = analyze("p(a).", "p(int)")
+        data = result.to_dict()
+        assert data["predicates"]["p/1"]["success_types"] == [None]

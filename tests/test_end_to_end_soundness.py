@@ -1,0 +1,181 @@
+"""End-to-end soundness: the analysis over-approximates real execution.
+
+For a program P and a concrete goal g, every concrete answer produced by
+the WAM must be contained in the success pattern the analyzer computes for
+the abstraction of g.  This is the global safety statement of abstract
+interpretation, checked over fixed programs with generated inputs.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import Analyzer
+from repro.analysis.driver import EntrySpec
+from repro.analysis.patterns import Pattern, canonicalize, pattern_to_trees
+from repro.domain import abstract_term, tree_contains
+from repro.prolog import Program, parse_term, term_to_text
+from repro.prolog.terms import Term, Var, term_vars
+from repro.wam import Machine, compile_program
+
+import itertools
+
+
+def entry_from_goal(goal: Term) -> EntrySpec:
+    """Abstract a concrete goal into an entry spec (shared vars alias)."""
+    from repro.analysis.patterns import tree_to_node
+    from repro.domain import AbsSort
+    from repro.prolog.terms import Struct, indicator_of
+
+    counter = itertools.count()
+    var_ids = {}
+    nodes = []
+    arguments = goal.args if isinstance(goal, Struct) else ()
+    for argument in arguments:
+        if isinstance(argument, Var):
+            ident = var_ids.get(id(argument))
+            if ident is None:
+                ident = next(counter)
+                var_ids[id(argument)] = ident
+            nodes.append(("i", AbsSort.VAR, ident))
+        else:
+            nodes.append(tree_to_node(abstract_term(argument), counter))
+    return EntrySpec(indicator_of(goal), canonicalize(Pattern(tuple(nodes))))
+
+
+def check_soundness(program_text: str, goal_text: str, max_solutions=20):
+    """Run concretely and abstractly; assert answers ∈ success pattern."""
+    program = Program.from_text(program_text)
+    goal = parse_term(goal_text)
+    machine = Machine(compile_program(program))
+    answers = []
+    for solution in machine.run(goal):
+        answers.append({k: v for k, v in solution.items()})
+        if len(answers) >= max_solutions:
+            break
+
+    spec = entry_from_goal(goal)
+    result = Analyzer(program).analyze([spec])
+    entry = result.table.find(spec.indicator, spec.pattern)
+    assert entry is not None
+
+    if not answers:
+        return  # concrete failure needs nothing from the analysis
+    assert entry.success is not None, (
+        f"analysis claims {goal_text} cannot succeed, but it does"
+    )
+    success_trees = pattern_to_trees(entry.success)
+    goal_args = goal.args
+    variables = {v.name: i for i, v in enumerate(term_vars(goal))}
+    for answer in answers:
+        # Substitute the answer back into the goal arguments and check
+        # each against the success pattern component.
+        from repro.prolog.terms import Struct, rename_term
+
+        def substitute(term):
+            if isinstance(term, Var):
+                return answer.get(term.name, term)
+            if isinstance(term, Struct):
+                return Struct(term.name, tuple(substitute(a) for a in term.args))
+            return term
+
+        for position, argument in enumerate(goal_args):
+            concrete = substitute(argument)
+            assert tree_contains(success_trees[position], concrete), (
+                f"answer arg {position + 1} = {term_to_text(concrete)} "
+                f"escapes success type "
+                f"{success_trees[position]} for {goal_text}"
+            )
+
+
+LIST_PROGRAM = """
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+rev([], []).
+rev([H|T], R) :- rev(T, RT), app(RT, [H], R).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+pal(L) :- rev(L, L).
+"""
+
+SORT_PROGRAM = """
+qsort([], R, R).
+qsort([X|L], R0, R) :-
+    part(L, X, L1, L2), qsort(L2, R1, R), qsort(L1, R0, [X|R1]).
+part([], _, [], []).
+part([X|L], Y, [X|L1], L2) :- X =< Y, !, part(L, Y, L1, L2).
+part([X|L], Y, L1, [X|L2]) :- part(L, Y, L1, L2).
+"""
+
+MEMBER_PROGRAM = """
+mem(X, [X|_]).
+mem(X, [_|T]) :- mem(X, T).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+"""
+
+
+class TestFixedGoals:
+    @pytest.mark.parametrize(
+        "goal",
+        [
+            "app([1, 2], [a], R)",
+            "app(X, Y, [1, 2, 3])",
+            "rev([1, 2, 3], R)",
+            "len([a, b, c], N)",
+            "pal([1, 2, 1])",
+            "app([X], [Y], R)",
+        ],
+    )
+    def test_list_program(self, goal):
+        check_soundness(LIST_PROGRAM, goal)
+
+    @pytest.mark.parametrize(
+        "goal",
+        [
+            "qsort([3, 1, 2], S, [])",
+            "qsort([], S, [])",
+            "qsort([5, 5, 5], S, [])",
+        ],
+    )
+    def test_sort_program(self, goal):
+        check_soundness(SORT_PROGRAM, goal)
+
+    @pytest.mark.parametrize(
+        "goal",
+        [
+            "mem(X, [1, a, f(b)])",
+            "mem(2, [1, 2, 3])",
+            "sel(X, [1, 2, 3], R)",
+            "sel(a, L, [b, c])",
+        ],
+    )
+    def test_member_program(self, goal):
+        check_soundness(MEMBER_PROGRAM, goal)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), max_size=5))
+def test_reverse_generated(items):
+    goal = "rev([" + ", ".join(str(i) for i in items) + "], R)"
+    check_soundness(LIST_PROGRAM, goal)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=5))
+def test_qsort_generated(items):
+    goal = "qsort([" + ", ".join(str(i) for i in items) + "], S, [])"
+    check_soundness(SORT_PROGRAM, goal)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["a", "b", "1", "f(a)", "[c]"]),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_member_generated(items):
+    goal = "mem(X, [" + ", ".join(items) + "])"
+    check_soundness(MEMBER_PROGRAM, goal)

@@ -1,0 +1,161 @@
+"""Edge cases: error types, code-area linking, operator table updates."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CompileError,
+    MachineError,
+    PrologError,
+    PrologSyntaxError,
+    ReproError,
+)
+from repro.prolog import OperatorTable, Program, parse_term
+from repro.prolog.terms import Atom
+from repro.wam import compile_predicate
+from repro.wam.code import CodeArea, PredicateCode
+from repro.wam.instructions import Instr, Label, label_marker, proceed
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            PrologSyntaxError,
+            PrologError,
+            CompileError,
+            MachineError,
+            AnalysisError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_syntax_error_position(self):
+        error = PrologSyntaxError("bad", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+
+    def test_syntax_error_without_position(self):
+        assert "line" not in str(PrologSyntaxError("oops"))
+
+    def test_prolog_error_kind(self):
+        error = PrologError("type_error", "not a list")
+        assert error.kind == "type_error"
+        assert "type_error" in str(error)
+
+
+class TestCodeAreaLinking:
+    def unit(self, name, instructions):
+        return PredicateCode((name, 0), instructions, 1, [])
+
+    def test_duplicate_predicate_rejected(self):
+        code = CodeArea()
+        code.link([self.unit("p", [proceed()])])
+        with pytest.raises(CompileError):
+            code.link([self.unit("p", [proceed()])])
+
+    def test_duplicate_label_rejected(self):
+        code = CodeArea()
+        unit = self.unit(
+            "p", [label_marker(Label("a")), label_marker(Label("a")), proceed()]
+        )
+        with pytest.raises(CompileError):
+            code.link([unit])
+
+    def test_undefined_label_rejected(self):
+        code = CodeArea()
+        unit = self.unit("p", [Instr("try_me_else", (Label("missing"),))])
+        with pytest.raises(CompileError):
+            code.link([unit])
+
+    def test_labels_resolved_to_addresses(self):
+        code = CodeArea()
+        unit = self.unit(
+            "p",
+            [
+                Instr("try_me_else", (Label("end"),)),
+                proceed(),
+                label_marker(Label("end")),
+                proceed(),
+            ],
+        )
+        code.link([unit])
+        assert code.at(0).args[0] == 2
+
+    def test_incremental_linking(self):
+        code = CodeArea()
+        code.link([self.unit("p", [proceed()])])
+        code.link([self.unit("q", [proceed()])])
+        assert code.entry[("q", 0)] == 1
+
+    def test_predicate_at(self):
+        code = CodeArea()
+        code.link([self.unit("p", [proceed(), proceed()])])
+        code.link([self.unit("q", [proceed()])])
+        assert code.predicate_at(0) == ("p", 0)
+        assert code.predicate_at(1) == ("p", 0)
+        assert code.predicate_at(2) == ("q", 0)
+
+    def test_size_of(self):
+        code = CodeArea()
+        code.link([self.unit("p", [proceed(), proceed()])])
+        code.link([self.unit("q", [proceed()])])
+        assert code.size_of(("p", 0)) == 2
+        assert code.size_of(("q", 0)) == 1
+
+
+class TestOperatorTable:
+    def test_add_and_use(self):
+        table = OperatorTable()
+        table.add(700, "xfx", "~~>")
+        assert parse_term("a ~~> b", table).name == "~~>"
+
+    def test_remove_with_priority_zero(self):
+        table = OperatorTable()
+        table.add(0, "xfx", "<")
+        with pytest.raises(Exception):
+            parse_term("1 < 2", table)
+
+    def test_priority_range_checked(self):
+        table = OperatorTable()
+        with pytest.raises(ValueError):
+            table.add(5000, "xfx", "bad")
+
+    def test_bad_kind_rejected(self):
+        table = OperatorTable()
+        with pytest.raises(ValueError):
+            table.add(700, "zzz", "bad")
+
+    def test_is_operator(self):
+        table = OperatorTable()
+        assert table.is_operator("+")
+        assert not table.is_operator("plainatom")
+
+    def test_postfix_definition(self):
+        table = OperatorTable()
+        table.add(500, "xf", "!!")
+        definition = table.postfix("!!")
+        assert definition is not None and definition.is_postfix
+
+    def test_argument_priorities(self):
+        table = OperatorTable()
+        definition = table.infix("+")
+        assert definition.argument_priorities() == (500, 499)
+
+
+class TestCliTableMains:
+    def test_table1_main_small(self, capsys):
+        from repro.bench.table1 import main
+
+        assert main(["tak", "--repeats", "1", "--baseline", "meta"]) == 0
+        out = capsys.readouterr().out
+        assert "tak" in out and "Speed-Up" in out
+
+    def test_table2_main_small(self, capsys):
+        from repro.bench.table2 import main
+
+        assert (
+            main(["tak", "--repeats", "1", "--baseline", "meta", "--no-paper"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SS2" in out

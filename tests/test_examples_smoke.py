@@ -1,0 +1,73 @@
+"""Every example script runs successfully and prints its headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "[5, 4, 3, 2, 1]" in out
+    assert "nrev/2" in out
+    assert "['+g', '+g', '-']" in out
+
+
+def test_paper_example():
+    out = run_example("paper_example.py")
+    assert "get_structure f/1, X3" in out
+    assert "updateET p/2(atom, g-list)" in out
+    assert "p/2(atom, g-list) -> (atom, g-list)" in out
+
+
+def test_analyze_benchmarks_subset():
+    out = run_example("analyze_benchmarks.py", "tak")
+    assert "tak/4" in out
+    assert "iteration" in out
+
+
+def test_optimize_with_analysis():
+    out = run_example("optimize_with_analysis.py", "nreverse")
+    assert "specialization" in out
+    assert "ground" in out
+
+
+def test_parallelize_default():
+    out = run_example("parallelize.py")
+    assert "work(M, L)  &  work(M, R): independent" in out
+
+
+def test_compare_analyzers():
+    out = run_example("compare_analyzers.py", "tak")
+    assert "abstract WAM (compiled)" in out
+    assert "Prolog-hosted analyzer" in out
+
+
+@pytest.mark.slow
+def test_reproduce_table1_subset():
+    out = run_example(
+        "reproduce_table1.py", "tak", "--repeats", "1", timeout=300
+    )
+    assert "Table 1" in out
+    assert "tak" in out
+
+
+def test_dcg_grammar():
+    out = run_example("dcg_grammar.py")
+    assert "s(np(d(the), n(cat)), vp(v(sees), np(d(a), n(dog))))" in out
+    assert "generates 40 sentences" in out
+    assert "sentence/3" in out

@@ -1,0 +1,60 @@
+"""Tests for the solver's all-solutions builtins."""
+
+import pytest
+
+from tests.conftest import solve_texts
+
+PROGRAM = """
+p(1). p(2). p(3).
+q(a, 1). q(b, 2).
+loop(X) :- p(X).
+"""
+
+
+class TestFindall:
+    def test_collects_in_order(self):
+        assert solve_texts(PROGRAM, "findall(X, p(X), L)")[0]["L"] == "[1, 2, 3]"
+
+    def test_template_shaping(self):
+        result = solve_texts(PROGRAM, "findall(K-V, q(K, V), L)")
+        assert result[0]["L"] == "[a - 1, b - 2]"
+
+    def test_empty_on_failure(self):
+        assert solve_texts(PROGRAM, "findall(X, q(z, X), L)")[0]["L"] == "[]"
+
+    def test_bindings_not_leaked(self):
+        result = solve_texts(PROGRAM, "(findall(X, p(X), _), X = free)")
+        assert result[0]["X"] == "free"
+
+    def test_nested_findall(self):
+        result = solve_texts(
+            PROGRAM, "findall(L, (q(K, _), findall(X, p(X), L)), Ls)"
+        )
+        assert result[0]["Ls"] == "[[1, 2, 3], [1, 2, 3]]"
+
+    def test_unifies_with_given_list(self):
+        assert solve_texts(PROGRAM, "findall(X, p(X), [1, 2, 3])") != []
+        assert solve_texts(PROGRAM, "findall(X, p(X), [9])") == []
+
+
+class TestForall:
+    def test_holds(self):
+        assert solve_texts(PROGRAM, "forall(p(X), X > 0)") != []
+
+    def test_fails(self):
+        assert solve_texts(PROGRAM, "forall(p(X), X > 1)") == []
+
+    def test_vacuous(self):
+        assert solve_texts(PROGRAM, "forall(q(zzz, _), fail)") != []
+
+    def test_no_bindings_leak(self):
+        result = solve_texts(PROGRAM, "(forall(p(X), X > 0), X = ok)")
+        assert result[0]["X"] == "ok"
+
+
+class TestCount:
+    def test_counts(self):
+        assert solve_texts(PROGRAM, "'$count'(p(_), N)")[0]["N"] == "3"
+
+    def test_zero(self):
+        assert solve_texts(PROGRAM, "'$count'(q(z, _), N)")[0]["N"] == "0"

@@ -1,0 +1,105 @@
+"""Tests for the Prolog library predicates (on both engines)."""
+
+import pytest
+
+from repro.prolog import Solver, parse_term, term_to_text
+from repro.prolog.library import library_program, with_library
+from repro.wam import Machine, compile_program
+
+DUMMY = "dummy_marker."
+
+
+def run_lib(goal_text, engine="wam", program_text=DUMMY, limit=50):
+    program = with_library(program_text)
+    if engine == "wam":
+        source = Machine(compile_program(program))
+        solutions = source.run(parse_term(goal_text))
+    else:
+        source = Solver(program)
+        solutions = source.solve(parse_term(goal_text))
+    results = []
+    for solution in solutions:
+        results.append({k: term_to_text(v) for k, v in solution.items()})
+        if len(results) >= limit:
+            break
+    return results
+
+
+@pytest.mark.parametrize("engine", ["wam", "solver"])
+class TestListPredicates:
+    def test_append(self, engine):
+        assert run_lib("append([1], [2, 3], R)", engine) == [{"R": "[1, 2, 3]"}]
+
+    def test_append_splits(self, engine):
+        assert len(run_lib("append(X, Y, [a, b])", engine)) == 3
+
+    def test_member(self, engine):
+        assert [s["X"] for s in run_lib("member(X, [a, b])", engine)] == [
+            "a",
+            "b",
+        ]
+
+    def test_memberchk_deterministic(self, engine):
+        assert run_lib("memberchk(a, [a, a, a])", engine) == [{}]
+
+    def test_reverse(self, engine):
+        assert run_lib("reverse([1, 2, 3], R)", engine) == [{"R": "[3, 2, 1]"}]
+
+    def test_length(self, engine):
+        assert run_lib("length([a, b, c], N)", engine) == [{"N": "3"}]
+
+    def test_nth0_nth1(self, engine):
+        assert run_lib("nth0(1, [a, b, c], E)", engine) == [{"E": "b"}]
+        assert run_lib("nth1(1, [a, b, c], E)", engine) == [{"E": "a"}]
+
+    def test_last(self, engine):
+        assert run_lib("last([1, 2, 3], X)", engine) == [{"X": "3"}]
+
+    def test_select(self, engine):
+        results = run_lib("select(X, [1, 2, 3], R)", engine)
+        assert {s["X"] for s in results} == {"1", "2", "3"}
+
+    def test_permutation_count(self, engine):
+        assert len(run_lib("permutation([1, 2, 3], P)", engine)) == 6
+
+    def test_between(self, engine):
+        assert [s["X"] for s in run_lib("between(2, 5, X)", engine)] == [
+            "2",
+            "3",
+            "4",
+            "5",
+        ]
+
+    def test_sum_list(self, engine):
+        assert run_lib("sum_list([1, 2, 3, 4], S)", engine) == [{"S": "10"}]
+
+    def test_max_min_list(self, engine):
+        assert run_lib("max_list([3, 9, 2], M)", engine) == [{"M": "9"}]
+        assert run_lib("min_list([3, 9, 2], M)", engine) == [{"M": "2"}]
+
+    def test_msort(self, engine):
+        assert run_lib("msort([3, 1, 2, 1], S)", engine) == [
+            {"S": "[1, 1, 2, 3]"}
+        ]
+
+
+class TestLibraryMerging:
+    def test_program_overrides_library(self):
+        text = "member(X, _) :- X = always."
+        results = run_lib("member(X, [a])", "solver", program_text=text)
+        assert results == [{"X": "always"}]
+
+    def test_library_program_parses(self):
+        program = library_program()
+        assert program.predicate(("append", 3)) is not None
+
+    def test_library_analyzable(self):
+        from repro.analysis import Analyzer
+
+        result = Analyzer(with_library(DUMMY)).analyze(
+            ["append(glist, glist, var)"]
+        )
+        types = [
+            t for t in result.success_types(("append", 3)) if t is not None
+        ]
+        assert len(types) == 3

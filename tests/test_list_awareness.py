@@ -1,0 +1,65 @@
+"""Tests for the list-awareness ablation (the α-list type switch)."""
+
+from repro.analysis import analyze
+from repro.domain import tree_to_text
+from tests.conftest import APPEND_NREV
+
+
+def success_text(result, indicator, position):
+    tree = result.success_types(indicator)[position]
+    return tree_to_text(tree) if tree is not None else "fail"
+
+
+class TestListAware:
+    def test_aware_keeps_list_types(self):
+        result = analyze(APPEND_NREV, "nrev(glist, var)")
+        assert success_text(result, ("nrev", 2), 1) == "g-list"
+
+    def test_blind_degrades_to_simple_sorts(self):
+        result = analyze(
+            APPEND_NREV, "nrev(list(g), var)", list_aware=False
+        )
+        text = success_text(result, ("nrev", 2), 1)
+        assert "list" not in text
+
+    def test_blind_still_sound_groundness(self):
+        from repro.domain import GROUND_T, tree_leq
+
+        result = analyze(
+            APPEND_NREV, "nrev(list(g), var)", list_aware=False
+        )
+        tree = result.success_types(("nrev", 2))[1]
+        # Precision drops but groundness must survive.
+        assert tree_leq(tree, GROUND_T)
+
+    def test_blind_nil_is_atom(self):
+        result = analyze("p([]).", "p(var)", list_aware=False)
+        assert success_text(result, ("p", 1), 0) == "atom"
+
+    def test_aware_nil_is_empty_list(self):
+        result = analyze("p([]).", "p(var)")
+        assert success_text(result, ("p", 1), 0) == "[]"
+
+    def test_blind_terminates_on_benchmarks(self):
+        from repro.bench import get_benchmark
+
+        for name in ["nreverse", "qsort", "serialise"]:
+            bench = get_benchmark(name)
+            result = analyze(bench.source, bench.entry, list_aware=False)
+            assert result.iterations < 30
+
+    def test_blind_coarser_or_equal_where_comparable(self):
+        from repro.domain import tree_leq
+
+        aware = analyze(APPEND_NREV, "app(glist, glist, var)")
+        blind = analyze(
+            APPEND_NREV, "app(list(g), list(g), var)", list_aware=False
+        )
+        for fine, coarse in zip(
+            aware.success_types(("app", 3)), blind.success_types(("app", 3))
+        ):
+            # Not pointwise-comparable in general (cons fragments), but
+            # groundness must agree here.
+            from repro.domain import GROUND_T
+
+            assert tree_leq(fine, GROUND_T) == tree_leq(coarse, GROUND_T)

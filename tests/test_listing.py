@@ -1,0 +1,78 @@
+"""Tests for WAM code listings."""
+
+from repro.prolog import Program, parse_term
+from repro.wam import compile_program, disassemble
+from repro.wam.instructions import (
+    Instr,
+    Label,
+    call,
+    get_constant,
+    get_structure,
+    get_variable,
+    put_variable,
+    switch_on_term,
+    xreg,
+    yreg,
+)
+from repro.wam.listing import format_instruction
+
+
+class TestFormatInstruction:
+    def test_get_constant(self):
+        instr = get_constant(parse_term("a"), 1)
+        assert format_instruction(instr) == "get_constant a, A1"
+
+    def test_quoted_constant(self):
+        instr = get_constant(parse_term("'hello world'"), 2)
+        assert format_instruction(instr) == "get_constant 'hello world', A2"
+
+    def test_get_structure_with_arity_hint(self):
+        instr = get_structure(("f", 2), xreg(1))
+        assert format_instruction(instr, arity=2) == "get_structure f/2, A1"
+        assert format_instruction(instr) == "get_structure f/2, X1"
+
+    def test_registers(self):
+        assert format_instruction(get_variable(yreg(3), 1)) == (
+            "get_variable Y3, A1"
+        )
+        assert format_instruction(put_variable(xreg(5), 2)) == (
+            "put_variable X5, A2"
+        )
+
+    def test_call_with_live_count(self):
+        assert format_instruction(call(("foo", 2), 3)) == "call foo/2, 3"
+
+    def test_switch(self):
+        instr = switch_on_term(Label("v"), -1, Label("l"), -1)
+        text = format_instruction(instr)
+        assert text.startswith("switch_on_term")
+        assert "-1" in text
+
+    def test_no_arg_ops(self):
+        assert format_instruction(Instr("proceed", ())) == "proceed"
+        assert format_instruction(Instr("trust_me", ())) == "trust_me"
+
+
+class TestDisassemble:
+    def test_whole_program(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        text = disassemble(compiled.code)
+        assert "app/3:" in text
+        assert "nrev/2:" in text
+        assert "halt" in text
+
+    def test_single_predicate(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        text = disassemble(compiled.code, ("app", 3))
+        assert "app/3:" in text
+        assert "nrev/2:" not in text
+
+    def test_addresses_present(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        entry = compiled.code.entry[("app", 3)]
+        assert f"{entry:5d}" in disassemble(compiled.code, ("app", 3))
+
+    def test_arity_hint_applied(self):
+        compiled = compile_program(Program.from_text("p(a, b)."))
+        text = disassemble(compiled.code, ("p", 2))
+        assert "A1" in text and "A2" in text

@@ -1,0 +1,65 @@
+"""Tests for the WAM-code specializer (the analysis client)."""
+
+from repro.analysis import Analyzer
+from repro.optimize import specialize
+from repro.prolog import Program
+from repro.wam import compile_program
+
+
+def specialization_for(text, entry):
+    compiled = compile_program(Program.from_text(text))
+    result = Analyzer(compiled).analyze([entry])
+    return specialize(compiled, result)
+
+
+class TestSpecialization:
+    def test_ground_argument_annotations(self, append_nrev):
+        report = specialization_for(append_nrev, "nrev(glist, var)")
+        assert report.count("ground") > 0
+
+    def test_write_only_annotations(self, append_nrev):
+        # nrev's second argument is always unbound at call time.
+        report = specialization_for(append_nrev, "nrev(glist, var)")
+        assert report.count("write_only") > 0
+
+    def test_no_annotations_without_information(self):
+        report = specialization_for("p(f(X)).", "p(any)")
+        assert report.count("ground") == 0
+        assert report.count("write_only") == 0
+
+    def test_nonvar_annotations(self):
+        report = specialization_for("p(f(X)).", "p(nv)")
+        assert report.count("nonvar") > 0
+
+    def test_total_saving_positive(self, append_nrev):
+        report = specialization_for(append_nrev, "nrev(glist, var)")
+        assert report.total_saving > 0
+
+    def test_deterministic_detection(self):
+        text = """
+        kind(a, 1).
+        kind(b, 2).
+        kind([], 3).
+        main :- kind(a, _).
+        """
+        report = specialization_for(text, "main")
+        assert ("kind", 2) in report.deterministic_predicates
+
+    def test_var_clauses_not_deterministic(self):
+        text = """
+        p(a). p(X).
+        main :- p(a).
+        """
+        report = specialization_for(text, "main")
+        assert ("p", 1) not in report.deterministic_predicates
+
+    def test_report_text(self, append_nrev):
+        report = specialization_for(append_nrev, "nrev(glist, var)")
+        text = report.to_text()
+        assert "specialization" in text
+        assert "ground" in text
+
+    def test_instructions_seen_counts(self, append_nrev):
+        report = specialization_for(append_nrev, "nrev(glist, var)")
+        assert report.instructions_seen > 10
+        assert len(report.annotations) <= report.instructions_seen

@@ -1,0 +1,79 @@
+"""Reproductions of the paper's worked example (Figures 2 and 3).
+
+Figure 2: the WAM code for the head of ``p(a, [f(V)|L])``.
+Figure 3: the same code reinterpreted over the calling pattern
+``p(atom, glist₁)``, ending in the substitution
+``{glist₁/[f(g₂)|glist₂], L/glist₂, V/g₂}``.
+"""
+
+from repro.analysis import analyze
+from repro.analysis.patterns import pattern_to_trees
+from repro.domain import AbsSort, tree_to_text
+from repro.prolog import Clause, parse_term
+from repro.wam import compile_clause
+from repro.wam.listing import format_instruction
+
+PAPER_CLAUSE = "p(a, [f(V)|L]) :- true"
+
+
+class TestFigure2:
+    def test_instruction_sequence(self):
+        code = compile_clause(Clause.from_term(parse_term(PAPER_CLAUSE)))
+        rendered = [format_instruction(i, arity=2) for i in code]
+        assert rendered == [
+            "get_constant a, A1",
+            "get_list A2",
+            "unify_variable X3",
+            "unify_variable X4",
+            "get_structure f/1, X3",
+            "unify_variable X5",
+            "proceed",
+        ]
+
+    def test_figure2_instruction_groups(self):
+        # One get per head argument level, unify for subterms, in the
+        # paper's breadth-first order: list level before the f/1 level.
+        code = compile_clause(Clause.from_term(parse_term(PAPER_CLAUSE)))
+        ops = [i.op for i in code]
+        assert ops.index("get_list") < ops.index("get_structure")
+
+
+class TestFigure3:
+    def test_abstract_execution_of_paper_example(self):
+        # call p(atom, glist): the head succeeds and the success pattern
+        # is the lub-free single-clause result: the first argument stays
+        # atom, the second becomes [f(g)|g-list] — re-summarized by the
+        # pattern abstraction to g-list with a ground element.
+        result = analyze("p(a, [f(V)|L]).", "p(atom, glist)")
+        info = result.predicate(("p", 2))
+        assert info.can_succeed
+        success = [tree_to_text(t) for t in result.success_types(("p", 2))]
+        assert success[0] == "atom"
+        assert success[1] == "g-list"
+
+    def test_step_2_1_get_list_instantiates_glist(self):
+        # Isolate step (2.1): glist <- [g1 | glist2].
+        result = analyze("q([Car|Cdr], Car, Cdr).", "q(glist, var, var)")
+        success = [tree_to_text(t) for t in result.success_types(("q", 3))]
+        assert success[1] == "g"       # Car: the car of glist is g
+        assert success[2] == "g-list"  # Cdr: the cdr is glist again
+
+    def test_step_2_2_get_struct_instantiates_g(self):
+        # Isolate step (2.2): g1 <- f(g2).
+        result = analyze("r(f(V), V).", "r(g, var)")
+        success = [tree_to_text(t) for t in result.success_types(("r", 2))]
+        assert success[0] == "f(g)"
+        assert success[1] == "g"
+
+    def test_calling_pattern_recorded_verbatim(self):
+        result = analyze("p(a, [f(V)|L]).", "p(atom, glist)")
+        entries = result.table.entries_for(("p", 2))
+        assert len(entries) == 1
+        calling = pattern_to_trees(entries[0].calling)
+        assert tree_to_text(calling[0]) == "atom"
+        assert tree_to_text(calling[1]) == "g-list"
+
+    def test_wrong_constant_fails_step_1(self):
+        # get_const a with an integer calling pattern must fail.
+        result = analyze("p(a, [f(V)|L]).", "p(int, glist)")
+        assert not result.predicate(("p", 2)).can_succeed

@@ -1,0 +1,216 @@
+"""Tests for calling/success patterns: abstraction, sharing, lub."""
+
+from repro.analysis.aheap import make_abs
+from repro.analysis.patterns import (
+    Pattern,
+    abstract_cells,
+    canonicalize,
+    materialize_pattern,
+    pattern_leq,
+    pattern_lub,
+    pattern_to_text,
+    pattern_to_trees,
+    share_pairs,
+)
+from repro.domain import ANY_T, AbsSort, GROUND_T, INTEGER_T
+from repro.prolog import parse_term
+from repro.wam.cells import CON, Heap
+
+S = AbsSort
+
+
+def pattern_of(*cells_spec):
+    """Build a pattern from heap cells described by spec functions."""
+    heap = Heap()
+    cells = [build(heap) for build in cells_spec]
+    return abstract_cells(heap, cells), heap
+
+
+class TestAbstraction:
+    def test_unbound_var(self):
+        heap = Heap()
+        pattern = abstract_cells(heap, [heap.new_var()])
+        assert pattern.args == (("i", S.VAR, 0),)
+
+    def test_shared_var(self):
+        heap = Heap()
+        v = heap.new_var()
+        pattern = abstract_cells(heap, [v, v])
+        assert pattern.args[0][2] == pattern.args[1][2]
+
+    def test_distinct_vars(self):
+        heap = Heap()
+        pattern = abstract_cells(heap, [heap.new_var(), heap.new_var()])
+        assert pattern.args[0][2] != pattern.args[1][2]
+
+    def test_abs_cell(self):
+        heap = Heap()
+        pattern = abstract_cells(heap, [make_abs(heap, S.GROUND)])
+        assert pattern.args == (("i", S.GROUND, 0),)
+
+    def test_shared_abs(self):
+        heap = Heap()
+        cell = make_abs(heap, S.ANY)
+        pattern = abstract_cells(heap, [cell, cell])
+        assert str(pattern) == "(any_0, any_0)"
+
+    def test_constants(self):
+        heap = Heap()
+        pattern = abstract_cells(
+            heap,
+            [heap.encode(parse_term("foo")), heap.encode(parse_term("42"))],
+        )
+        assert pattern.args[0][:2] == ("i", S.ATOM)
+        assert pattern.args[1][:2] == ("i", S.INTEGER)
+
+    def test_ground_list_becomes_glist(self):
+        heap = Heap()
+        cell = heap.encode(parse_term("[1, 2, 3]"))
+        pattern = abstract_cells(heap, [cell])
+        assert pattern.args[0][:2] == ("li", INTEGER_T)
+
+    def test_long_list_no_depth_blowup(self):
+        heap = Heap()
+        text = "[" + ", ".join(["a"] * 40) + "]"
+        pattern = abstract_cells(heap, [heap.encode(parse_term(text))])
+        assert pattern.args[0][0] == "li"
+
+    def test_structure_with_shared_subterm(self):
+        heap = Heap()
+        struct = heap.encode(parse_term("f(X, X)"))
+        pattern = abstract_cells(heap, [struct])
+        node = pattern.args[0]
+        assert node[0] == "f"
+        assert node[3][0][2] == node[3][1][2]  # shared instance ids
+
+    def test_cross_argument_structure_sharing(self):
+        heap = Heap()
+        shared = {}
+        a = heap.encode(parse_term("f(X)"), shared)
+        b = heap.encode(parse_term("g(X)"), shared)
+        # Different X objects; share via the same mapping requires same Var.
+        heap2 = Heap()
+        term = parse_term("p(f(X), g(X))")
+        cell = heap2.encode(term)
+        args = [
+            heap2.cells[cell[1] + 1],
+            heap2.cells[cell[1] + 2],
+        ]
+        pattern = abstract_cells(heap2, args)
+        assert share_pairs(pattern) == frozenset({(0, 1)})
+
+    def test_partial_list_kept_as_cons(self):
+        heap = Heap()
+        cell = heap.encode(parse_term("[a | T]"))
+        pattern = abstract_cells(heap, [cell])
+        assert pattern.args[0][0] == "f"
+
+    def test_depth_restriction_summary(self):
+        heap = Heap()
+        cell = heap.encode(parse_term("f(g(h(i(j(k)))))"))
+        pattern = abstract_cells(heap, [cell], depth=3)
+        node = pattern.args[0]
+        # Bottom levels summarized to a simple ground instance.
+        flat = str(pattern)
+        assert "g(" in flat or "f(" in flat
+
+
+class TestCanonicalization:
+    def test_ids_renumbered_in_order(self):
+        pattern = canonicalize(
+            Pattern((("i", S.ANY, 7), ("i", S.VAR, 3), ("i", S.ANY, 7)))
+        )
+        assert pattern.args == (
+            ("i", S.ANY, 0),
+            ("i", S.VAR, 1),
+            ("i", S.ANY, 0),
+        )
+
+    def test_equality_after_canonicalization(self):
+        a = canonicalize(Pattern((("i", S.ANY, 5), ("i", S.ANY, 5))))
+        b = canonicalize(Pattern((("i", S.ANY, 9), ("i", S.ANY, 9))))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sharing_distinguishes_patterns(self):
+        shared = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 0))))
+        unshared = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 1))))
+        assert shared != unshared
+
+
+class TestMaterialization:
+    def test_roundtrip(self):
+        heap = Heap()
+        original = canonicalize(
+            Pattern((("i", S.GROUND, 0), ("li", INTEGER_T, 1), ("i", S.VAR, 2)))
+        )
+        cells = materialize_pattern(heap, original)
+        again = abstract_cells(heap, cells)
+        assert again == original
+
+    def test_sharing_materialized(self):
+        heap = Heap()
+        pattern = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 0))))
+        cells = materialize_pattern(heap, pattern)
+        assert cells[0] == cells[1]
+
+    def test_nil_materializes_concrete(self):
+        from repro.domain import EMPTY_T
+        from repro.prolog.terms import NIL
+
+        heap = Heap()
+        pattern = canonicalize(Pattern((("li", EMPTY_T, 0),)))
+        cells = materialize_pattern(heap, pattern)
+        assert cells[0] == (CON, NIL)
+
+    def test_struct_roundtrip(self):
+        heap = Heap()
+        node = ("f", "f", 2, (("i", S.GROUND, 0), ("i", S.VAR, 1)))
+        pattern = canonicalize(Pattern((node,)))
+        cells = materialize_pattern(heap, pattern)
+        assert abstract_cells(heap, cells) == pattern
+
+
+class TestLub:
+    def test_equal_patterns(self):
+        pattern = canonicalize(Pattern((("i", S.GROUND, 0),)))
+        assert pattern_lub(pattern, pattern) == pattern
+
+    def test_pointwise(self):
+        a = canonicalize(Pattern((("i", S.ATOM, 0), ("i", S.VAR, 1))))
+        b = canonicalize(Pattern((("i", S.INTEGER, 0), ("i", S.VAR, 1))))
+        merged = pattern_lub(a, b)
+        assert merged.args[0][:2] == ("i", S.CONST)
+
+    def test_sharing_kept_when_equal(self):
+        a = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 0))))
+        merged = pattern_lub(a, a)
+        assert share_pairs(merged) == frozenset({(0, 1)})
+
+    def test_sharing_dropped_on_disagreement(self):
+        shared = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 0))))
+        unshared = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 1))))
+        merged = pattern_lub(shared, unshared)
+        assert share_pairs(merged) == frozenset()
+
+    def test_leq(self):
+        small = canonicalize(Pattern((("li", INTEGER_T, 0),)))
+        big = canonicalize(Pattern((("li", GROUND_T, 0),)))
+        assert pattern_leq(small, big)
+        assert not pattern_leq(big, small)
+
+
+class TestDisplay:
+    def test_subscripts_only_when_shared(self):
+        pattern = canonicalize(
+            Pattern((("i", S.ANY, 0), ("i", S.ANY, 0), ("i", S.VAR, 1)))
+        )
+        assert pattern_to_text(pattern) == "(any_0, any_0, var)"
+
+    def test_list_text(self):
+        pattern = canonicalize(Pattern((("li", GROUND_T, 0),)))
+        assert pattern_to_text(pattern) == "(g-list)"
+
+    def test_trees_conversion(self):
+        pattern = canonicalize(Pattern((("i", S.NV, 0), ("li", ANY_T, 1))))
+        assert pattern_to_trees(pattern) == (("s", S.NV), ("l", ANY_T))

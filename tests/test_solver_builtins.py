@@ -1,0 +1,188 @@
+"""Tests for the solver's builtin predicates."""
+
+import pytest
+
+from repro.errors import PrologError
+from tests.conftest import solve_texts
+
+EMPTY = "dummy."
+
+
+def ok(goal):
+    """Exactly one solution (unbound query variables may be reported)."""
+    return len(solve_texts(EMPTY, goal)) == 1
+
+
+def fails(goal):
+    return solve_texts(EMPTY, goal) == []
+
+
+class TestUnification:
+    def test_unify(self):
+        assert solve_texts(EMPTY, "X = f(1)") == [{"X": "f(1)"}]
+
+    def test_unify_fails(self):
+        assert fails("a = b")
+
+    def test_not_unify(self):
+        assert ok("a \\= b")
+        assert fails("X \\= a")
+
+    def test_not_unify_with_unbound_fails(self):
+        # An unbound variable unifies with anything, so \= must fail.
+        assert fails("X \\= f(Y)")
+
+    def test_not_unify_undoes_probe_bindings(self):
+        solutions = solve_texts(EMPTY, "(f(X) \\= g(1), X = a)")
+        assert len(solutions) == 1
+        assert solutions[0]["X"] == "a"
+
+
+class TestStructuralComparison:
+    def test_identical(self):
+        assert ok("f(a) == f(a)")
+        assert fails("f(X) == f(Y)")
+
+    def test_not_identical(self):
+        assert ok("f(X) \\== f(Y)")
+
+    def test_order_var_before_number(self):
+        assert ok("X @< 1")
+
+    def test_order_number_before_atom(self):
+        assert ok("99 @< a")
+
+    def test_order_atom_before_struct(self):
+        assert ok("zzz @< f(a)")
+
+    def test_order_struct_by_arity_then_name(self):
+        assert ok("f(a) @< f(a, b)")
+        assert ok("f(a) @< g(a)")
+        assert ok("f(a) @< f(b)")
+
+    def test_compare(self):
+        assert solve_texts(EMPTY, "compare(O, 1, 2)") == [{"O": "<"}]
+        assert solve_texts(EMPTY, "compare(O, b, a)") == [{"O": ">"}]
+        assert solve_texts(EMPTY, "compare(O, x, x)") == [{"O": "="}]
+
+
+class TestTypeTests:
+    def test_var_nonvar(self):
+        assert ok("var(X)")
+        assert fails("var(a)")
+        assert ok("nonvar(a)")
+        assert fails("nonvar(X)")
+
+    def test_atom(self):
+        assert ok("atom(foo)")
+        assert ok("atom([])")
+        assert fails("atom(1)")
+        assert fails("atom(f(a))")
+
+    def test_number_integer_float(self):
+        assert ok("number(1)")
+        assert ok("number(1.5)")
+        assert ok("integer(1)")
+        assert fails("integer(1.5)")
+        assert ok("float(1.5)")
+        assert fails("float(1)")
+
+    def test_atomic_compound_callable(self):
+        assert ok("atomic(a)")
+        assert ok("atomic(1)")
+        assert fails("atomic(f(a))")
+        assert ok("compound(f(a))")
+        assert ok("compound([1])")
+        assert fails("compound(a)")
+        assert ok("callable(a)")
+        assert ok("callable(f(a))")
+        assert fails("callable(1)")
+
+
+class TestArithmeticBuiltins:
+    def test_is(self):
+        assert solve_texts(EMPTY, "X is 6 * 7") == [{"X": "42"}]
+
+    def test_is_check(self):
+        assert ok("4 is 2 + 2")
+        assert fails("5 is 2 + 2")
+
+    def test_comparisons(self):
+        assert ok("1 < 2")
+        assert ok("2 =< 2")
+        assert ok("3 > 2")
+        assert ok("3 >= 3")
+        assert ok("2 =:= 2.0")
+        assert ok("1 =\\= 2")
+
+    def test_unbound_arith_raises(self):
+        with pytest.raises(PrologError):
+            solve_texts(EMPTY, "X < 1")
+
+
+class TestTermInspection:
+    def test_functor_decompose(self):
+        assert solve_texts(EMPTY, "functor(f(a, b), N, A)") == [
+            {"N": "f", "A": "2"}
+        ]
+
+    def test_functor_atom(self):
+        assert solve_texts(EMPTY, "functor(foo, N, A)") == [{"N": "foo", "A": "0"}]
+
+    def test_functor_construct(self):
+        solutions = solve_texts(EMPTY, "functor(T, f, 2)")
+        assert solutions[0]["T"].startswith("f(")
+
+    def test_arg(self):
+        assert solve_texts(EMPTY, "arg(2, f(a, b, c), X)") == [{"X": "b"}]
+        assert fails("arg(4, f(a), X)")
+
+    def test_univ_decompose(self):
+        assert solve_texts(EMPTY, "f(a, b) =.. L") == [{"L": "[f, a, b]"}]
+
+    def test_univ_construct(self):
+        assert solve_texts(EMPTY, "T =.. [g, 1]") == [{"T": "g(1)"}]
+
+    def test_univ_atom(self):
+        assert solve_texts(EMPTY, "T =.. [foo]") == [{"T": "foo"}]
+
+    def test_copy_term_shares_internally(self):
+        solutions = solve_texts(EMPTY, "(copy_term(f(X, X), C), C = f(1, Z))")
+        assert solutions[0]["Z"] == "1"
+
+    def test_copy_term_does_not_share_with_original(self):
+        solutions = solve_texts(EMPTY, "(copy_term(f(Y), C), Y = 1)")
+        assert solutions[0]["C"] != "f(1)"
+
+
+class TestCallAndBetween:
+    def test_call(self):
+        assert solve_texts("p(9).", "call(p(X))") == [{"X": "9"}]
+
+    def test_call_with_extra_args(self):
+        assert solve_texts("plus2(X, Y) :- Y is X + 2.", "call(plus2, 1, R)") == [
+            {"R": "3"}
+        ]
+
+    def test_between_enumerates(self):
+        solutions = solve_texts(EMPTY, "between(1, 4, X)")
+        assert [s["X"] for s in solutions] == ["1", "2", "3", "4"]
+
+    def test_between_checks(self):
+        assert ok("between(1, 5, 3)")
+        assert fails("between(1, 5, 9)")
+
+
+class TestAtomBuiltins:
+    def test_atom_length(self):
+        assert solve_texts(EMPTY, "atom_length(hello, N)") == [{"N": "5"}]
+
+    def test_name_atom_to_codes(self):
+        solutions = solve_texts(EMPTY, "name(ab, L)")
+        assert solutions == [{"L": "[97, 98]"}]
+
+    def test_name_codes_to_atom(self):
+        assert solve_texts(EMPTY, 'name(X, "hi")') == [{"X": "hi"}]
+
+    def test_name_codes_to_number(self):
+        assert solve_texts(EMPTY, 'name(X, "42")') == [{"X": "42"}]

@@ -1,0 +1,117 @@
+"""Tests for subsumption-based extension-table reuse (OLDT refinement)."""
+
+import pytest
+
+from repro.analysis import Analyzer, analyze
+from repro.analysis.machine import AbstractMachine
+from repro.analysis.driver import parse_entry_spec
+from repro.analysis.patterns import (
+    Pattern,
+    canonicalize,
+    pattern_subsumes,
+    pattern_to_trees,
+)
+from repro.bench import BENCHMARKS
+from repro.domain import AbsSort, GROUND_T, INTEGER_T, tree_leq, tree_lub
+from repro.prolog import Program
+from repro.wam import compile_program
+
+S = AbsSort
+
+
+def pat(*nodes):
+    return canonicalize(Pattern(tuple(nodes)))
+
+
+class TestPatternSubsumes:
+    def test_any_subsumes_atom(self):
+        assert pattern_subsumes(pat(("i", S.ANY, 0)), pat(("i", S.ATOM, 0)))
+
+    def test_atom_does_not_subsume_any(self):
+        assert not pattern_subsumes(pat(("i", S.ATOM, 0)), pat(("i", S.ANY, 0)))
+
+    def test_var_does_not_subsume_atom(self):
+        assert not pattern_subsumes(pat(("i", S.VAR, 0)), pat(("i", S.ATOM, 0)))
+
+    def test_glist_subsumes_intlist(self):
+        assert pattern_subsumes(
+            pat(("li", GROUND_T, 0)), pat(("li", INTEGER_T, 0))
+        )
+
+    def test_aliased_general_never_subsumes(self):
+        # p(X, X) covers FEWER calls than p(X, Y): an aliased summary is
+        # not sound for unaliased calls.
+        shared = pat(("i", S.ANY, 0), ("i", S.ANY, 0))
+        unshared = pat(("i", S.ANY, 0), ("i", S.ANY, 1))
+        assert not pattern_subsumes(shared, unshared)
+        assert not pattern_subsumes(shared, shared)
+
+    def test_unshared_general_subsumes_shared_specific(self):
+        shared = pat(("i", S.GROUND, 0), ("i", S.GROUND, 0))
+        unshared = pat(("i", S.ANY, 0), ("i", S.ANY, 1))
+        assert pattern_subsumes(unshared, shared)
+
+    def test_arity_mismatch(self):
+        assert not pattern_subsumes(pat(("i", S.ANY, 0)), pat())
+
+
+class TestMachineReuse:
+    PROGRAM = "main(X) :- p(X), p(a), p(1), p(f(g)). p(_)."
+
+    def run(self, subsumption):
+        compiled = compile_program(Program.from_text(self.PROGRAM))
+        machine = AbstractMachine(compiled, subsumption=subsumption)
+        spec = parse_entry_spec("main(any)")
+        machine.run_pattern(spec.indicator, spec.pattern)
+        return machine
+
+    def test_reuses_general_entry(self):
+        machine = self.run(True)
+        assert machine.subsumption_hits == 3
+        assert len(machine.table.entries_for(("p", 1))) == 1
+
+    def test_off_by_default(self):
+        machine = self.run(False)
+        assert machine.subsumption_hits == 0
+        assert len(machine.table.entries_for(("p", 1))) == 4
+
+    def test_coarser_but_sound(self):
+        exact = analyze(self.PROGRAM, "main(any)")
+        subsumed = analyze(self.PROGRAM, "main(any)", subsumption=True)
+        exact_tree = exact.success_types(("main", 1))[0]
+        sub_tree = subsumed.success_types(("main", 1))[0]
+        assert tree_leq(exact_tree, sub_tree)
+
+
+def _per_pred(table):
+    out = {}
+    for indicator, entry in table.all_entries():
+        if entry.success is None:
+            continue
+        trees = pattern_to_trees(entry.success)
+        if indicator in out:
+            out[indicator] = tuple(
+                tree_lub(a, b) for a, b in zip(out[indicator], trees)
+            )
+        else:
+            out[indicator] = trees
+    return out
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_subsumption_sound_on_benchmarks(bench):
+    exact = _per_pred(Analyzer(bench.source).analyze([bench.entry]).table)
+    subsumed = _per_pred(
+        Analyzer(bench.source, subsumption=True).analyze([bench.entry]).table
+    )
+    for indicator, trees in exact.items():
+        assert indicator in subsumed
+        for fine, coarse in zip(trees, subsumed[indicator]):
+            assert tree_leq(fine, coarse)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_subsumption_never_grows_table(bench):
+    exact = Analyzer(bench.source).analyze([bench.entry])
+    subsumed = Analyzer(bench.source, subsumption=True).analyze([bench.entry])
+    assert len(subsumed.table) <= len(exact.table)

@@ -1,0 +1,101 @@
+"""Tests for the extension table."""
+
+from repro.analysis.patterns import Pattern, canonicalize
+from repro.analysis.table import ExtensionTable
+from repro.domain import AbsSort, INTEGER_T
+
+S = AbsSort
+
+
+def pat(*sorts):
+    return canonicalize(
+        Pattern(tuple(("i", sort, index) for index, sort in enumerate(sorts)))
+    )
+
+
+class TestEntries:
+    def test_entry_created_once(self):
+        table = ExtensionTable()
+        calling = pat(S.GROUND)
+        first = table.entry(("p", 1), calling)
+        second = table.entry(("p", 1), calling)
+        assert first is second
+        assert len(table) == 1
+
+    def test_distinct_patterns_distinct_entries(self):
+        table = ExtensionTable()
+        table.entry(("p", 1), pat(S.GROUND))
+        table.entry(("p", 1), pat(S.VAR))
+        assert len(table) == 2
+
+    def test_find_missing(self):
+        table = ExtensionTable()
+        assert table.find(("p", 1), pat(S.ANY)) is None
+
+    def test_creation_counts_as_change(self):
+        table = ExtensionTable()
+        before = table.changes
+        table.entry(("p", 1), pat(S.ANY))
+        assert table.changes == before + 1
+
+
+class TestUpdates:
+    def test_first_update_sets_success(self):
+        table = ExtensionTable()
+        calling = pat(S.GROUND)
+        assert table.update(("p", 1), calling, pat(S.ATOM))
+        assert table.find(("p", 1), calling).success == pat(S.ATOM)
+
+    def test_update_lubs(self):
+        table = ExtensionTable()
+        calling = pat(S.ANY)
+        table.update(("p", 1), calling, pat(S.ATOM))
+        assert table.update(("p", 1), calling, pat(S.INTEGER))
+        assert table.find(("p", 1), calling).success == pat(S.CONST)
+
+    def test_redundant_update_reports_unchanged(self):
+        table = ExtensionTable()
+        calling = pat(S.ANY)
+        table.update(("p", 1), calling, pat(S.GROUND))
+        changes = table.changes
+        assert not table.update(("p", 1), calling, pat(S.ATOM))
+        assert table.changes == changes
+
+    def test_monotone_growth(self):
+        table = ExtensionTable()
+        calling = pat(S.ANY)
+        for success in [pat(S.ATOM), pat(S.INTEGER), pat(S.GROUND), pat(S.NV)]:
+            table.update(("p", 1), calling, success)
+        assert table.find(("p", 1), calling).success == pat(S.NV)
+
+    def test_may_share_accumulates(self):
+        table = ExtensionTable()
+        calling = pat(S.ANY, S.ANY)
+        shared = canonicalize(Pattern((("i", S.GROUND, 0), ("i", S.GROUND, 0))))
+        table.update(("p", 2), calling, shared)
+        entry = table.find(("p", 2), calling)
+        assert (0, 1) in entry.may_share
+        unshared = pat(S.GROUND, S.GROUND)
+        table.update(("p", 2), calling, unshared)
+        # Once possible, sharing stays recorded.
+        assert (0, 1) in table.find(("p", 2), calling).may_share
+
+
+class TestInspection:
+    def test_predicates_and_entries(self):
+        table = ExtensionTable()
+        table.entry(("p", 1), pat(S.ANY))
+        table.entry(("q", 0), canonicalize(Pattern(())))
+        assert set(table.predicates()) == {("p", 1), ("q", 0)}
+        assert len(table.entries_for(("p", 1))) == 1
+
+    def test_to_text(self):
+        table = ExtensionTable()
+        table.update(("p", 1), pat(S.GROUND), pat(S.ATOM))
+        text = table.to_text()
+        assert "p/1" in text and "atom" in text
+
+    def test_to_text_shows_fail(self):
+        table = ExtensionTable()
+        table.entry(("p", 1), pat(S.GROUND))
+        assert "FAIL" in table.to_text()

@@ -1,0 +1,195 @@
+"""Tests for the term model (repro.prolog.terms)."""
+
+import pytest
+
+from repro.prolog.terms import (
+    NIL,
+    Atom,
+    Float,
+    Int,
+    Struct,
+    Var,
+    cons,
+    format_indicator,
+    indicator_of,
+    is_cons,
+    is_ground,
+    is_proper_list,
+    iter_subterms,
+    list_elements,
+    make_list,
+    rename_term,
+    term_depth,
+    term_size,
+    term_vars,
+)
+
+
+class TestAtoms:
+    def test_equal_by_name(self):
+        assert Atom("foo") == Atom("foo")
+
+    def test_unequal_names(self):
+        assert Atom("foo") != Atom("bar")
+
+    def test_interned_identity(self):
+        assert Atom("foo") is Atom("foo")
+
+    def test_hashable(self):
+        assert len({Atom("a"), Atom("a"), Atom("b")}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Atom("a").name = "b"
+
+    def test_str(self):
+        assert str(Atom("hello")) == "hello"
+
+    def test_not_equal_to_int(self):
+        assert Atom("1") != Int(1)
+
+
+class TestNumbers:
+    def test_int_equality(self):
+        assert Int(3) == Int(3)
+        assert Int(3) != Int(4)
+
+    def test_float_equality(self):
+        assert Float(1.5) == Float(1.5)
+
+    def test_int_float_distinct(self):
+        assert Int(1) != Float(1.0)
+
+    def test_int_immutable(self):
+        with pytest.raises(AttributeError):
+            Int(1).value = 2
+
+    def test_int_hash(self):
+        assert len({Int(1), Int(1), Int(2)}) == 2
+
+
+class TestVars:
+    def test_identity_semantics(self):
+        assert Var("X") != Var("X")
+
+    def test_same_object_equal(self):
+        variable = Var("X")
+        assert variable == variable
+
+    def test_anonymous_str(self):
+        assert str(Var()).startswith("_G")
+
+    def test_named_str(self):
+        assert str(Var("Foo")) == "Foo"
+
+
+class TestStructs:
+    def test_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_equality_structural(self):
+        assert Struct("f", (Atom("a"),)) == Struct("f", (Atom("a"),))
+
+    def test_arity(self):
+        assert Struct("f", (Atom("a"), Atom("b"))).arity == 2
+
+    def test_indicator(self):
+        assert Struct("foo", (Int(1),)).indicator == ("foo", 1)
+
+    def test_immutable(self):
+        term = Struct("f", (Atom("a"),))
+        with pytest.raises(AttributeError):
+            term.name = "g"
+
+    def test_str(self):
+        assert str(Struct("f", (Atom("a"), Int(2)))) == "f(a, 2)"
+
+
+class TestLists:
+    def test_make_list_empty(self):
+        assert make_list([]) == NIL
+
+    def test_make_list_shape(self):
+        term = make_list([Int(1), Int(2)])
+        assert is_cons(term)
+        elements, tail = list_elements(term)
+        assert elements == [Int(1), Int(2)]
+        assert tail == NIL
+
+    def test_make_list_with_tail(self):
+        tail = Var("T")
+        term = make_list([Int(1)], tail)
+        elements, end = list_elements(term)
+        assert elements == [Int(1)]
+        assert end is tail
+
+    def test_cons(self):
+        cell = cons(Atom("a"), NIL)
+        assert cell.indicator == (".", 2)
+
+    def test_is_proper_list(self):
+        assert is_proper_list(make_list([Atom("a")]))
+        assert is_proper_list(NIL)
+        assert not is_proper_list(make_list([Atom("a")], Var("T")))
+        assert not is_proper_list(Atom("a"))
+
+    def test_is_cons_excludes_nil(self):
+        assert not is_cons(NIL)
+
+
+class TestIndicators:
+    def test_atom_indicator(self):
+        assert indicator_of(Atom("main")) == ("main", 0)
+
+    def test_struct_indicator(self):
+        assert indicator_of(Struct("p", (Var("X"),))) == ("p", 1)
+
+    def test_non_callable_raises(self):
+        with pytest.raises(TypeError):
+            indicator_of(Int(1))
+
+    def test_format(self):
+        assert format_indicator(("foo", 3)) == "foo/3"
+
+
+class TestTraversal:
+    def test_term_vars_order_and_dedup(self):
+        x, y = Var("X"), Var("Y")
+        term = Struct("f", (x, Struct("g", (y, x))))
+        assert term_vars(term) == [x, y]
+
+    def test_term_vars_ignores_anonymous_name_sharing(self):
+        a, b = Var("_"), Var("_")
+        term = Struct("f", (a, b))
+        assert len(term_vars(term)) == 2
+
+    def test_rename_consistent(self):
+        x = Var("X")
+        term = Struct("f", (x, x))
+        renamed = rename_term(term, {})
+        assert isinstance(renamed, Struct)
+        assert renamed.args[0] is renamed.args[1]
+        assert renamed.args[0] is not x
+
+    def test_rename_keeps_constants(self):
+        term = Struct("f", (Atom("a"), Int(1)))
+        assert rename_term(term, {}) == term
+
+    def test_term_size(self):
+        assert term_size(Atom("a")) == 1
+        assert term_size(Struct("f", (Atom("a"), Int(1)))) == 3
+
+    def test_term_depth(self):
+        assert term_depth(Atom("a")) == 1
+        nested = Struct("f", (Struct("g", (Atom("a"),)),))
+        assert term_depth(nested) == 3
+
+    def test_iter_subterms_preorder(self):
+        term = Struct("f", (Atom("a"), Struct("g", (Int(1),))))
+        kinds = [type(t).__name__ for t in iter_subterms(term)]
+        assert kinds == ["Struct", "Atom", "Struct", "Int"]
+
+    def test_is_ground(self):
+        assert is_ground(make_list([Int(1), Atom("a")]))
+        assert not is_ground(Struct("f", (Var("X"),)))

@@ -1,0 +1,150 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.tokenizer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty(self):
+        assert kinds("") == ["eof"]
+
+    def test_atom(self):
+        tokens = tokenize("foo")
+        assert tokens[0].kind == "atom"
+        assert tokens[0].value == "foo"
+
+    def test_variable(self):
+        assert tokenize("Foo")[0].kind == "var"
+
+    def test_underscore_variable(self):
+        assert tokenize("_foo")[0].kind == "var"
+        assert tokenize("_")[0].kind == "var"
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind == "int"
+        assert token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.kind == "float"
+        assert token.value == 3.25
+
+    def test_float_with_exponent(self):
+        assert tokenize("2.0e3")[0].value == 2000.0
+
+    def test_integer_then_end(self):
+        assert kinds("42.") == ["int", "end", "eof"]
+
+    def test_punct(self):
+        assert values("( ) [ ] { } , |") == list("()[]{},|")
+
+    def test_end_token(self):
+        assert kinds("foo.") == ["atom", "end", "eof"]
+
+    def test_dot_in_symbol(self):
+        # =.. is one symbolic atom, not an end token.
+        token = tokenize("=..")[0]
+        assert token.kind == "atom"
+        assert token.value == "=.."
+
+
+class TestRadixAndChar:
+    def test_hex(self):
+        assert tokenize("0xff")[0].value == 255
+
+    def test_octal(self):
+        assert tokenize("0o17")[0].value == 15
+
+    def test_binary(self):
+        assert tokenize("0b101")[0].value == 5
+
+    def test_char_code(self):
+        assert tokenize("0'a")[0].value == ord("a")
+
+    def test_char_code_escape(self):
+        assert tokenize(r"0'\n")[0].value == ord("\n")
+
+    def test_missing_radix_digits(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("0x")
+
+
+class TestQuoted:
+    def test_quoted_atom(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind == "atom"
+        assert token.value == "hello world"
+
+    def test_quoted_atom_escape(self):
+        assert tokenize(r"'a\nb'")[0].value == "a\nb"
+
+    def test_doubled_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_string(self):
+        token = tokenize('"abc"')[0]
+        assert token.kind == "string"
+        assert token.value == "abc"
+
+    def test_unterminated_quote(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("'abc")
+
+
+class TestSymbolicAtoms:
+    def test_operators_lump(self):
+        assert tokenize(":-")[0].value == ":-"
+
+    def test_arrow(self):
+        assert tokenize("-->")[0].value == "-->"
+
+    def test_solo_chars(self):
+        assert values("! ;") == ["!", ";"]
+
+    def test_comparison(self):
+        assert tokenize("=<")[0].value == "=<"
+
+    def test_symbol_split_by_space(self):
+        assert values("= <") == ["=", "<"]
+
+
+class TestCommentsAndLayout:
+    def test_line_comment(self):
+        assert kinds("foo % bar\nbaz.") == ["atom", "atom", "end", "eof"]
+
+    def test_block_comment(self):
+        assert kinds("foo /* bar */ baz") == ["atom", "atom", "eof"]
+
+    def test_nested_like_block(self):
+        assert kinds("/* a * b */ x") == ["atom", "eof"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("/* oops")
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestFunctorFlag:
+    def test_functor_true(self):
+        assert tokenize("f(")[0].functor is True
+
+    def test_functor_false_with_space(self):
+        assert tokenize("f (")[0].functor is False
+
+    def test_quoted_functor(self):
+        assert tokenize("'f g'(x)")[0].functor is True

@@ -1,0 +1,69 @@
+"""Tests for instruction-level tracing on both machines."""
+
+from repro.analysis import AbstractMachine
+from repro.analysis.driver import parse_entry_spec
+from repro.prolog import Program, parse_term
+from repro.wam import Machine, Tracer, compile_program
+
+
+class TestConcreteTracing:
+    def test_records_instructions(self):
+        compiled = compile_program(Program.from_text("p(a)."))
+        machine = Machine(compiled)
+        machine.tracer = Tracer()
+        machine.run_once(parse_term("p(X)"))
+        text = machine.tracer.to_text()
+        assert "get_constant a, A1" in text
+        assert "proceed" in text
+
+    def test_instruction_count_matches(self):
+        compiled = compile_program(Program.from_text("p(a). p(b)."))
+        machine = Machine(compiled)
+        machine.tracer = Tracer()
+        list(machine.run(parse_term("p(X)")))
+        assert machine.tracer.instruction_count() == machine.instruction_count
+
+    def test_limit_truncates(self):
+        compiled = compile_program(
+            Program.from_text("count(0). count(N) :- N > 0, M is N - 1, count(M).")
+        )
+        machine = Machine(compiled)
+        machine.tracer = Tracer(limit=20)
+        machine.run_once(parse_term("count(50)"))
+        assert machine.tracer.truncated
+        assert "truncated" in machine.tracer.to_text()
+
+    def test_disabled_by_default(self):
+        compiled = compile_program(Program.from_text("p."))
+        machine = Machine(compiled)
+        assert machine.tracer is None
+        machine.run_once(parse_term("p"))
+
+
+class TestAbstractTracing:
+    def trace_of(self, program_text, entry):
+        compiled = compile_program(Program.from_text(program_text))
+        machine = AbstractMachine(compiled)
+        machine.tracer = Tracer()
+        spec = parse_entry_spec(entry)
+        machine.run_pattern(spec.indicator, spec.pattern)
+        return machine.tracer.to_text()
+
+    def test_figure3_events(self):
+        text = self.trace_of("p(a, [f(V)|L]).", "p(atom, glist)")
+        assert "call p/2(atom, g-list)" in text
+        assert "updateET p/2(atom, g-list) <- (atom, g-list)" in text
+        assert "lookupET p/2(atom, g-list) -> (atom, g-list)" in text
+        assert "fail to next clause" in text
+
+    def test_memo_hit_event(self):
+        text = self.trace_of("main :- q(1), q(2). q(_).", "main")
+        assert "table hit" in text
+
+    def test_failing_lookup(self):
+        text = self.trace_of("p(a).", "p(int)")
+        assert "lookupET p/1(int) -> FAIL" in text
+
+    def test_reinterpreted_instructions_present(self):
+        text = self.trace_of("p([H|T]).", "p(glist)")
+        assert "get_list A1" in text

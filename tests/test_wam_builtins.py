@@ -1,0 +1,162 @@
+"""Cell-level tests for every concrete-machine builtin."""
+
+import pytest
+
+from repro.errors import PrologError
+from tests.conftest import wam_texts
+
+EMPTY = "dummy."
+
+
+def ok(goal, program=EMPTY):
+    return len(wam_texts(program, f"go :- {goal}" and goal)) >= 0
+
+
+def run(goal, program=EMPTY):
+    return wam_texts(program, goal)
+
+
+class TestControl:
+    def test_true_fail(self):
+        assert run("t", "t :- true.") == [{}]
+        assert run("t", "t :- fail.") == []
+        assert run("t", "t :- false.") == []
+
+
+class TestUnification:
+    def test_unify(self):
+        assert run("u(X)", "u(X) :- X = f(Y, Y).")[0]["X"].startswith("f(")
+
+    def test_unify_fail(self):
+        assert run("t", "t :- a = b.") == []
+
+    def test_not_unify(self):
+        assert run("t", "t :- f(a) \\= f(b).") == [{}]
+        assert run("t", "t :- f(a) \\= f(a).") == []
+
+    def test_not_unify_restores_bindings(self):
+        assert run("t(X)", "t(X) :- f(X) \\= g(1), X = ok.") == [{"X": "ok"}]
+
+
+class TestStructural:
+    def test_identity(self):
+        assert run("t", "t :- f(a, 1) == f(a, 1).") == [{}]
+        assert run("t", "t :- f(X) == f(Y).", ) == []
+
+    def test_not_identity(self):
+        assert run("t", "t :- f(X) \\== f(Y).") == [{}]
+
+    def test_ordering_chain(self):
+        program = "t :- X @< 1, 1 @< a, a @< f(b), f(b) @< f(b, c)."
+        assert run("t", program) == [{}]
+
+    def test_compare(self):
+        assert run("c(O)", "c(O) :- compare(O, 1, 2).") == [{"O": "<"}]
+        assert run("c(O)", "c(O) :- compare(O, f(b), f(a)).") == [{"O": ">"}]
+
+    def test_compare_recursive_args(self):
+        assert run("c(O)", "c(O) :- compare(O, f(1, 2), f(1, 3)).") == [
+            {"O": "<"}
+        ]
+
+
+class TestTypeTests:
+    CASES = [
+        ("var(X)", 1),
+        ("nonvar(a)", 1),
+        ("nonvar(X)", 0),
+        ("atom([])", 1),
+        ("atom([a])", 0),
+        ("number(2.5)", 1),
+        ("integer(3)", 1),
+        ("integer(2.5)", 0),
+        ("float(2.5)", 1),
+        ("atomic(abc)", 1),
+        ("atomic([a])", 0),
+        ("compound([a])", 1),
+        ("compound(g(1))", 1),
+        ("compound(g)", 0),
+        ("callable(g)", 1),
+        ("callable([a|b])", 1),
+        ("callable(9)", 0),
+    ]
+
+    @pytest.mark.parametrize("goal,count", CASES)
+    def test_case(self, goal, count):
+        program = f"t :- {goal}."
+        assert len(run("t", program)) == count
+
+
+class TestArithmetic:
+    def test_is(self):
+        assert run("v(X)", "v(X) :- X is 2 + 3 * 4.") == [{"X": "14"}]
+
+    def test_is_nested_expression_from_cells(self):
+        assert run("v(X)", "v(X) :- Y = 4, X is Y * Y - 1.") == [{"X": "15"}]
+
+    def test_is_unbound_raises(self):
+        with pytest.raises(PrologError):
+            run("v(X)", "v(X) :- X is Y + 1.")
+
+    def test_comparisons(self):
+        assert run("t", "t :- 1 < 2, 2 =< 2, 2 > 1, 2 >= 2, 2 =:= 2, 1 =\\= 2.") == [{}]
+
+
+class TestInspection:
+    def test_functor_decompose(self):
+        assert run("f(N, A)", "f(N, A) :- functor(foo(x, y, z), N, A).") == [
+            {"N": "foo", "A": "3"}
+        ]
+
+    def test_functor_construct(self):
+        result = run("f(T)", "f(T) :- functor(T, pair, 2).")
+        assert result[0]["T"].startswith("pair(")
+
+    def test_functor_on_list_cell(self):
+        assert run("f(N, A)", "f(N, A) :- functor([1, 2], N, A).") == [
+            {"N": ".", "A": "2"}
+        ]
+
+    def test_functor_construct_list(self):
+        result = run("f(T)", "f(T) :- functor(T, '.', 2).")
+        assert result[0]["T"].startswith("[")
+
+    def test_arg(self):
+        assert run("a(X)", "a(X) :- arg(2, foo(p, q, r), X).") == [{"X": "q"}]
+        assert run("a(X)", "a(X) :- arg(1, [h, t], X).") == [{"X": "h"}]
+        assert run("a(X)", "a(X) :- arg(5, foo(p), X).") == []
+
+    def test_univ_both_ways(self):
+        assert run("u(L)", "u(L) :- foo(1, b) =.. L.") == [{"L": "[foo, 1, b]"}]
+        assert run("u(T)", "u(T) :- T =.. [bar, x].") == [{"T": "bar(x)"}]
+        assert run("u(T)", "u(T) :- T =.. [baz].") == [{"T": "baz"}]
+
+    def test_univ_list_cell(self):
+        assert run("u(L)", "u(L) :- [a] =.. L.") == [{"L": "[., a, []]"}]
+        assert run("u(T)", "u(T) :- T =.. ['.', h, []].") == [{"T": "[h]"}]
+
+    def test_copy_term(self):
+        assert run("c(Y)", "c(Y) :- copy_term(f(X, X), f(1, Y)).") == [
+            {"Y": "1"}
+        ]
+
+
+class TestAtomAndOutput:
+    def test_atom_length(self):
+        assert run("l(N)", "l(N) :- atom_length(abcde, N).") == [{"N": "5"}]
+
+    def test_name_both_ways(self):
+        assert run("n(L)", "n(L) :- name(ab, L).") == [{"L": "[97, 98]"}]
+        assert run("n(X)", 'n(X) :- name(X, "99").') == [{"X": "99"}]
+
+    def test_write_and_nl(self):
+        from repro.prolog import Program, parse_term
+        from repro.wam import Machine, compile_program
+
+        machine = Machine(
+            compile_program(
+                Program.from_text("say :- write(f(1)), nl, writeq('x y').")
+            )
+        )
+        machine.run_once(parse_term("say"))
+        assert "".join(machine.output) == "f(1)\n'x y'"

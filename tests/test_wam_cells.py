@@ -1,0 +1,161 @@
+"""Tests for the heap cell model."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.prolog import parse_term, term_to_text
+from repro.prolog.terms import Atom, Int, Var
+from repro.wam.cells import CON, LIS, REF, STR, Heap, cell_type
+
+
+class TestAllocation:
+    def test_new_var_self_ref(self):
+        heap = Heap()
+        cell = heap.new_var()
+        assert cell == (REF, 0)
+        assert heap.cells[0] == cell
+
+    def test_push_returns_address(self):
+        heap = Heap()
+        assert heap.push((CON, Atom("a"))) == 0
+        assert heap.push((CON, Atom("b"))) == 1
+
+    def test_top(self):
+        heap = Heap()
+        assert heap.top == 0
+        heap.new_var()
+        assert heap.top == 1
+
+
+class TestBindingAndTrail:
+    def test_set_cell_trails_old_value(self):
+        heap = Heap()
+        heap.new_var()
+        mark = heap.trail_mark()
+        heap.set_cell(0, (CON, Atom("a")))
+        assert heap.cells[0] == (CON, Atom("a"))
+        heap.undo_to(mark)
+        assert heap.cells[0] == (REF, 0)
+
+    def test_undo_with_heap_truncation(self):
+        heap = Heap()
+        heap.new_var()
+        mark = heap.trail_mark()
+        top = heap.top
+        heap.new_var()
+        heap.set_cell(0, (REF, 1))
+        heap.set_cell(1, (CON, Int(1)))
+        heap.undo_to(mark, top)
+        assert heap.top == 1
+        assert heap.cells[0] == (REF, 0)
+
+    def test_nested_undo(self):
+        heap = Heap()
+        heap.new_var()
+        outer = heap.trail_mark()
+        heap.set_cell(0, (CON, Atom("a")))
+        inner = heap.trail_mark()
+        heap.set_cell(0, (CON, Atom("b")))
+        heap.undo_to(inner)
+        assert heap.cells[0] == (CON, Atom("a"))
+        heap.undo_to(outer)
+        assert heap.cells[0] == (REF, 0)
+
+
+class TestDeref:
+    def test_unbound(self):
+        heap = Heap()
+        cell = heap.new_var()
+        assert heap.deref(cell) == cell
+
+    def test_chain(self):
+        heap = Heap()
+        a = heap.new_var()
+        b = heap.new_var()
+        heap.set_cell(0, (REF, 1))
+        heap.set_cell(1, (CON, Int(5)))
+        assert heap.deref(a) == (CON, Int(5))
+
+    def test_is_unbound(self):
+        heap = Heap()
+        cell = heap.new_var()
+        assert heap.is_unbound(cell)
+        heap.set_cell(0, (CON, Atom("x")))
+        assert not heap.is_unbound(cell)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize(
+        "text",
+        ["foo", "42", "1.5", "f(a, b)", "[1, 2, 3]", "[]", "f(g(h(1)))"],
+    )
+    def test_ground_roundtrip(self, text):
+        heap = Heap()
+        term = parse_term(text)
+        cell = heap.encode(term)
+        decoded = heap.decode(cell)
+        assert term_to_text(decoded) == term_to_text(term)
+
+    @pytest.mark.parametrize("text", ["[a | T]", "f(g(h(X)), [Y, X])"])
+    def test_var_roundtrip_modulo_renaming(self, text):
+        import re
+
+        heap = Heap()
+        term = parse_term(text)
+        decoded = heap.decode(heap.encode(term))
+
+        def normalize(t):
+            out = term_to_text(t)
+            names = {}
+            for name in re.findall(r"\b(?:_G\d+|[A-Z]\w*)", out):
+                names.setdefault(name, f"V{len(names)}")
+            for name, replacement in names.items():
+                out = out.replace(name, replacement)
+            return out
+
+        assert normalize(decoded) == normalize(term)
+
+    def test_encode_shares_variables(self):
+        heap = Heap()
+        x = Var("X")
+        term = parse_term("f(A, A)")
+        cell = heap.encode(term)
+        decoded = heap.decode(cell)
+        assert decoded.args[0] is decoded.args[1]
+
+    def test_decode_names_consistent(self):
+        heap = Heap()
+        cell = heap.encode(parse_term("f(A, A, B)"))
+        names = {}
+        decoded = heap.decode(cell, names)
+        assert decoded.args[0] is decoded.args[1]
+        assert decoded.args[0] is not decoded.args[2]
+
+    def test_list_layout_contiguous(self):
+        heap = Heap()
+        cell = heap.encode(parse_term("[1, 2]"))
+        assert cell[0] == LIS
+        address = cell[1]
+        assert heap.cells[address] == (CON, Int(1))
+        assert heap.cells[address + 1][0] == LIS
+
+    def test_struct_layout(self):
+        heap = Heap()
+        cell = heap.encode(parse_term("f(a, b)"))
+        assert cell[0] == STR
+        functor_address = cell[1]
+        assert heap.cells[functor_address] == ("fun", ("f", 2))
+        assert heap.cells[functor_address + 1] == (CON, Atom("a"))
+
+
+class TestCellType:
+    def test_classes(self):
+        heap = Heap()
+        assert cell_type(heap.new_var()) == "var"
+        assert cell_type((CON, Atom("x"))) == "const"
+        assert cell_type((LIS, 0)) == "list"
+        assert cell_type((STR, 0)) == "struct"
+
+    def test_unknown_raises(self):
+        with pytest.raises(MachineError):
+            cell_type(("bogus", 0))

@@ -1,0 +1,263 @@
+"""Tests for the concrete WAM: execution, backtracking, cut, builtins."""
+
+import pytest
+
+from repro.errors import PrologError
+from repro.prolog import Program, parse_term
+from repro.wam import CompilerOptions, Machine, compile_program
+from tests.conftest import solve_texts, wam_texts
+
+
+class TestBasicExecution:
+    def test_fact(self):
+        assert wam_texts("p(a).", "p(a)") == [{}]
+
+    def test_fact_fails(self):
+        assert wam_texts("p(a).", "p(b)") == []
+
+    def test_binding(self):
+        assert wam_texts("p(a).", "p(X)") == [{"X": "a"}]
+
+    def test_zero_arity(self):
+        assert wam_texts("go.", "go") == [{}]
+
+    def test_multiple_clauses_in_order(self):
+        assert wam_texts("p(1). p(2). p(3).", "p(X)") == [
+            {"X": "1"},
+            {"X": "2"},
+            {"X": "3"},
+        ]
+
+    def test_rule_chain(self):
+        assert wam_texts("a(X) :- b(X). b(X) :- c(X). c(7).", "a(X)") == [
+            {"X": "7"}
+        ]
+
+    def test_structure_head(self):
+        assert wam_texts("p(f(X, g(X))).", "p(f(1, Y))") == [{"Y": "g(1)"}]
+
+    def test_structure_construction_in_body(self):
+        assert wam_texts("p(X) :- q(f(X, [X])). q(f(1, L)).", "p(X)") == [
+            {"X": "1"}
+        ]
+
+    def test_unknown_predicate(self):
+        with pytest.raises(PrologError):
+            wam_texts("p.", "nothere")
+
+    def test_deep_recursion_iterative(self):
+        # The machine must not hit Python's recursion limit.
+        text = """
+        count(0) :- !.
+        count(N) :- N1 is N - 1, count(N1).
+        """
+        assert wam_texts(text, "count(20000)") == [{}]
+
+
+class TestBacktrackingAndChoice:
+    def test_cartesian(self):
+        text = "pair(X, Y) :- n(X), n(Y). n(1). n(2)."
+        assert len(wam_texts(text, "pair(A, B)")) == 4
+
+    def test_bindings_restored(self):
+        text = "p(X) :- q(X), r(X). q(1). q(2). r(2)."
+        assert wam_texts(text, "p(X)") == [{"X": "2"}]
+
+    def test_append_splits(self, append_nrev):
+        assert len(wam_texts(append_nrev, "app(X, Y, [1, 2, 3])")) == 4
+
+    def test_heap_reclaimed_on_backtrack(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        machine = Machine(compiled)
+        list(machine.run(parse_term("app(X, Y, [1, 2])")))
+        # The trail must be fully unwound at exhaustion.
+        assert machine.b is None
+
+    def test_failure_driven_loop(self):
+        text = "p(1). p(2). all :- p(_), fail. all."
+        assert wam_texts(text, "all") == [{}]
+
+
+class TestCut:
+    def test_neck_cut(self):
+        text = "max(X, Y, X) :- X >= Y, !.\nmax(_, Y, Y)."
+        assert wam_texts(text, "max(5, 3, M)") == [{"M": "5"}]
+        assert wam_texts(text, "max(2, 3, M)") == [{"M": "3"}]
+
+    def test_deep_cut(self):
+        text = """
+        p(X, Y) :- q(X), !, r(Y).
+        q(1). q(2).
+        r(a). r(b).
+        """
+        assert wam_texts(text, "p(X, Y)") == [
+            {"X": "1", "Y": "a"},
+            {"X": "1", "Y": "b"},
+        ]
+
+    def test_cut_then_fail(self):
+        text = "p :- q, !, fail. p. q."
+        assert wam_texts(text, "p") == []
+
+    def test_cut_local(self):
+        text = """
+        outer(X) :- inner(X).
+        outer(99).
+        inner(X) :- pick(X), !.
+        pick(1). pick(2).
+        """
+        assert wam_texts(text, "outer(X)") == [{"X": "1"}, {"X": "99"}]
+
+    def test_if_then_else_via_normalization(self):
+        text = "sign(X, pos) :- (X > 0 -> true ; fail).\nsign(X, neg) :- X < 0."
+        assert wam_texts(text, "sign(5, S)") == [{"S": "pos"}]
+        assert wam_texts(text, "sign(-5, S)") == [{"S": "neg"}]
+
+    def test_negation_via_normalization(self):
+        text = "q(1). p(X) :- \\+ q(X)."
+        assert wam_texts(text, "p(2)") == [{}]
+        assert wam_texts(text, "p(1)") == []
+
+
+class TestBuiltinsOnMachine:
+    def test_is(self):
+        assert wam_texts("calc(X) :- X is 6 * 7.", "calc(R)") == [{"R": "42"}]
+
+    def test_comparison(self):
+        assert wam_texts("t :- 1 < 2, 2 =< 2, 3 > 1, 2 >= 2.", "t") == [{}]
+
+    def test_unify_builtin(self):
+        assert wam_texts("u(X) :- X = f(1).", "u(R)") == [{"R": "f(1)"}]
+
+    def test_type_tests(self):
+        text = "t(X) :- atom(X). n(X) :- number(X)."
+        assert wam_texts(text, "t(foo)") == [{}]
+        assert wam_texts(text, "t(1)") == []
+        assert wam_texts(text, "n(3)") == [{}]
+
+    def test_var_nonvar(self):
+        assert wam_texts("v(X) :- var(X).", "v(_)") == [{}]
+        assert wam_texts("v(X) :- var(X).", "v(a)") == []
+
+    def test_functor_arg_univ(self):
+        assert wam_texts("d(N, A) :- functor(f(x, y), N, A).", "d(N, A)") == [
+            {"N": "f", "A": "2"}
+        ]
+        assert wam_texts("a(X) :- arg(1, f(7), X).", "a(X)") == [{"X": "7"}]
+        assert wam_texts("u(L) :- f(a) =.. L.", "u(L)") == [{"L": "[f, a]"}]
+
+    def test_structural_equality(self):
+        assert wam_texts("s :- f(a) == f(a).", "s") == [{}]
+        assert wam_texts("s :- f(a) == f(b).", "s") == []
+
+    def test_output_buffered(self):
+        compiled = compile_program(
+            Program.from_text("hello :- write(hi), tab(1), write(42), nl.")
+        )
+        machine = Machine(compiled)
+        assert list(machine.run(parse_term("hello"))) == [{}]
+        assert "".join(machine.output) == "hi 42\n"
+
+    def test_copy_term(self):
+        text = "c(Y) :- copy_term(f(X, X), f(1, Y))."
+        assert wam_texts(text, "c(Y)") == [{"Y": "1"}]
+
+
+class TestIndexing:
+    THREE_WAY = """
+    kind(a, atom_a).
+    kind(b, atom_b).
+    kind([], nil).
+    kind([_|_], cons).
+    kind(f(_), struct_f).
+    kind(1, one).
+    """
+
+    @pytest.mark.parametrize(
+        "goal,expected",
+        [
+            ("kind(a, K)", "atom_a"),
+            ("kind(b, K)", "atom_b"),
+            ("kind([], K)", "nil"),
+            ("kind([x], K)", "cons"),
+            ("kind(f(z), K)", "struct_f"),
+            ("kind(1, K)", "one"),
+        ],
+    )
+    def test_dispatch(self, goal, expected):
+        assert wam_texts(self.THREE_WAY, goal) == [{"K": expected}]
+
+    def test_unknown_constant_fails(self):
+        assert wam_texts(self.THREE_WAY, "kind(zzz, K)") == []
+
+    def test_unknown_structure_fails(self):
+        assert wam_texts(self.THREE_WAY, "kind(g(1), K)") == []
+
+    def test_var_arg_enumerates_all(self):
+        assert len(wam_texts(self.THREE_WAY, "kind(X, K)")) == 6
+
+    def test_indexing_saves_instructions(self):
+        program_text = self.THREE_WAY + "go :- kind(f(0), _)."
+        with_index = Machine(compile_program(Program.from_text(program_text)))
+        list(with_index.run(parse_term("go")))
+        without = Machine(
+            compile_program(
+                Program.from_text(program_text), CompilerOptions(indexing=False)
+            )
+        )
+        list(without.run(parse_term("go")))
+        assert with_index.instruction_count < without.instruction_count
+
+    def test_indexing_same_results(self):
+        import re
+
+        def normalized(solutions):
+            return [
+                {k: re.sub(r"_G\d+", "_", v) for k, v in s.items()}
+                for s in solutions
+            ]
+
+        for goal in ["kind(X, K)", "kind(b, K)", "kind([x,y], K)"]:
+            indexed = wam_texts(self.THREE_WAY, goal)
+            plain = wam_texts(
+                self.THREE_WAY, goal, options=CompilerOptions(indexing=False)
+            )
+            assert normalized(indexed) == normalized(plain)
+
+
+class TestAgainstSolverOracle:
+    PROGRAMS = [
+        ("p(1). p(2). q(2). q(3). r(X) :- p(X), q(X).", "r(X)"),
+        (
+            "len([], 0). len([_|T], N) :- len(T, M), N is M + 1.",
+            "len([a, b, c, d], N)",
+        ),
+        (
+            "perm([], []). perm(L, [H|T]) :- sel(H, L, R), perm(R, T).\n"
+            "sel(X, [X|T], T). sel(X, [H|T], [H|R]) :- sel(X, T, R).",
+            "perm([1, 2, 3], P)",
+        ),
+        (
+            "f(0, 0) :- !. f(N, R) :- M is N - 1, f(M, S), R is S + N.",
+            "f(10, R)",
+        ),
+    ]
+
+    @pytest.mark.parametrize("program,goal", PROGRAMS)
+    def test_same_solutions(self, program, goal):
+        assert wam_texts(program, goal) == solve_texts(program, goal)
+
+
+class TestMachineLimits:
+    def test_step_limit(self):
+        compiled = compile_program(Program.from_text("loop :- loop."))
+        machine = Machine(compiled, max_steps=500)
+        with pytest.raises(PrologError) as info:
+            list(machine.run(parse_term("loop")))
+        assert info.value.kind == "resource_error"
+
+    def test_instruction_count_grows(self, append_nrev):
+        compiled = compile_program(Program.from_text(append_nrev))
+        machine = Machine(compiled)
+        list(machine.run(parse_term("nrev([1,2,3], R)")))
+        assert machine.instruction_count > 10

@@ -1,0 +1,113 @@
+"""Tests for the term writer (round-trips and quoting)."""
+
+import pytest
+
+from repro.prolog import parse_term, term_to_text
+from repro.prolog.terms import Atom, Int, Struct, Var, make_list
+from repro.prolog.writer import atom_needs_quotes
+
+
+def roundtrip(text):
+    term = parse_term(text)
+    return parse_term(term_to_text(term, quoted=True))
+
+
+class TestBasic:
+    def test_atom(self):
+        assert term_to_text(Atom("foo")) == "foo"
+
+    def test_integer(self):
+        assert term_to_text(Int(42)) == "42"
+
+    def test_struct(self):
+        assert term_to_text(parse_term("f(a, 1)")) == "f(a, 1)"
+
+    def test_variable_name(self):
+        assert term_to_text(Var("X")) == "X"
+
+    def test_list(self):
+        assert term_to_text(parse_term("[1, 2, 3]")) == "[1, 2, 3]"
+
+    def test_partial_list(self):
+        assert term_to_text(parse_term("[a | T]")) == "[a | T]"
+
+    def test_curly(self):
+        assert term_to_text(parse_term("{a}")) == "{a}"
+
+    def test_nil(self):
+        assert term_to_text(parse_term("[]")) == "[]"
+
+
+class TestOperators:
+    def test_infix(self):
+        assert term_to_text(parse_term("a + b")) == "a + b"
+
+    def test_precedence_parens(self):
+        assert term_to_text(parse_term("(a + b) * c")) == "(a + b) * c"
+
+    def test_no_needless_parens(self):
+        assert term_to_text(parse_term("a + b * c")) == "a + b * c"
+
+    def test_left_assoc_right_nesting(self):
+        assert term_to_text(parse_term("a - (b - c)")) == "a - (b - c)"
+
+    def test_clause(self):
+        assert term_to_text(parse_term("h :- a, b")) == "h :- a, b"
+
+    def test_prefix(self):
+        assert term_to_text(parse_term("\\+ a")) == "\\+ a"
+
+    def test_comma_struct(self):
+        assert term_to_text(parse_term("(a, b)")) == "a, b"
+
+
+class TestQuoting:
+    def test_needs_quotes(self):
+        assert atom_needs_quotes("hello world")
+        assert atom_needs_quotes("Upper")
+        assert atom_needs_quotes("")
+
+    def test_no_quotes(self):
+        assert not atom_needs_quotes("foo")
+        assert not atom_needs_quotes("fooBar_1")
+        assert not atom_needs_quotes("+")
+        assert not atom_needs_quotes("[]")
+        assert not atom_needs_quotes("!")
+
+    def test_quoted_output(self):
+        assert term_to_text(Atom("hello world"), quoted=True) == "'hello world'"
+
+    def test_quote_escapes(self):
+        assert term_to_text(Atom("it's"), quoted=True) == "'it\\'s'"
+
+    def test_unquoted_output_raw(self):
+        assert term_to_text(Atom("hello world")) == "hello world"
+
+
+class TestRoundTrips:
+    CASES = [
+        "f(a, b, c)",
+        "[1, 2, [3, x], 'Y']",
+        "a + b * (c - d)",
+        "h :- b1, (b2 ; b3)",
+        "f('hello world', \\+ g)",
+        "{x, y}",
+        "-(1)",
+        "[a | T]",
+        "f(X, g(X, Y))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip(self, text):
+        once = parse_term(text)
+        twice = roundtrip(text)
+        assert term_to_text(once) == term_to_text(twice)
+
+    def test_max_depth(self):
+        term = parse_term("f(g(h(i(j))))")
+        assert "..." in term_to_text(term, max_depth=2)
+
+    def test_long_list_depth_cap(self):
+        term = make_list([Int(i) for i in range(20)])
+        text = term_to_text(term, max_depth=3)
+        assert "..." in text
