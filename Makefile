@@ -27,6 +27,10 @@ examples:
 	$(PYTHON) examples/compare_analyzers.py
 	$(PYTHON) examples/analyze_benchmarks.py tak nreverse
 
+lint:
+	$(PYTHON) -m repro.lint examples/nrev.pl "nrev(glist, var)"
+	$(PYTHON) -m repro.lint examples/lint_demo.pl "main" "wrapper(g)"
+
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis .benchmarks

@@ -1,0 +1,24 @@
+% A tour of the linter's warnings (docs/lint.md catalogues the codes).
+%
+%   repro-lint examples/lint_demo.pl "main" "wrapper(g)"
+%
+% Every finding here is warning- or info-level, so the exit status is 0;
+% errors (E0xx/E1xx) would make it 1.
+
+main :- len([1, 2, 3], N, Extra), report(N).
+
+% W002: 'Extra' above is a singleton variable.
+len([], 0, ok).
+len([_|T], N, ok) :- len(T, M, _), N is M + 1.
+
+report(N) :- write(N), nl.
+
+% W003: never called from the entry points.
+orphan(left, right).
+
+% W005 at the definition of impossible/1, W007 at its call site.
+wrapper(X) :- impossible(X).
+impossible(_) :- fail.
+
+% W009: helper/1 calls an undefined predicate.
+helper(X) :- missing_predicate(X).

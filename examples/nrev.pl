@@ -1,0 +1,13 @@
+% Naive reverse, the paper's running example.
+% Lint it with:
+%
+%   repro-lint examples/nrev.pl "nrev(glist, var)"
+%
+% This file is clean: the bytecode verifier and every source rule stay
+% silent (the CI smoke job depends on that).
+
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).

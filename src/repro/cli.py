@@ -1,16 +1,25 @@
 """Command line entry points.
 
 ``repro-analyze file.pl "main(g, var)"`` — run the compiled dataflow
-analysis and print the mode/type/aliasing report.
+analysis and print the mode/type/aliasing report (``--lint`` appends the
+lint report).
 
 ``repro-prolog file.pl "goal(X)"`` — compile a program to WAM code and run
 a query on the concrete machine (``--engine solver`` uses the SLD solver,
 ``--listing`` prints the WAM code instead of running).
+
+``repro-lint file.pl "main(g, var)"`` — verify the compiled bytecode and
+lint the source against the analysis; exit status 1 when any
+error-severity diagnostic (or a syntax error) is found, 0 otherwise.
+
+The three commands share one loader and one set of argument groups, so
+flags mean the same thing everywhere.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -33,28 +42,60 @@ def _load_program(path: str, use_library: bool) -> Program:
     return Program.from_text(text)
 
 
-def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-analyze",
-        description="Compiled dataflow analysis of a Prolog program",
-    )
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every command that reads a Prolog file."""
     parser.add_argument("file", help="Prolog source file")
+    parser.add_argument("--library", action="store_true", help="add list library")
+
+
+def _add_analysis_arguments(
+    parser: argparse.ArgumentParser, on_undefined_default: str = "error"
+) -> None:
+    """Arguments shared by the analysis-running commands."""
     parser.add_argument(
         "entries",
         nargs="+",
         help='entry calling patterns, e.g. "main" or "nrev(glist, var)"',
     )
     parser.add_argument("--depth", type=int, default=4, help="term-depth limit")
-    parser.add_argument("--library", action="store_true", help="add list library")
-    parser.add_argument(
-        "--table", action="store_true", help="print the raw extension table too"
-    )
     parser.add_argument(
         "--no-trimming", action="store_true", help="disable environment trimming"
     )
     parser.add_argument(
         "--subsumption", action="store_true",
         help="reuse summaries of more general explored patterns",
+    )
+    parser.add_argument(
+        "--on-undefined",
+        default=on_undefined_default,
+        choices=["error", "fail", "top"],
+        help="policy for calls to undefined predicates",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+
+
+def _build_analyzer(arguments: argparse.Namespace, program: Program) -> Analyzer:
+    options = CompilerOptions(environment_trimming=not arguments.no_trimming)
+    return Analyzer(
+        program,
+        options=options,
+        depth=arguments.depth,
+        subsumption=arguments.subsumption,
+        on_undefined=arguments.on_undefined,
+    )
+
+
+def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Compiled dataflow analysis of a Prolog program",
+    )
+    _add_source_arguments(parser)
+    _add_analysis_arguments(parser)
+    parser.add_argument(
+        "--table", action="store_true", help="print the raw extension table too"
     )
     parser.add_argument(
         "--specialize", action="store_true",
@@ -68,30 +109,13 @@ def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
         "--deadcode", action="store_true", help="print the dead-code report"
     )
     parser.add_argument(
-        "--json", action="store_true", help="print the report as JSON"
-    )
-    parser.add_argument(
-        "--on-undefined",
-        default="error",
-        choices=["error", "fail", "top"],
-        help="policy for calls to undefined predicates",
+        "--lint", action="store_true", help="print the lint report too"
     )
     arguments = parser.parse_args(argv)
     program = _load_program(arguments.file, arguments.library)
-    options = CompilerOptions(
-        environment_trimming=not arguments.no_trimming
-    )
-    analyzer = Analyzer(
-        program,
-        options=options,
-        depth=arguments.depth,
-        subsumption=arguments.subsumption,
-        on_undefined=arguments.on_undefined,
-    )
+    analyzer = _build_analyzer(arguments, program)
     result = analyzer.analyze(arguments.entries)
     if arguments.json:
-        import json
-
         print(json.dumps(result.to_dict(), indent=2))
         return 0
     print(result.to_text())
@@ -113,7 +137,58 @@ def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
 
         print()
         print(find_dead_code(program, result).to_text())
+    if arguments.lint:
+        from .lint import lint_source, verify_compiled
+        from .lint.diagnostics import LintReport
+
+        report = LintReport()
+        report.extend(verify_compiled(analyzer.compiled, file=arguments.file))
+        report.extend(lint_source(program, result, file=arguments.file))
+        report.sort()
+        print()
+        print(report.to_text())
     return 0
+
+
+def main_lint(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static diagnostics: WAM bytecode verification plus "
+            "analysis-driven source linting"
+        ),
+    )
+    _add_source_arguments(parser)
+    _add_analysis_arguments(parser, on_undefined_default="top")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bytecode verifier pass",
+    )
+    parser.add_argument(
+        "--no-source", action="store_true", help="skip the source rules"
+    )
+    arguments = parser.parse_args(argv)
+    from .lint import LintOptions, lint_file
+
+    options = LintOptions(
+        depth=arguments.depth,
+        subsumption=arguments.subsumption,
+        on_undefined=arguments.on_undefined,
+        environment_trimming=not arguments.no_trimming,
+        verify=not arguments.no_verify,
+        source=not arguments.no_source,
+    )
+    report = lint_file(
+        arguments.file,
+        arguments.entries,
+        library=arguments.library,
+        options=options,
+    )
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.to_text())
+    return 1 if report.has_errors else 0
 
 
 def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
@@ -121,12 +196,11 @@ def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-prolog",
         description="Run a Prolog query on the WAM (or the SLD solver)",
     )
-    parser.add_argument("file", help="Prolog source file")
+    _add_source_arguments(parser)
     parser.add_argument("goal", nargs="?", default="main", help="query goal")
     parser.add_argument(
         "--engine", default="wam", choices=["wam", "solver"]
     )
-    parser.add_argument("--library", action="store_true", help="add list library")
     parser.add_argument(
         "--all", action="store_true", help="print all solutions (default: first)"
     )

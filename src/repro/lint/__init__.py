@@ -1,0 +1,35 @@
+"""Static diagnostics: a WAM bytecode verifier and an analysis-driven linter.
+
+The fourth client of the dataflow facts (after specialization,
+parallelism annotation and dead-code removal): correctness tooling.
+
+* :mod:`.verifier` — a forward dataflow pass over compiled WAM code that
+  checks register-file and environment discipline (codes ``E1xx``);
+* :mod:`.rules` / :mod:`.source` — source-level lint rules driven by the
+  extension table (codes ``W0xx``/``E0xx``/``I0xx``);
+* :mod:`.driver` — one-call aggregation into a :class:`LintReport`;
+* :mod:`.diagnostics` — the shared structured-diagnostic core.
+
+Run it as ``repro-lint file.pl "entry(g, var)"`` or
+``python -m repro.lint ...``.
+"""
+
+from .diagnostics import Diagnostic, LintReport
+from .driver import LintOptions, lint_file, lint_program
+from .rules import RULES, LintContext, Rule
+from .source import lint_source
+from .verifier import verify_code, verify_compiled
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintOptions",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_program",
+    "lint_source",
+    "verify_code",
+    "verify_compiled",
+]

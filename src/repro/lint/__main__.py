@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — same as the ``repro-lint`` console script."""
+
+import sys
+
+from ..cli import main_lint
+
+if __name__ == "__main__":
+    sys.exit(main_lint())

@@ -1,0 +1,126 @@
+"""Structured diagnostics shared by the bytecode verifier and the linter.
+
+A :class:`Diagnostic` is one user-facing finding: a stable code
+(``E0xx``/``W0xx``/``I0xx`` for source findings, ``E1xx`` for bytecode
+findings), a severity, a source location, and a message.  Diagnostics
+render as the conventional one-line compiler format::
+
+    file.pl:3:1: warning: W002: singleton variable 'X' in nrev/2
+
+:class:`LintReport` aggregates diagnostics from all passes, sorts them
+into a stable order, and renders the whole report as text or JSON.  The
+CLI's exit status comes from :attr:`LintReport.has_errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..prolog.terms import Indicator, format_indicator
+
+#: Severities in increasing order of gravity.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the verifier or the linter."""
+
+    code: str
+    severity: str
+    message: str
+    file: str = "?"
+    #: (line, column) in the source file, or None when unknown (e.g. for
+    #: hand-assembled bytecode).
+    position: Optional[Tuple[int, int]] = None
+    #: predicate the finding belongs to, when there is one.
+    predicate: Optional[Indicator] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        """``file:line:column`` with ``?`` for unknown parts."""
+        if self.position is None:
+            return f"{self.file}:?:?"
+        return f"{self.file}:{self.position[0]}:{self.position[1]}"
+
+    def to_text(self) -> str:
+        text = f"{self.location}: {self.severity}: {self.code}: {self.message}"
+        if self.predicate is not None:
+            text += f" [{format_indicator(self.predicate)}]"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.position[0] if self.position is not None else None,
+            "column": self.position[1] if self.position is not None else None,
+            "predicate": (
+                format_indicator(self.predicate)
+                if self.predicate is not None
+                else None
+            ),
+        }
+
+
+def _sort_key(diagnostic: Diagnostic):
+    position = diagnostic.position if diagnostic.position is not None else (1 << 30, 0)
+    return (diagnostic.file, position, diagnostic.code, diagnostic.message)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, in stable order."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diagnostics) -> None:
+        for diagnostic in diagnostics:
+            if diagnostic not in self.diagnostics:
+                self.diagnostics.append(diagnostic)
+
+    def sort(self) -> None:
+        self.diagnostics.sort(key=_sort_key)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def summary(self) -> str:
+        parts = []
+        for severity in reversed(SEVERITIES):
+            n = self.count(severity)
+            if n:
+                parts.append(f"{n} {severity}{'s' if n != 1 else ''}")
+        return ", ".join(parts) if parts else "clean"
+
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [d.to_text() for d in self.diagnostics]
+        lines.append(f"% lint: {self.summary}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        counts: Dict[str, int] = {s: self.count(s) for s in SEVERITIES}
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": counts,
+            "has_errors": self.has_errors,
+        }

@@ -1,0 +1,116 @@
+"""The lint driver: analysis + verifier + source rules in one call.
+
+:func:`lint_program` is the library API: given a program (text, parsed,
+or path contents) and entry calling patterns, it runs the fixpoint
+analysis, verifies the compiled bytecode, runs every source rule, and
+aggregates everything into one sorted
+:class:`~repro.lint.diagnostics.LintReport`.
+
+:func:`lint_file` adds file handling and turns syntax errors into ``E001``
+diagnostics instead of exceptions, so the CLI always produces a report.
+
+Undefined predicates default to the ``top`` policy (assume they can be
+called with anything and succeed with anything): a linter should report
+them (rule ``W009``), not crash on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..analysis.driver import Analyzer
+from ..analysis.results import AnalysisResult
+from ..errors import PrologSyntaxError, ReproError
+from ..prolog.library import with_library
+from ..prolog.program import Program
+from ..wam.compile import CompilerOptions
+from .diagnostics import Diagnostic, LintReport
+from .source import lint_source
+from .verifier import verify_compiled
+
+
+@dataclass
+class LintOptions:
+    """Switches for one lint run."""
+
+    depth: int = 4
+    subsumption: bool = False
+    on_undefined: str = "top"
+    environment_trimming: bool = True
+    #: run the bytecode verifier over the compiled program.
+    verify: bool = True
+    #: run the source rules.
+    source: bool = True
+
+
+def lint_program(
+    program: Union[Program, str],
+    entries: Sequence[str],
+    file: str = "?",
+    options: Optional[LintOptions] = None,
+) -> LintReport:
+    """Lint a program against the given entry calling patterns."""
+    if options is None:
+        options = LintOptions()
+    if isinstance(program, str):
+        program = Program.from_text(program)
+    report = LintReport()
+    analyzer = Analyzer(
+        program,
+        options=CompilerOptions(
+            environment_trimming=options.environment_trimming
+        ),
+        depth=options.depth,
+        subsumption=options.subsumption,
+        on_undefined=options.on_undefined,
+    )
+    result: Optional[AnalysisResult] = None
+    try:
+        result = analyzer.analyze(list(entries))
+    except ReproError as error:
+        report.extend(
+            [
+                Diagnostic(
+                    code="E000",
+                    severity="error",
+                    message=f"analysis failed: {error}",
+                    file=file,
+                )
+            ]
+        )
+    if options.verify:
+        report.extend(verify_compiled(analyzer.compiled, file=file))
+    if options.source:
+        report.extend(lint_source(program, result, file=file))
+    report.sort()
+    return report
+
+
+def lint_file(
+    path: str,
+    entries: Sequence[str],
+    library: bool = False,
+    options: Optional[LintOptions] = None,
+) -> LintReport:
+    """Lint a Prolog source file; syntax errors become ``E001``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        program = with_library(text) if library else Program.from_text(text)
+    except PrologSyntaxError as error:
+        report = LintReport()
+        position = (error.line, error.column) if error.line else None
+        report.extend(
+            [
+                Diagnostic(
+                    code="E001",
+                    severity="error",
+                    message=f"syntax error: {error}",
+                    file=path,
+                    position=position,
+                )
+            ]
+        )
+        return report
+    return lint_program(program, entries, file=path, options=options)

@@ -1,0 +1,31 @@
+"""The source linter: runs every registered rule over one program.
+
+The linter is a client of the dataflow analysis in the sense of the
+paper's Section 6: it consumes the extension table's calling/success
+patterns (through :class:`~repro.analysis.results.AnalysisResult`) and
+turns them into user-facing diagnostics.  Purely syntactic rules
+(singletons, undefined predicates) run even when no analysis result is
+available; the analysis-driven rules simply produce nothing then.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.results import AnalysisResult
+from ..prolog.program import Program
+from .diagnostics import Diagnostic
+from .rules import RULE_CHECKS, LintContext
+
+
+def lint_source(
+    program: Program,
+    result: Optional[AnalysisResult] = None,
+    file: str = "?",
+) -> List[Diagnostic]:
+    """Run all source rules; ``result`` enables the analysis-driven ones."""
+    context = LintContext(program=program, result=result, file=file)
+    diagnostics: List[Diagnostic] = []
+    for check in RULE_CHECKS:
+        diagnostics.extend(check(context))
+    return diagnostics

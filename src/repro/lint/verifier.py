@@ -1,0 +1,440 @@
+"""WAM bytecode verifier: a forward dataflow pass over compiled code.
+
+For each predicate in a linked :class:`~repro.wam.code.CodeArea` the
+verifier walks the instruction graph — following ``try_me_else`` /
+``retry_me_else`` alternatives, ``try``/``retry``/``trust`` sub-chains and
+``switch_on_term``/``switch_on_constant``/``switch_on_structure`` targets —
+tracking an abstract register file per address:
+
+* which X registers hold a value (argument registers ``X1..Xn`` are live on
+  entry; a ``call`` kills every temporary);
+* whether an environment is allocated, how many Y slots it has, which
+  slots have been initialized, and which were trimmed away by a ``call``'s
+  live-slot count;
+* whether ``deallocate`` already ran (any Y access after that is the
+  classic ``put_unsafe_value`` omission: the slot may be overwritten
+  before ``execute`` reads it).
+
+States from different paths are merged by intersection, so every
+diagnostic holds on *some* path the machine can actually take.  The
+verifier is a regression net over the compiler: on compiler-emitted code
+it must stay silent (see ``tests/test_lint_verifier.py``), while
+hand-assembled bad sequences trigger the ``E1xx`` codes below.
+
+Codes:
+
+* ``E101`` — X register read before it was written;
+* ``E102`` — Y register access with no allocated environment (or beyond
+  the environment's slot count);
+* ``E103`` — Y register read before initialization, including slots
+  trimmed away by an earlier ``call``;
+* ``E104`` — Y register access after ``deallocate`` (``put_unsafe_value``
+  omission);
+* ``E105`` — branch target escapes the predicate's code region;
+* ``E106`` — control can fall through the end of the predicate (missing
+  ``execute``/``proceed``);
+* ``E107`` — environment bookkeeping error (double ``allocate``,
+  ``deallocate`` without an environment, ``execute``/``proceed`` with the
+  environment still allocated, inconsistent states at a merge point);
+* ``E108`` — unknown opcode (not part of the machine's instruction set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..prolog.terms import Indicator, format_indicator
+from ..wam.code import CodeArea
+from ..wam.instructions import ALL_OPS, Instr, Reg
+from ..wam.listing import format_instruction
+from .diagnostics import Diagnostic
+
+#: Switch-table target meaning "backtrack"; not an address.
+_FAIL_TARGET = -1
+
+#: Opcodes that never fall through to the next address.
+_TERMINAL_OPS = frozenset(["execute", "proceed", "fail", "halt"])
+_JUMP_OPS = frozenset(
+    ["trust", "switch_on_term", "switch_on_constant", "switch_on_structure"]
+)
+
+
+@dataclass(frozen=True)
+class _State:
+    """Abstract register file at one program point."""
+
+    x: FrozenSet[int]
+    #: slot count of the live environment, or None.
+    env: Optional[int]
+    y: FrozenSet[int]
+    #: True after ``deallocate`` (environment gone for good on this path).
+    freed: bool
+
+
+def _merge(a: _State, b: _State) -> Tuple[_State, bool]:
+    """Intersection merge; the flag reports an environment mismatch."""
+    mismatch = a.env != b.env or a.freed != b.freed
+    env = a.env if a.env == b.env else None
+    freed = a.freed and b.freed
+    return _State(a.x & b.x, env, a.y & b.y, freed), mismatch
+
+
+class _PredicateVerifier:
+    """Verifies one predicate's code region with a worklist walk."""
+
+    def __init__(
+        self,
+        code: CodeArea,
+        indicator: Indicator,
+        start: int,
+        end: int,
+        file: str,
+        position: Optional[Tuple[int, int]],
+    ):
+        self.code = code
+        self.indicator = indicator
+        self.start = start
+        self.end = end
+        self.file = file
+        self.position = position
+        self.arity = indicator[1]
+        self.entry_state = _State(
+            x=frozenset(range(1, self.arity + 1)),
+            env=None,
+            y=frozenset(),
+            freed=False,
+        )
+        self.states: Dict[int, _State] = {}
+        self.worklist: List[int] = []
+        self.findings: Set[Tuple[str, int, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Reporting.
+
+    def _report(self, code: str, address: int, message: str) -> None:
+        instruction = self.code.at(address)
+        self.findings.add(
+            (
+                code,
+                address,
+                f"{message} (at {address}: {format_instruction(instruction)})",
+            )
+        )
+
+    def diagnostics(self) -> List[Diagnostic]:
+        return [
+            Diagnostic(
+                code=code,
+                severity="error",
+                message=message,
+                file=self.file,
+                position=self.position,
+                predicate=self.indicator,
+            )
+            for code, _, message in sorted(self.findings, key=lambda f: (f[1], f[0]))
+        ]
+
+    # ------------------------------------------------------------------
+    # The walk.
+
+    def run(self) -> List[Diagnostic]:
+        self._propagate(self.start, self.entry_state)
+        while self.worklist:
+            address = self.worklist.pop()
+            self._step(address, self.states[address])
+        return self.diagnostics()
+
+    def _propagate(self, address: int, state: _State) -> None:
+        existing = self.states.get(address)
+        if existing is None:
+            self.states[address] = state
+            self.worklist.append(address)
+            return
+        merged, mismatch = _merge(existing, state)
+        if mismatch:
+            self._report(
+                "E107", address, "inconsistent environment state at merge point"
+            )
+        if merged != existing:
+            self.states[address] = merged
+            self.worklist.append(address)
+
+    def _check_target(self, address: int, target: object) -> Optional[int]:
+        """Validate a branch target; None when it must not be followed."""
+        if target == _FAIL_TARGET:
+            return None
+        if not isinstance(target, int) or not (self.start <= target < self.end):
+            self._report(
+                "E105",
+                address,
+                f"branch target {target} escapes predicate "
+                f"{format_indicator(self.indicator)} "
+                f"(code region {self.start}..{self.end - 1})",
+            )
+            return None
+        return target
+
+    def _fall_through(self, address: int, state: _State) -> None:
+        if address + 1 >= self.end:
+            self._report(
+                "E106",
+                address,
+                "control falls through the end of the predicate "
+                "(missing execute/proceed)",
+            )
+            return
+        self._propagate(address + 1, state)
+
+    # ------------------------------------------------------------------
+    # Register accesses.
+
+    def _read_x(self, address: int, index: int, x: Set[int]) -> None:
+        if index not in x:
+            self._report(
+                "E101", address, f"X{index} read before it was written"
+            )
+            x.add(index)  # suppress cascading reports downstream
+
+    def _access_y(
+        self, address: int, index: int, state: _State, y: Set[int], write: bool
+    ) -> None:
+        if state.freed:
+            self._report(
+                "E104",
+                address,
+                f"Y{index} accessed after deallocate "
+                "(put_unsafe_value omission)",
+            )
+            return
+        if state.env is None or index > state.env:
+            where = (
+                "with no allocated environment"
+                if state.env is None
+                else f"beyond the environment's {state.env} slot(s)"
+            )
+            self._report("E102", address, f"Y{index} accessed {where}")
+            return
+        if write:
+            y.add(index)
+        elif index not in y:
+            self._report(
+                "E103",
+                address,
+                f"Y{index} read before initialization "
+                "(or after being trimmed away)",
+            )
+            y.add(index)
+
+    def _touch_reg(
+        self,
+        address: int,
+        register: Reg,
+        state: _State,
+        x: Set[int],
+        y: Set[int],
+        write: bool,
+    ) -> None:
+        if register.kind == "x":
+            if write:
+                x.add(register.index)
+            else:
+                self._read_x(address, register.index, x)
+        else:
+            self._access_y(address, register.index, state, y, write)
+
+    # ------------------------------------------------------------------
+    # Transfer function.
+
+    def _step(self, address: int, state: _State) -> None:
+        instruction = self.code.at(address)
+        op = instruction.op
+        args = instruction.args
+        if op not in ALL_OPS or op == "label":
+            self._report("E108", address, f"unknown opcode {op!r}")
+            return
+
+        x = set(state.x)
+        y = set(state.y)
+
+        if op in ("put_variable", "get_variable", "get_value", "put_value"):
+            register, position = args
+            if op == "get_variable":
+                self._read_x(address, position, x)
+                self._touch_reg(address, register, state, x, y, write=True)
+            elif op == "get_value":
+                self._touch_reg(address, register, state, x, y, write=False)
+                self._read_x(address, position, x)
+            elif op == "put_value":
+                self._touch_reg(address, register, state, x, y, write=False)
+                x.add(position)
+            else:  # put_variable writes both
+                self._touch_reg(address, register, state, x, y, write=True)
+                x.add(position)
+            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
+            return
+
+        if op in ("put_constant", "put_nil"):
+            x.add(args[-1])
+            self._fall_through(address, replace(state, x=frozenset(x)))
+            return
+        if op in ("get_constant", "get_nil"):
+            self._read_x(address, args[-1], x)
+            self._fall_through(address, replace(state, x=frozenset(x)))
+            return
+        if op in ("put_list", "put_structure"):
+            self._touch_reg(address, args[-1], state, x, y, write=True)
+            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
+            return
+        if op in ("get_list", "get_structure"):
+            self._touch_reg(address, args[-1], state, x, y, write=False)
+            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
+            return
+        if op == "unify_variable":
+            self._touch_reg(address, args[0], state, x, y, write=True)
+            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
+            return
+        if op == "unify_value":
+            self._touch_reg(address, args[0], state, x, y, write=False)
+            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
+            return
+        if op in ("unify_constant", "unify_nil", "unify_void"):
+            self._fall_through(address, state)
+            return
+
+        if op == "allocate":
+            if state.env is not None:
+                self._report(
+                    "E107", address, "allocate with an environment already allocated"
+                )
+            self._fall_through(
+                address,
+                _State(x=frozenset(x), env=args[0], y=frozenset(), freed=False),
+            )
+            return
+        if op == "deallocate":
+            if state.env is None:
+                self._report(
+                    "E107", address, "deallocate without an allocated environment"
+                )
+            self._fall_through(
+                address, _State(x=frozenset(x), env=None, y=frozenset(), freed=True)
+            )
+            return
+        if op == "call":
+            predicate, live = args
+            for index in range(1, predicate[1] + 1):
+                self._read_x(address, index, x)
+            survivors = frozenset(s for s in y if s <= live) if state.env else frozenset()
+            self._fall_through(
+                address, replace(state, x=frozenset(), y=survivors)
+            )
+            return
+        if op == "execute":
+            predicate = args[0]
+            for index in range(1, predicate[1] + 1):
+                self._read_x(address, index, x)
+            if state.env is not None:
+                self._report(
+                    "E107", address, "execute with the environment still allocated"
+                )
+            return
+        if op == "proceed":
+            if state.env is not None:
+                self._report(
+                    "E107", address, "proceed with the environment still allocated"
+                )
+            return
+        if op == "builtin":
+            predicate = args[0]
+            for index in range(1, predicate[1] + 1):
+                self._read_x(address, index, x)
+            self._fall_through(address, replace(state, x=frozenset(x)))
+            return
+        if op == "neck_cut":
+            self._fall_through(address, state)
+            return
+        if op == "get_level":
+            self._access_y(address, args[0].index, state, y, write=True)
+            self._fall_through(address, replace(state, y=frozenset(y)))
+            return
+        if op == "cut":
+            self._access_y(address, args[0].index, state, y, write=False)
+            self._fall_through(address, replace(state, y=frozenset(y)))
+            return
+        if op in ("fail", "halt"):
+            return
+
+        if op in ("try_me_else", "retry_me_else"):
+            target = self._check_target(address, args[0])
+            if target is not None:
+                self._propagate(target, self.entry_state)
+            self._fall_through(address, state)
+            return
+        if op == "trust_me":
+            self._fall_through(address, state)
+            return
+        if op in ("try", "retry", "trust"):
+            target = self._check_target(address, args[0])
+            if target is not None:
+                self._propagate(target, self.entry_state)
+            if op != "trust":
+                # The next instruction runs after backtracking, with the
+                # argument registers restored from the choice point.
+                self._fall_through(address, self.entry_state)
+            return
+        if op == "switch_on_term":
+            for target in args:
+                resolved = self._check_target(address, target)
+                if resolved is not None:
+                    self._propagate(resolved, state)
+            return
+        if op in ("switch_on_constant", "switch_on_structure"):
+            for _, target in args[0]:
+                resolved = self._check_target(address, target)
+                if resolved is not None:
+                    self._propagate(resolved, state)
+            return
+
+        raise AssertionError(f"unhandled opcode {op}")  # pragma: no cover
+
+
+def _predicate_ranges(code: CodeArea) -> List[Tuple[Indicator, int, int]]:
+    """(indicator, start, end) for every predicate, in address order."""
+    entries = sorted(code.owners.items())
+    ranges = []
+    for position, (start, indicator) in enumerate(entries):
+        end = entries[position + 1][0] if position + 1 < len(entries) else len(code)
+        ranges.append((indicator, start, end))
+    return ranges
+
+
+def verify_code(
+    code: CodeArea,
+    file: str = "?",
+    positions: Optional[Dict[Indicator, Tuple[int, int]]] = None,
+) -> List[Diagnostic]:
+    """Verify every predicate of a linked code area.
+
+    ``positions`` maps indicators to source positions (first clause of the
+    predicate) so diagnostics carry a ``file:line`` location.
+    """
+    positions = positions or {}
+    diagnostics: List[Diagnostic] = []
+    for indicator, start, end in _predicate_ranges(code):
+        verifier = _PredicateVerifier(
+            code, indicator, start, end, file, positions.get(indicator)
+        )
+        diagnostics.extend(verifier.run())
+    return diagnostics
+
+
+def verify_compiled(compiled, file: str = "?") -> List[Diagnostic]:
+    """Verify a :class:`~repro.wam.compile.CompiledProgram`'s code area."""
+    positions: Dict[Indicator, Tuple[int, int]] = {}
+    for indicator, predicate in compiled.program.predicates.items():
+        for clause in predicate.clauses:
+            if clause.position is not None:
+                positions[indicator] = clause.position
+                break
+    return verify_code(compiled.code, file=file, positions=positions)

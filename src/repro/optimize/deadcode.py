@@ -65,8 +65,12 @@ class DeadCodeReport:
         return "\n".join(lines)
 
 
-def _clause_matches(pattern, clause: Clause) -> bool:
-    """Can the clause head abstractly unify with the calling pattern?"""
+def clause_matches(pattern, clause: Clause) -> bool:
+    """Can the clause head abstractly unify with the calling pattern?
+
+    Shared with :mod:`repro.lint`, which uses it for dead-clause
+    diagnostics and determinism hints.
+    """
     heap = Heap()
     cells = materialize_pattern(heap, pattern)
     if not isinstance(clause.head, Struct):
@@ -93,7 +97,7 @@ def find_dead_code(program: Program, result: AnalysisResult) -> DeadCodeReport:
             report.failing_predicates.append(indicator)
         for index, clause in enumerate(predicate.clauses):
             if not any(
-                _clause_matches(entry.calling, clause) for entry in entries
+                clause_matches(entry.calling, clause) for entry in entries
             ):
                 report.dead_clauses.append((indicator, index, clause))
     return report

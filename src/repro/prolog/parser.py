@@ -47,6 +47,8 @@ class Parser:
         self.index = 0
         self.operators = operators if operators is not None else OperatorTable()
         self.var_map: Dict[str, Var] = {}
+        #: (line, column) of the first token of the last clause read.
+        self.clause_position: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Token stream helpers.
@@ -77,10 +79,17 @@ class Parser:
     # Term reading.
 
     def read_clause_term(self) -> Optional[Term]:
-        """Read one term terminated by the end token; None at end of input."""
+        """Read one term terminated by the end token; None at end of input.
+
+        The (line, column) of the clause's first token is recorded in
+        :attr:`clause_position` so callers can attach source locations to
+        the parsed clause.
+        """
         if self.at_end():
             return None
         self.var_map = {}
+        start = self._peek()
+        self.clause_position = (start.line, start.column)
         term = self.parse(MAX_PRIORITY)
         token = self._next()
         if token.kind != "end":
@@ -311,12 +320,24 @@ def read_terms(
     ``:- op/3`` directives take effect immediately and are *not* returned;
     other directives are returned as ``:-/1`` terms for the caller.
     """
+    return [term for term, _ in read_terms_with_positions(text, operators)]
+
+
+def read_terms_with_positions(
+    text: str, operators: Optional[OperatorTable] = None
+) -> List[Tuple[Term, Tuple[int, int]]]:
+    """Like :func:`read_terms`, pairing each term with its (line, column).
+
+    The position is that of the first token of the clause, which is what
+    diagnostics want to point at.
+    """
     table = operators if operators is not None else OperatorTable()
     parser = Parser(tokenize(text), table)
-    result: List[Term] = []
+    result: List[Tuple[Term, Tuple[int, int]]] = []
     while True:
         term = parser.read_clause_term()
         if term is None:
             return result
         if not _apply_directive(term, table):
-            result.append(term)
+            assert parser.clause_position is not None
+            result.append((term, parser.clause_position))

@@ -20,7 +20,6 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import PrologSyntaxError
 from .operators import OperatorTable
-from .parser import read_terms
 from .terms import (
     FAIL,
     TRUE,
@@ -53,21 +52,34 @@ def flatten_conjunction(term: Term) -> List[Term]:
 
 @dataclass
 class Clause:
-    """One program clause ``head :- goal1, ..., goaln``."""
+    """One program clause ``head :- goal1, ..., goaln``.
+
+    ``position`` is the (line, column) of the clause's first token in the
+    source text, or None for clauses built programmatically; diagnostics
+    print ``?:?`` in the latter case.
+    """
 
     head: Term
     body: List[Term] = field(default_factory=list)
+    position: Optional[Tuple[int, int]] = None
 
     @property
     def indicator(self) -> Indicator:
         return indicator_of(self.head)
+
+    @property
+    def position_text(self) -> str:
+        """``line:column`` of the clause, or ``?:?`` when unknown."""
+        if self.position is None:
+            return "?:?"
+        return f"{self.position[0]}:{self.position[1]}"
 
     def rename(self) -> "Clause":
         """A copy with fresh variables (used at each resolution step)."""
         mapping: Dict[int, Var] = {}
         head = rename_term(self.head, mapping)
         body = [rename_term(goal, mapping) for goal in self.body]
-        return Clause(head, body)
+        return Clause(head, body, position=self.position)
 
     def to_term(self) -> Term:
         """Back to a single ``:-/2`` term (or the bare head for facts)."""
@@ -79,7 +91,9 @@ class Clause:
         return Struct(":-", (self.head, body))
 
     @staticmethod
-    def from_term(term: Term) -> "Clause":
+    def from_term(
+        term: Term, position: Optional[Tuple[int, int]] = None
+    ) -> "Clause":
         """Build a clause from a parsed ``:-/2`` term or a fact."""
         if isinstance(term, Struct) and term.name == ":-" and term.arity == 2:
             head, body = term.args
@@ -87,7 +101,7 @@ class Clause:
             head, body = term, TRUE
         if not head.is_callable():
             raise PrologSyntaxError(f"clause head is not callable: {head}")
-        return Clause(head, flatten_conjunction(body))
+        return Clause(head, flatten_conjunction(body), position=position)
 
     def __str__(self) -> str:
         from .writer import term_to_text
@@ -132,16 +146,20 @@ class Program:
             self.predicates[indicator] = predicate
         predicate.clauses.append(clause)
 
-    def add_term(self, term: Term) -> None:
+    def add_term(
+        self, term: Term, position: Optional[Tuple[int, int]] = None
+    ) -> None:
         if isinstance(term, Struct) and term.name == ":-" and term.arity == 1:
             self.directives.append(term.args[0])
             return
         if isinstance(term, Struct) and term.indicator == ("-->", 2):
             from .dcg import translate_dcg
 
-            self.add_clause(translate_dcg(term))
+            clause = translate_dcg(term)
+            clause.position = position
+            self.add_clause(clause)
             return
-        self.add_clause(Clause.from_term(term))
+        self.add_clause(Clause.from_term(term, position=position))
 
     def predicate(self, indicator: Indicator) -> Optional[Predicate]:
         return self.predicates.get(indicator)
@@ -161,10 +179,12 @@ class Program:
     @staticmethod
     def from_text(text: str) -> "Program":
         """Parse a whole program text (clauses and directives)."""
+        from .parser import read_terms_with_positions
+
         operators = OperatorTable()
         program = Program(operators)
-        for term in read_terms(text, operators):
-            program.add_term(term)
+        for term, position in read_terms_with_positions(text, operators):
+            program.add_term(term, position=position)
         return program
 
     def to_text(self) -> str:
@@ -204,12 +224,18 @@ class _Normalizer:
         self.result = Program(program.operators)
         self.result.directives = list(program.directives)
         self.counter = 0
+        #: position of the clause being rewritten; auxiliary predicates
+        #: synthesized from its control constructs inherit it.
+        self.position: Optional[Tuple[int, int]] = None
 
     def run(self) -> Program:
         for predicate in self.source.predicates.values():
             for clause in predicate.clauses:
+                self.position = clause.position
                 body = [self._normalize_goal(g) for g in clause.body]
-                self.result.add_clause(Clause(clause.head, body))
+                self.result.add_clause(
+                    Clause(clause.head, body, position=clause.position)
+                )
         return self.result
 
     def _fresh_name(self, hint: str) -> str:
@@ -234,9 +260,13 @@ class _Normalizer:
             head = self._aux_head("not", variables)
             body_goal = self._normalize_goal(inner)
             self.result.add_clause(
-                Clause(head, flatten_conjunction(body_goal) + [Atom("!"), FAIL])
+                Clause(
+                    head,
+                    flatten_conjunction(body_goal) + [Atom("!"), FAIL],
+                    position=self.position,
+                )
             )
-            self.result.add_clause(Clause.from_term(head))
+            self.result.add_clause(Clause.from_term(head, position=self.position))
             return head
         if goal.indicator == (";", 2):
             left, right = goal.args
@@ -250,10 +280,15 @@ class _Normalizer:
                         flatten_conjunction(self._normalize_goal(condition))
                         + [Atom("!")]
                         + flatten_conjunction(self._normalize_goal(then_part)),
+                        position=self.position,
                     )
                 )
                 self.result.add_clause(
-                    Clause(head, flatten_conjunction(self._normalize_goal(right)))
+                    Clause(
+                        head,
+                        flatten_conjunction(self._normalize_goal(right)),
+                        position=self.position,
+                    )
                 )
             else:
                 for branch in (left, right):
@@ -261,6 +296,7 @@ class _Normalizer:
                         Clause(
                             head,
                             flatten_conjunction(self._normalize_goal(branch)),
+                            position=self.position,
                         )
                     )
             return head

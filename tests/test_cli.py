@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main_analyze, main_prolog
+from repro.cli import main_analyze, main_lint, main_prolog
 from tests.conftest import APPEND_NREV
 
 
@@ -108,3 +108,76 @@ class TestJsonAndUndefinedFlags:
         path.write_text("main :- missing(X), p(X). p(_).")
         main_analyze([str(path), "main", "--on-undefined", "top"])
         assert "missing/1" in capsys.readouterr().out
+
+
+class TestLintCli:
+    def test_clean_program_exits_zero(self, program_file, capsys):
+        assert main_lint([program_file, "nrev(glist, var)"]) == 0
+        assert "% lint: clean" in capsys.readouterr().out
+
+    def test_warnings_only_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "warn.pl"
+        path.write_text("main :- p(Extra), p(_).\np(a).\norphan(b).\n")
+        assert main_lint([str(path), "main"]) == 0
+        out = capsys.readouterr().out
+        assert "W002" in out and "'Extra'" in out
+        assert "W003" in out and "orphan/1" in out
+        assert "error" not in out
+
+    def test_errors_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.pl"
+        path.write_text("bad(X) :- Y is X + Z, p(Y, Z).\np(_, _).\n")
+        assert main_lint([str(path), "bad(var)"]) == 1
+        out = capsys.readouterr().out
+        assert "E006" in out
+        assert "error" in out
+
+    def test_golden_text_format(self, tmp_path, capsys):
+        path = tmp_path / "single.pl"
+        path.write_text("main :- p(Extra), p(_).\np(a).\n")
+        main_lint([str(path), "main"])
+        out = capsys.readouterr().out
+        assert (
+            f"{path}:1:1: warning: W002: singleton variable 'Extra' "
+            "(prefix with _ if intentional) [main/0]" in out
+        )
+        assert "% lint: 1 warning" in out
+
+    def test_json_flag(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "warn.pl"
+        path.write_text("main :- p(Extra), p(_).\np(a).\n")
+        assert main_lint([str(path), "main", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["has_errors"] is False
+        assert data["counts"]["warning"] == 1
+        (diagnostic,) = data["diagnostics"]
+        assert diagnostic["code"] == "W002"
+        assert diagnostic["line"] == 1
+        assert diagnostic["predicate"] == "main/0"
+
+    def test_syntax_error_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.pl"
+        path.write_text("p(a.\n")
+        assert main_lint([str(path), "p(g)"]) == 1
+        assert "E001" in capsys.readouterr().out
+
+    def test_no_source_flag(self, tmp_path, capsys):
+        path = tmp_path / "warn.pl"
+        path.write_text("main :- p(Extra), p(_).\np(a).\n")
+        main_lint([str(path), "main", "--no-source"])
+        assert "% lint: clean" in capsys.readouterr().out
+
+    def test_no_verify_flag(self, program_file, capsys):
+        assert main_lint([program_file, "nrev(glist, var)", "--no-verify"]) == 0
+        assert "% lint: clean" in capsys.readouterr().out
+
+    def test_analyze_lint_flag(self, tmp_path, capsys):
+        path = tmp_path / "warn.pl"
+        path.write_text("main :- p(Extra), p(_).\np(a).\n")
+        main_analyze([str(path), "main", "--lint"])
+        out = capsys.readouterr().out
+        assert "main/0" in out  # the analysis report
+        assert "W002" in out  # the appended lint report
+        assert "% lint: 1 warning" in out

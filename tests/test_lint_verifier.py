@@ -1,0 +1,193 @@
+"""Tests for the WAM bytecode verifier (repro.lint.verifier).
+
+Two halves, mirroring the verifier's contract:
+
+* on compiler-emitted code it must stay silent — every benchmark program
+  compiles to code with zero diagnostics, with and without environment
+  trimming;
+* on hand-assembled bad sequences every ``E1xx`` code fires.
+"""
+
+import pytest
+
+from repro.bench.programs import BENCHMARKS
+from repro.lint import verify_code, verify_compiled
+from repro.prolog.program import Program
+from repro.wam.code import CodeArea, PredicateCode
+from repro.wam.compile import CompilerOptions, compile_program
+from repro.wam.instructions import (
+    Instr,
+    allocate,
+    call,
+    deallocate,
+    execute,
+    fail_instr,
+    get_constant,
+    get_variable,
+    halt_instr,
+    proceed,
+    put_constant,
+    put_value,
+    put_variable,
+    switch_on_term,
+    try_me_else,
+    trust_me,
+    xreg,
+    yreg,
+)
+
+
+def build(instructions, indicator=("p", 1)):
+    """Link one hand-assembled predicate after the three service slots."""
+    code = CodeArea()
+    code.instructions.extend([halt_instr(), fail_instr(), proceed()])
+    code.link([PredicateCode(indicator, list(instructions), 1)])
+    return code
+
+
+def codes_of(code):
+    return {diagnostic.code for diagnostic in verify_code(code)}
+
+
+# ----------------------------------------------------------------------
+# Known-good code: the whole benchmark suite verifies clean.
+
+
+class TestCompilerEmittedCode:
+    @pytest.mark.parametrize(
+        "bench", BENCHMARKS, ids=[bench.name for bench in BENCHMARKS]
+    )
+    @pytest.mark.parametrize("trimming", [True, False], ids=["trim", "notrim"])
+    def test_benchmark_verifies_clean(self, bench, trimming):
+        program = Program.from_text(bench.source)
+        compiled = compile_program(
+            program, CompilerOptions(environment_trimming=trimming)
+        )
+        assert verify_compiled(compiled) == []
+
+    def test_diagnostics_carry_source_positions(self, tmp_path):
+        program = Program.from_text("p(X) :- q(X).\nq(a).\n")
+        compiled = compile_program(program)
+        # Clean code produces no diagnostics, but the position table the
+        # verifier builds must cover every user predicate.
+        assert verify_compiled(compiled, file="f.pl") == []
+        positions = {
+            indicator: clause.position
+            for indicator, predicate in compiled.program.predicates.items()
+            for clause in predicate.clauses[:1]
+        }
+        assert positions[("p", 1)] == (1, 1)
+        assert positions[("q", 1)] == (2, 1)
+
+
+# ----------------------------------------------------------------------
+# Hand-assembled bad sequences: each code fires.
+
+
+class TestBadSequences:
+    def test_clean_hand_assembled(self):
+        code = build([get_constant("a", 1), proceed()])
+        assert verify_code(code) == []
+
+    def test_e101_x_read_before_write(self):
+        code = build([put_value(xreg(5), 1), execute(("q", 1))])
+        assert codes_of(code) == {"E101"}
+
+    def test_e101_suppresses_cascades(self):
+        code = build(
+            [put_value(xreg(5), 1), put_value(xreg(5), 2), execute(("q", 2))]
+        )
+        diagnostics = verify_code(code)
+        assert [d.code for d in diagnostics] == ["E101"]
+
+    def test_e102_y_without_environment(self):
+        code = build([get_variable(yreg(1), 1), proceed()])
+        assert codes_of(code) == {"E102"}
+
+    def test_e102_y_beyond_slot_count(self):
+        code = build(
+            [
+                allocate(1),
+                get_variable(yreg(2), 1),
+                deallocate(),
+                proceed(),
+            ]
+        )
+        assert codes_of(code) == {"E102"}
+
+    def test_e103_y_read_before_init(self):
+        code = build(
+            [
+                allocate(1),
+                put_value(yreg(1), 1),
+                deallocate(),
+                execute(("q", 1)),
+            ]
+        )
+        assert codes_of(code) == {"E103"}
+
+    def test_e103_y_read_after_trimming(self):
+        code = build(
+            [
+                allocate(2),
+                get_variable(yreg(1), 1),
+                get_variable(yreg(2), 1),
+                call(("q", 0), 1),  # live=1 trims Y2 away
+                put_value(yreg(2), 1),
+                deallocate(),
+                execute(("r", 1)),
+            ]
+        )
+        assert codes_of(code) == {"E103"}
+
+    def test_e104_y_after_deallocate(self):
+        code = build(
+            [
+                allocate(1),
+                get_variable(yreg(1), 1),
+                deallocate(),
+                put_value(yreg(1), 1),
+                execute(("q", 1)),
+            ]
+        )
+        assert codes_of(code) == {"E104"}
+
+    def test_e105_escaping_branch_target(self):
+        code = build([try_me_else(999), proceed(), trust_me(), proceed()])
+        assert "E105" in codes_of(code)
+
+    def test_e105_fail_target_is_legal(self):
+        code = build([switch_on_term(-1, -1, -1, -1)])
+        assert verify_code(code) == []
+
+    def test_e106_fall_through(self):
+        code = build([put_constant("a", 1)])
+        assert codes_of(code) == {"E106"}
+
+    def test_e107_double_allocate(self):
+        code = build([allocate(1), allocate(1), deallocate(), proceed()])
+        assert codes_of(code) == {"E107"}
+
+    def test_e107_deallocate_without_environment(self):
+        code = build([deallocate(), proceed()])
+        assert codes_of(code) == {"E107"}
+
+    def test_e107_proceed_with_environment(self):
+        code = build([allocate(1), proceed()])
+        assert codes_of(code) == {"E107"}
+
+    def test_e107_execute_with_environment(self):
+        code = build([allocate(1), execute(("q", 1))])
+        assert codes_of(code) == {"E107"}
+
+    def test_e108_unknown_opcode(self):
+        code = build([Instr("put_unsafe_value", (yreg(1), 1)), proceed()])
+        assert codes_of(code) == {"E108"}
+
+    def test_diagnostics_are_errors_with_predicate(self):
+        code = build([deallocate(), proceed()], indicator=("broken", 1))
+        (diagnostic,) = verify_code(code, file="asm.pl")
+        assert diagnostic.severity == "error"
+        assert diagnostic.predicate == ("broken", 1)
+        assert diagnostic.file == "asm.pl"
+        assert "deallocate" in diagnostic.message

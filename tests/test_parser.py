@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import PrologSyntaxError
 from repro.prolog import OperatorTable, parse_term, read_terms
-from repro.prolog.parser import parse_term_with_vars
+from repro.prolog.parser import parse_term_with_vars, read_terms_with_positions
 from repro.prolog.terms import (
     NIL,
     Atom,
@@ -187,6 +187,22 @@ class TestReadTerms:
         table = OperatorTable()
         read_terms(":- op(700, xfx, ~~).", table)
         assert parse_term("a ~~ b", table).name == "~~"
+
+
+class TestReadTermsWithPositions:
+    def test_positions_track_first_token(self):
+        pairs = read_terms_with_positions("a.\n  b(X).\nc :- a.")
+        assert [position for _, position in pairs] == [(1, 1), (2, 3), (3, 1)]
+        assert pairs[0][0] == Atom("a")
+
+    def test_directives_consume_no_position(self):
+        pairs = read_terms_with_positions(":- op(700, xfx, ===).\na === b.")
+        assert len(pairs) == 1
+        assert pairs[0][1] == (2, 1)
+
+    def test_agrees_with_read_terms(self):
+        text = "p(a).  q(b).\nr(c)."
+        assert read_terms(text) == [term for term, _ in read_terms_with_positions(text)]
 
 
 class TestErrors:

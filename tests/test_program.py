@@ -145,3 +145,32 @@ class TestNormalization:
         program = Program.from_text("p :- (a -> b).")
         normalized = normalize_program(program)
         assert normalized.clause_count() == 3
+
+
+class TestClausePositions:
+    def test_from_text_records_positions(self):
+        program = Program.from_text("p(a).\nq(X) :- p(X).\n\np(b).")
+        p_clauses = program.clauses(("p", 1))
+        assert [c.position for c in p_clauses] == [(1, 1), (4, 1)]
+        assert program.clauses(("q", 1))[0].position == (2, 1)
+
+    def test_position_text(self):
+        program = Program.from_text("p(a).")
+        assert program.clauses(("p", 1))[0].position_text == "1:1"
+
+    def test_default_position_unknown(self):
+        clause = Clause.from_term(parse_term("p(a)"))
+        assert clause.position is None
+        assert clause.position_text == "?:?"
+
+    def test_rename_preserves_position(self):
+        program = Program.from_text("p(X) :- q(X).")
+        clause = program.clauses(("p", 1))[0]
+        assert clause.rename().position == clause.position == (1, 1)
+
+    def test_aux_clauses_inherit_source_position(self):
+        program = Program.from_text("ok.\np(X) :- (q(X) ; r(X)).\nq(a).\nr(b).")
+        normalized = normalize_program(program)
+        aux_name = normalized.clauses(("p", 1))[0].body[0].name
+        for clause in normalized.clauses((aux_name, 2)):
+            assert clause.position == (2, 1)
