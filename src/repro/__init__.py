@@ -22,13 +22,16 @@ Quick start::
 from .analysis import AbstractMachine, AnalysisResult, Analyzer, analyze
 from .errors import (
     AnalysisError,
+    BudgetExceeded,
     CompileError,
+    InjectedFault,
     MachineError,
     PrologError,
     PrologSyntaxError,
     ReproError,
 )
 from .prolog import Program, Solver, parse_term, read_terms, term_to_text
+from .robust import Budget, FaultPlan
 from .wam import CompilerOptions, Machine, compile_program, disassemble
 
 __version__ = "1.0.0"
@@ -38,8 +41,12 @@ __all__ = [
     "AnalysisError",
     "AnalysisResult",
     "Analyzer",
+    "Budget",
+    "BudgetExceeded",
     "CompileError",
     "CompilerOptions",
+    "FaultPlan",
+    "InjectedFault",
     "Machine",
     "MachineError",
     "Program",

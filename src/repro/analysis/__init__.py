@@ -11,7 +11,7 @@ abstract domain with the extension-table control scheme (:mod:`.table`);
 
 from .aheap import ABS, cell_summary, deref, make_abs, materialize
 from .aunify import complex_term_inst, s_unify
-from .driver import Analyzer, EntrySpec, analyze, parse_entry_spec
+from .driver import Analyzer, EntryReport, EntrySpec, analyze, parse_entry_spec
 from .machine import AbstractMachine, ExplorationFrame
 from .patterns import (
     Pattern,
@@ -32,6 +32,7 @@ __all__ = [
     "AnalysisResult",
     "Analyzer",
     "ArgumentInfo",
+    "EntryReport",
     "EntrySpec",
     "ExplorationFrame",
     "ExtensionTable",

@@ -29,8 +29,14 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..domain.concrete import DEFAULT_DEPTH
 from ..domain.lattice import Tree
 from ..domain.sorts import AbsSort
-from ..errors import AnalysisError
+from ..errors import AnalysisError, BudgetExceeded, InjectedFault, ReproError
 from ..prolog.parser import parse_term
+from ..robust import (
+    STATUS_DEGRADED,
+    STATUS_EXACT,
+    STATUS_FAILED,
+    Budget,
+)
 from ..prolog.program import Program
 from ..prolog.terms import (
     NIL,
@@ -133,8 +139,54 @@ def parse_entry_spec(spec: Union[str, Term, EntrySpec]) -> EntrySpec:
     return EntrySpec(indicator, canonicalize(Pattern(nodes)))
 
 
+@dataclass
+class EntryReport:
+    """How the analysis of one entry spec went.
+
+    ``status`` is ``"exact"`` when the spec reached its fixpoint,
+    ``"degraded"`` when a budget trip or injected fault interrupted it
+    (its table entries were soundly widened to ⊤), and ``"failed"`` when
+    an analysis error did (likewise widened).  ``reason`` carries the
+    triggering exception's message for degraded/failed specs.
+    """
+
+    spec: EntrySpec
+    status: str = STATUS_EXACT
+    iterations: int = 0
+    reason: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "entry": str(self.spec),
+            "status": self.status,
+            "iterations": self.iterations,
+            "reason": self.reason,
+        }
+
+
 class Analyzer:
-    """Compile a program once, then run analyses against it."""
+    """Compile a program once, then run analyses against it.
+
+    Resource governance (see :mod:`repro.robust`): pass a ``budget``
+    and/or ``fault_plan`` to bound the run.  ``on_budget`` selects what
+    happens when a budget trips (or a fault fires) while analyzing one
+    entry spec:
+
+    * ``"raise"`` (default) — propagate the exception, as the ungoverned
+      analyzer always did;
+    * ``"degrade"`` — widen that spec's table entries to ⊤ (sound but
+      imprecise), record the spec as ``degraded``/``failed`` in the
+      result's ``entry_reports``, and keep analyzing the remaining
+      entry specs.
+
+    Entry specs are analyzed in *isolation* — each gets its own
+    extension table and abstract machine, and the per-spec tables are
+    merged by lub at the end.  This is what makes degradation local:
+    a fault while exploring one entry cannot corrupt another entry's
+    summaries.  For exact runs the merged table equals the old shared
+    -table fixpoint, because each calling pattern's summaries depend
+    only on the program and the pattern itself.
+    """
 
     def __init__(
         self,
@@ -145,7 +197,14 @@ class Analyzer:
         list_aware: bool = True,
         subsumption: bool = False,
         on_undefined: str = "error",
+        budget: Optional[Budget] = None,
+        fault_plan=None,
+        on_budget: str = "raise",
     ):
+        if on_budget not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_budget must be 'raise' or 'degrade', not {on_budget!r}"
+            )
         if isinstance(program, str):
             program = Program.from_text(program)
         if isinstance(program, CompiledProgram):
@@ -157,6 +216,9 @@ class Analyzer:
         self.list_aware = list_aware
         self.subsumption = subsumption
         self.on_undefined = on_undefined
+        self.budget = budget
+        self.fault_plan = fault_plan
+        self.on_budget = on_budget
 
     def analyze(
         self, entries: Sequence[Union[str, Term, EntrySpec]]
@@ -165,34 +227,69 @@ class Analyzer:
         specs = [parse_entry_spec(entry) for entry in entries]
         if not specs:
             raise AnalysisError("at least one entry spec is required")
-        table = ExtensionTable()
-        machine = AbstractMachine(
-            self.compiled, table, depth=self.depth,
-            list_aware=self.list_aware, subsumption=self.subsumption,
-            on_undefined=self.on_undefined,
-        )
+        budget = self.budget
+        if budget is None:
+            # Preserve the historical max_iterations contract through the
+            # same governance path as an explicit budget.
+            budget = Budget(max_iterations=self.max_iterations)
+        budget.start()
+        plan = self.fault_plan
+        table = ExtensionTable()  # the merged, ungoverned result table
+        reports: List[EntryReport] = []
         iterations = 0
+        instructions = 0
         started = time.perf_counter()
-        while True:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise AnalysisError(
-                    f"no fixpoint after {self.max_iterations} iterations"
-                )
-            before = table.changes
-            for spec in specs:
-                machine.run_pattern(spec.indicator, spec.pattern)
-            if table.changes == before:
-                break
+        for spec in specs:
+            spec_table = ExtensionTable(budget=budget, fault_plan=plan)
+            machine = AbstractMachine(
+                self.compiled, spec_table, depth=self.depth,
+                list_aware=self.list_aware, subsumption=self.subsumption,
+                on_undefined=self.on_undefined,
+                budget=budget, fault_plan=plan,
+            )
+            report = EntryReport(spec)
+            try:
+                while True:
+                    if plan is not None and plan.watches("iteration"):
+                        plan.fire("iteration")
+                    budget.charge_iteration()
+                    report.iterations += 1
+                    before = spec_table.changes
+                    machine.run_pattern(spec.indicator, spec.pattern)
+                    if spec_table.changes == before:
+                        break
+            except (BudgetExceeded, InjectedFault) as exc:
+                if self.on_budget == "raise":
+                    raise
+                report.status = STATUS_DEGRADED
+                report.reason = str(exc)
+            except ReproError as exc:
+                if self.on_budget == "raise":
+                    raise
+                report.status = STATUS_FAILED
+                report.reason = str(exc)
+            if report.status != STATUS_EXACT:
+                # Sound degradation: whatever partial summaries the
+                # interrupted exploration left may under-approximate, so
+                # widen everything this spec touched to ⊤ — including
+                # the entry's own pattern, materialized if need be.
+                spec_table.disarm()
+                spec_table.entry(spec.indicator, spec.pattern)
+                spec_table.widen_to_top(report.status)
+            table.merge(spec_table)
+            iterations += report.iterations
+            instructions += machine.instruction_count
+            reports.append(report)
         elapsed = time.perf_counter() - started
         return AnalysisResult(
             table=table,
             compiled=self.compiled,
             entries=specs,
             iterations=iterations,
-            instructions_executed=machine.instruction_count,
+            instructions_executed=instructions,
             seconds=elapsed,
             depth=self.depth,
+            entry_reports=reports,
         )
 
 
@@ -204,10 +301,14 @@ def analyze(
     list_aware: bool = True,
     subsumption: bool = False,
     on_undefined: str = "error",
+    budget: Optional[Budget] = None,
+    fault_plan=None,
+    on_budget: str = "raise",
 ) -> AnalysisResult:
     """One-call API: compile ``program`` and analyze from ``entries``."""
     analyzer = Analyzer(
         program, options=options, depth=depth, list_aware=list_aware,
         subsumption=subsumption, on_undefined=on_undefined,
+        budget=budget, fault_plan=fault_plan, on_budget=on_budget,
     )
     return analyzer.analyze(list(entries))

@@ -108,11 +108,36 @@ class AbstractMachine(Machine):
         list_aware: bool = True,
         subsumption: bool = False,
         on_undefined: str = "error",
+        budget=None,
+        fault_plan=None,
     ):
         super().__init__(compiled, max_steps=max_steps)
         from .builtins import ABSTRACT_BUILTINS
 
         self.table = table if table is not None else ExtensionTable()
+        #: Resource governance (repro.robust): the budget charges one
+        #: "step" per dispatched instruction (plus deadline probes), the
+        #: fault plan fires "step"/"unify" sites.  The per-instruction
+        #: monitor is installed only when something actually watches it.
+        self.budget = budget
+        self.fault_plan = fault_plan
+        self._unify_fire = (
+            fault_plan.fire
+            if fault_plan is not None and fault_plan.watches("unify")
+            else None
+        )
+        monitors = []
+        if budget is not None and budget.governs_steps:
+            monitors.append(budget.charge_step)
+        if fault_plan is not None and fault_plan.watches("step"):
+            monitors.append(lambda: fault_plan.fire("step"))
+        if len(monitors) == 1:
+            self.step_monitor = monitors[0]
+        elif monitors:
+            def _monitor(hooks=tuple(monitors)):
+                for hook in hooks:
+                    hook()
+            self.step_monitor = _monitor
         self.depth = depth
         self.list_aware = list_aware
         #: Reuse the summary of a more general explored pattern instead of
@@ -132,6 +157,14 @@ class AbstractMachine(Machine):
         self.iteration = 0
         self.frames: List[ExplorationFrame] = []
         self.abstract_builtins = ABSTRACT_BUILTINS
+
+    # ------------------------------------------------------------------
+    # Abstract unification chokepoint (the "unify" fault site).
+
+    def _s_unify(self, left: Cell, right: Cell) -> bool:
+        if self._unify_fire is not None:
+            self._unify_fire("unify")
+        return s_unify(self.heap, left, right)
 
     # ------------------------------------------------------------------
     # Analysis passes.
@@ -274,7 +307,7 @@ class AbstractMachine(Machine):
             return "fail"
         success_cells = materialize_pattern(self.heap, entry.success)
         for caller_cell, success_cell in zip(args, success_cells):
-            if not s_unify(self.heap, caller_cell, success_cell):
+            if not self._s_unify(caller_cell, success_cell):
                 return "fail"
         # Aliasing the success pattern could not express: merge the
         # affected arguments' share points in the heap's sharing component.
@@ -361,13 +394,13 @@ class AbstractMachine(Machine):
         return cell
 
     def _get_constant_cell(self, constant, cell: Cell):
-        if s_unify(self.heap, (CON, constant), cell):
+        if self._s_unify((CON, constant), cell):
             return None
         return "fail"
 
     def _get_value(self, instruction: Instr):
         register, position = instruction.args
-        if not s_unify(self.heap, self.get_reg(register), self.get_x(position)):
+        if not self._s_unify(self.get_reg(register), self.get_x(position)):
             return "fail"
         self.pc += 1
 
@@ -447,7 +480,7 @@ class AbstractMachine(Machine):
     def _unify_value(self, instruction: Instr):
         register = instruction.args[0]
         if self.mode == "read":
-            if not s_unify(self.heap, self.get_reg(register), self._subterm_cell()):
+            if not self._s_unify(self.get_reg(register), self._subterm_cell()):
                 return "fail"
             self.s += 1
         else:
@@ -457,7 +490,7 @@ class AbstractMachine(Machine):
     def _unify_constant(self, instruction: Instr):
         constant = instruction.args[0]
         if self.mode == "read":
-            if not s_unify(self.heap, (CON, constant), self._subterm_cell()):
+            if not self._s_unify((CON, constant), self._subterm_cell()):
                 return "fail"
             self.s += 1
         else:
@@ -466,7 +499,7 @@ class AbstractMachine(Machine):
 
     def _unify_nil(self, instruction: Instr):
         if self.mode == "read":
-            if not s_unify(self.heap, (CON, NIL), self._subterm_cell()):
+            if not self._s_unify((CON, NIL), self._subterm_cell()):
                 return "fail"
             self.s += 1
         else:

@@ -74,6 +74,9 @@ class PredicateInfo:
     arguments: List[ArgumentInfo]
     call_aliasing: FrozenSet[Tuple[int, int]]
     success_aliasing: FrozenSet[Tuple[int, int]]
+    #: "exact" normally; "degraded"/"failed" when any of this predicate's
+    #: table entries was widened to ⊤ after an interrupted exploration.
+    status: str = "exact"
 
     @property
     def can_succeed(self) -> bool:
@@ -83,10 +86,14 @@ class PredicateInfo:
         name = format_indicator(self.indicator)
         if not self.arguments:
             status = "succeeds" if self.can_succeed else "fails"
+            if self.status != "exact":
+                status += f" ({self.status})"
             return f"{name}: {status}"
         parts = ", ".join(arg.to_text() for arg in self.arguments)
         line = f"{name}({parts})"
         notes = []
+        if self.status != "exact":
+            notes.append(self.status)
         if self.call_aliasing:
             pairs = ",".join(f"{i + 1}~{j + 1}" for i, j in sorted(self.call_aliasing))
             notes.append(f"call-alias {pairs}")
@@ -113,9 +120,36 @@ class AnalysisResult:
     instructions_executed: int
     seconds: float
     depth: int
+    #: One repro.analysis.driver.EntryReport per entry spec, recording
+    #: whether the spec's analysis was exact, degraded or failed.
+    entry_reports: Sequence[object] = ()
     _info: Dict[Indicator, PredicateInfo] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """Overall status: the worst status among the entry specs
+        (``"exact"`` when every spec reached its fixpoint untripped)."""
+        from ..robust import worse_status
+
+        status = "exact"
+        for report in self.entry_reports:
+            status = worse_status(status, report.status)
+        return status
+
+    def predicate_status(self, indicator: Indicator) -> str:
+        """Per-predicate status: worst among the predicate's table
+        entries (``"exact"`` for predicates the table never saw)."""
+        return self.table.worst_status(indicator)
+
+    def degraded_predicates(self) -> List[Indicator]:
+        """Predicates whose facts were widened to ⊤ (non-exact)."""
+        return [
+            indicator
+            for indicator in self.predicates()
+            if self.table.worst_status(indicator) != "exact"
+        ]
 
     def predicates(self) -> List[Indicator]:
         """Analyzed predicates, excluding synthetic query stubs."""
@@ -168,6 +202,11 @@ class AnalysisResult:
             )
             for index in range(arity)
         ]
+        from ..robust import worse_status
+
+        status = "exact"
+        for entry in entries:
+            status = worse_status(status, entry.status)
         return PredicateInfo(
             indicator=indicator,
             calling_patterns=[entry.calling for entry in entries],
@@ -175,6 +214,7 @@ class AnalysisResult:
             arguments=arguments,
             call_aliasing=frozenset(call_alias),
             success_aliasing=frozenset(success_alias),
+            status=status,
         )
 
     # ------------------------------------------------------------------
@@ -205,6 +245,19 @@ class AnalysisResult:
             f"{self.instructions_executed} abstract WAM instructions, "
             f"{self.seconds * 1000.0:.2f} ms, depth {self.depth}",
         ]
+        if self.status != "exact":
+            degraded = [
+                f"{report.spec} {report.status}"
+                + (f" ({report.reason})" if report.reason else "")
+                for report in self.entry_reports
+                if report.status != "exact"
+            ]
+            lines.append(
+                "% status: "
+                + self.status
+                + " — precision lost for: "
+                + "; ".join(degraded)
+            )
         for indicator in sorted(self.predicates()):
             info = self.predicate(indicator)
             assert info is not None
@@ -243,11 +296,16 @@ class AnalysisResult:
                 "calling_patterns": [
                     str(pattern) for pattern in info.calling_patterns
                 ],
+                "status": info.status,
             }
         return {
             "iterations": self.iterations,
             "instructions_executed": self.instructions_executed,
             "seconds": self.seconds,
             "depth": self.depth,
+            "status": self.status,
+            "entry_reports": [
+                report.to_dict() for report in self.entry_reports
+            ],
             "predicates": predicates,
         }

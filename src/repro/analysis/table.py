@@ -10,6 +10,12 @@ prescribes.
 The ``changes`` counter increases whenever an update actually changes the
 table; the fixpoint driver iterates until one whole pass leaves it
 untouched.
+
+Resource governance (see :mod:`repro.robust`): a table may carry a
+``budget`` (its growth charges the ``table`` dimension) and a
+``fault_plan`` (every ``updateET`` fires the ``table`` site).  Each entry
+carries a ``status`` — ``exact`` normally, ``degraded`` once the entry
+has been widened to ⊤ because its exploration was interrupted.
 """
 
 from __future__ import annotations
@@ -34,16 +40,30 @@ class TableEntry:
     explored_iteration: int = 0
     #: how many times updateET changed this entry (diagnostics).
     updates: int = 0
+    #: "exact" normally; "degraded" once widened to ⊤ after an
+    #: interrupted exploration (see repro.robust).
+    status: str = "exact"
 
 
 class ExtensionTable:
     """The global memo table of the analysis."""
 
-    def __init__(self) -> None:
+    def __init__(self, budget=None, fault_plan=None) -> None:
         self._entries: Dict[Indicator, Dict[Pattern, TableEntry]] = {}
         self.changes = 0
         self.lookups = 0
         self.updates = 0
+        self.size = 0
+        #: Optional repro.robust.Budget charged for table growth.
+        self.budget = budget
+        #: Optional repro.robust.FaultPlan fired on every update.
+        self.fault_plan = fault_plan
+
+    def disarm(self) -> None:
+        """Drop the governor hooks (used before sound widening, which
+        must never trip a budget or fire a fault itself)."""
+        self.budget = None
+        self.fault_plan = None
 
     # ------------------------------------------------------------------
 
@@ -52,8 +72,11 @@ class ExtensionTable:
         by_pattern = self._entries.setdefault(indicator, {})
         entry = by_pattern.get(calling)
         if entry is None:
+            if self.budget is not None:
+                self.budget.charge_table(self.size + 1)
             entry = TableEntry(calling)
             by_pattern[calling] = entry
+            self.size += 1
             self.changes += 1
         return entry
 
@@ -76,6 +99,8 @@ class ExtensionTable:
         ``extra_share`` carries may-share pairs the pattern itself cannot
         express (sharing through summarized list elements).
         """
+        if self.fault_plan is not None:
+            self.fault_plan.fire("table")
         self.updates += 1
         entry = self.entry(indicator, calling)
         new_share = entry.may_share | share_pairs(success) | extra_share
@@ -90,6 +115,58 @@ class ExtensionTable:
             entry.updates += 1
             self.changes += 1
         return changed
+
+    # ------------------------------------------------------------------
+    # Robustness: sound widening and cross-table merging.
+
+    def widen_to_top(self, status: str = "degraded") -> None:
+        """Widen every entry to ⊤ and stamp ``status`` (sound degradation).
+
+        Called after an interrupted fixpoint: any recorded summary may be
+        an under-approximation that further passes would still have
+        grown, so the only sound summary left per entry is "may succeed
+        with anything, aliasing anything".  Bypasses the governor hooks —
+        degrading must never itself trip a budget.
+        """
+        from ..robust import widen_entry_to_top
+
+        self.disarm()
+        for indicator, entry in self.all_entries():
+            widen_entry_to_top(indicator, entry, status)
+
+    def merge(self, other: "ExtensionTable") -> None:
+        """Lub ``other``'s entries into this table (used to combine the
+        isolated per-entry-spec tables into the final result table).
+
+        Successes lub, may-share unions, statuses take the worse value;
+        the diagnostics counters accumulate.  Soundness: the lub of two
+        sound summaries over-approximates both.
+        """
+        from ..robust import worse_status
+
+        for indicator, entry in other.all_entries():
+            mine = self.entry(indicator, entry.calling)
+            if entry.success is not None:
+                if mine.success is None:
+                    mine.success = entry.success
+                else:
+                    mine.success = pattern_lub(mine.success, entry.success)
+            mine.may_share = mine.may_share | entry.may_share
+            mine.updates += entry.updates
+            mine.status = worse_status(mine.status, entry.status)
+        self.changes += other.changes
+        self.lookups += other.lookups
+        self.updates += other.updates
+
+    def worst_status(self, indicator: Indicator) -> str:
+        """The most damaged status among ``indicator``'s entries
+        (``"exact"`` when the predicate has no entries)."""
+        from ..robust import worse_status
+
+        status = "exact"
+        for entry in self.entries_for(indicator):
+            status = worse_status(status, entry.status)
+        return status
 
     # ------------------------------------------------------------------
 

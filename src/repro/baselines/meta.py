@@ -26,6 +26,7 @@ from ..domain.concrete import DEFAULT_DEPTH
 from ..domain.lattice import ANY_T, INTEGER_T
 from ..domain.sorts import AbsSort, sort_glb
 from ..errors import AnalysisError, PrologError
+from ..robust import STATUS_DEGRADED, STATUS_EXACT, Budget
 from ..prolog.program import Program, normalize_program
 from ..prolog.terms import (
     Atom,
@@ -52,30 +53,56 @@ class MetaResult:
     seconds: float
     store_copies: int
     goals_interpreted: int
+    #: "exact" at a true fixpoint; "degraded" when the run was cut short
+    #: and the table soundly widened to ⊤ (see repro.robust).
+    status: str = "exact"
 
     def to_text(self) -> str:
         return self.table.to_text()
 
 
 class MetaAnalyzer:
-    """Source-level abstract interpreter with an extension table."""
+    """Source-level abstract interpreter with an extension table.
+
+    Accepts the same governance knobs as the compiled analyzer: a shared
+    :class:`~repro.robust.Budget` (one abstract *step* is charged per
+    interpreted goal — the closest baseline equivalent of an abstract
+    WAM instruction), an optional fault plan (wired to the extension
+    table), and ``on_budget`` selecting raise-vs-degrade.  In degrade
+    mode an interrupted run returns a :class:`MetaResult` whose table
+    was widened to ⊤ and whose ``status`` is ``"degraded"``; in raise
+    mode the same widened result rides on the exception's
+    ``partial_result`` instead of being discarded.
+    """
 
     def __init__(
         self,
         program: Union[Program, str],
         depth: int = DEFAULT_DEPTH,
         max_iterations: int = 100,
+        budget: Optional[Budget] = None,
+        fault_plan=None,
+        on_budget: str = "raise",
     ):
+        if on_budget not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_budget must be 'raise' or 'degrade', not {on_budget!r}"
+            )
         if isinstance(program, str):
             program = Program.from_text(program)
         self.program = normalize_program(program)
         self.depth = depth
         self.max_iterations = max_iterations
-        self.table = ExtensionTable()
+        self.budget = budget
+        self.fault_plan = fault_plan
+        self.on_budget = on_budget
+        self.table = ExtensionTable(budget=budget, fault_plan=fault_plan)
         self.iteration = 0
         self.goals_interpreted = 0
         self.store_copies = 0
         self.builtins = dict(_META_BUILTINS)
+        #: The budget actively charged during analyze() (never None there).
+        self._budget: Optional[Budget] = None
 
     # ------------------------------------------------------------------
 
@@ -85,29 +112,50 @@ class MetaAnalyzer:
         specs = [parse_entry_spec(entry) for entry in entries]
         if not specs:
             raise AnalysisError("at least one entry spec is required")
+        budget = self.budget
+        if budget is None:
+            budget = Budget(max_iterations=self.max_iterations)
+        self._budget = budget.start()
         started = time.perf_counter()
         iterations = 0
-        while True:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise AnalysisError(
-                    f"no fixpoint after {self.max_iterations} iterations"
-                )
-            before = self.table.changes
-            for spec in specs:
-                self.iteration += 1
-                store = AbsStore()
-                idents = store.materialize(spec.pattern)
-                self._call(store, spec.indicator, idents)
-            if self.table.changes == before:
-                break
-        elapsed = time.perf_counter() - started
+        status = STATUS_EXACT
+        try:
+            while True:
+                budget.charge_iteration()
+                iterations += 1
+                before = self.table.changes
+                for spec in specs:
+                    self.iteration += 1
+                    store = AbsStore()
+                    idents = store.materialize(spec.pattern)
+                    self._call(store, spec.indicator, idents)
+                if self.table.changes == before:
+                    break
+        except AnalysisError as exc:
+            # Interrupted: the partial table may under-approximate, so
+            # widen it to ⊤ — sound, merely imprecise — and either
+            # return it (degrade) or attach it to the exception (raise).
+            status = STATUS_DEGRADED
+            self.table.widen_to_top(status)
+            result = self._result(iterations, started, status)
+            if self.on_budget == "raise":
+                exc.partial_result = result
+                raise
+            return result
+        finally:
+            self._budget = None
+        return self._result(iterations, started, status)
+
+    def _result(
+        self, iterations: int, started: float, status: str
+    ) -> MetaResult:
         return MetaResult(
             table=self.table,
             iterations=iterations,
-            seconds=elapsed,
+            seconds=time.perf_counter() - started,
             store_copies=self.store_copies,
             goals_interpreted=self.goals_interpreted,
+            status=status,
         )
 
     # ------------------------------------------------------------------
@@ -155,6 +203,8 @@ class MetaAnalyzer:
     ) -> Optional[AbsStore]:
         for goal in goals:
             self.goals_interpreted += 1
+            if self._budget is not None:
+                self._budget.charge_step()
             if goal == CUT:
                 continue  # sound no-op, as in the abstract WAM
             indicator = indicator_of(goal)

@@ -33,6 +33,7 @@ from ..domain.concrete import DEFAULT_DEPTH
 from ..domain.lattice import EMPTY_T, Tree
 from ..domain.sorts import AbsSort
 from ..errors import AnalysisError
+from ..robust import STATUS_DEGRADED, STATUS_EXACT, Budget
 from ..prolog.program import Clause, Program, normalize_program
 from ..prolog.solver import Solver
 from ..prolog.terms import (
@@ -432,14 +433,17 @@ class PrologBaselineResult:
     iterations: int
     seconds: float
     resolution_steps: int
+    #: "exact" at a true fixpoint; "degraded" when the run was cut short
+    #: and the table soundly widened to ⊤ (see repro.robust).
+    status: str = "exact"
 
 
 class _EtState:
     """Python side of the extension table (the assert-database stand-in)."""
 
-    def __init__(self, depth: int):
+    def __init__(self, depth: int, budget=None, fault_plan=None):
         self.depth = depth
-        self.table = ExtensionTable()
+        self.table = ExtensionTable(budget=budget, fault_plan=fault_plan)
         self.iteration = 0
         self.marks: Dict[Tuple[Indicator, Pattern], int] = {}
 
@@ -525,12 +529,22 @@ class PrologAnalyzer:
         program: Union[Program, str],
         depth: int = DEFAULT_DEPTH,
         max_iterations: int = 100,
+        budget: Optional[Budget] = None,
+        fault_plan=None,
+        on_budget: str = "raise",
     ):
+        if on_budget not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_budget must be 'raise' or 'degrade', not {on_budget!r}"
+            )
         if isinstance(program, str):
             program = Program.from_text(program)
         self.analyzed = normalize_program(program)
         self.depth = depth
         self.max_iterations = max_iterations
+        self.budget = budget
+        self.fault_plan = fault_plan
+        self.on_budget = on_budget
         self.analyzer_program = normalize_program(
             Program.from_text(ANALYZER_SOURCE)
         )
@@ -670,31 +684,55 @@ class PrologAnalyzer:
         specs = [parse_entry_spec(entry) for entry in entries]
         if not specs:
             raise AnalysisError("at least one entry spec is required")
-        state = _EtState(self.depth)
+        budget = self.budget
+        if budget is None:
+            budget = Budget(max_iterations=self.max_iterations)
+        budget.start()
+        state = _EtState(self.depth, budget=self.budget, fault_plan=self.fault_plan)
         total_steps = 0
         started = time.perf_counter()
         iterations = 0
-        while True:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise AnalysisError(
-                    f"no fixpoint after {self.max_iterations} iterations"
-                )
-            before = state.table.changes
-            for spec in specs:
-                state.iteration += 1
-                solver = Solver(self.analyzer_program, max_steps=100_000_000)
-                self._install_builtins(solver, state)
-                query = self._entry_query(spec)
-                if solver.solve_once(query) is None:
-                    raise AnalysisError("the Prolog analyzer pass failed")
-                total_steps += solver.steps
-            if state.table.changes == before:
-                break
+        status = STATUS_EXACT
+        try:
+            while True:
+                budget.charge_iteration()
+                iterations += 1
+                before = state.table.changes
+                for spec in specs:
+                    state.iteration += 1
+                    solver = Solver(
+                        self.analyzer_program,
+                        max_steps=100_000_000,
+                        budget=self.budget,
+                    )
+                    self._install_builtins(solver, state)
+                    query = self._entry_query(spec)
+                    if solver.solve_once(query) is None:
+                        raise AnalysisError("the Prolog analyzer pass failed")
+                    total_steps += solver.steps
+                if state.table.changes == before:
+                    break
+        except AnalysisError as exc:
+            # Interrupted mid-fixpoint: the partial table may still
+            # under-approximate, so widen it to ⊤ before handing it out.
+            status = STATUS_DEGRADED
+            state.table.widen_to_top(status)
+            result = PrologBaselineResult(
+                table=state.table,
+                iterations=iterations,
+                seconds=time.perf_counter() - started,
+                resolution_steps=total_steps,
+                status=status,
+            )
+            if self.on_budget == "raise":
+                exc.partial_result = result
+                raise
+            return result
         elapsed = time.perf_counter() - started
         return PrologBaselineResult(
             table=state.table,
             iterations=iterations,
             seconds=elapsed,
             resolution_steps=total_steps,
+            status=status,
         )

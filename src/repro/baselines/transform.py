@@ -247,8 +247,14 @@ class TransformAnalyzer(PrologAnalyzer):
         program: Union[Program, str],
         depth: int = DEFAULT_DEPTH,
         max_iterations: int = 100,
+        budget=None,
+        fault_plan=None,
+        on_budget: str = "raise",
     ):
-        super().__init__(program, depth=depth, max_iterations=max_iterations)
+        super().__init__(
+            program, depth=depth, max_iterations=max_iterations,
+            budget=budget, fault_plan=fault_plan, on_budget=on_budget,
+        )
         transformed = transform_program(self.analyzed)
         support = normalize_program(Program.from_text(SUPPORT_SOURCE))
         merged = Program(transformed.operators)

@@ -1,0 +1,139 @@
+"""Stress harness: the benchmark suite under a deliberately tight budget.
+
+Runs every benchmark program's analysis with a small resource budget and
+``on_budget="degrade"``, asserting the robustness contract end to end:
+
+* no benchmark raises — every run returns an :class:`AnalysisResult`;
+* every result is *sound*: for entries shared with an unbudgeted
+  reference run, the budgeted success pattern is ⊒ the exact one;
+* (with ``--expect-degraded``) at least one run actually degraded, so
+  the budget was tight enough to exercise the degradation path.
+
+Exit status 0 when the contract holds, 1 otherwise.  Used by CI::
+
+    python -m repro.bench.stress --max-steps 300 --expect-degraded
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..analysis.driver import Analyzer
+from ..analysis.patterns import pattern_to_trees
+from ..domain.lattice import tree_leq
+from ..robust import Budget
+from .programs import BENCHMARKS
+
+
+def _sound_against(exact_result, loose_result) -> List[str]:
+    """Soundness violations of ``loose_result`` w.r.t. ``exact_result``:
+    entries present in both where the loose success is NOT ⊒ exact."""
+    problems: List[str] = []
+    for indicator, exact_entry in exact_result.table.all_entries():
+        loose_entry = loose_result.table.find(indicator, exact_entry.calling)
+        if loose_entry is None:
+            # The budgeted run never reached this pattern; nothing claimed.
+            continue
+        if exact_entry.success is None:
+            continue  # failure: any loose claim over-approximates it
+        if loose_entry.success is None:
+            problems.append(
+                f"{indicator}: budgeted run claims failure, exact succeeds"
+            )
+            continue
+        exact_trees = pattern_to_trees(exact_entry.success)
+        loose_trees = pattern_to_trees(loose_entry.success)
+        for position, (exact_tree, loose_tree) in enumerate(
+            zip(exact_trees, loose_trees)
+        ):
+            if not tree_leq(exact_tree, loose_tree):
+                problems.append(
+                    f"{indicator} arg {position + 1}: budgeted success "
+                    "is not ⊒ the exact one"
+                )
+    return problems
+
+
+def run_stress(
+    max_steps: Optional[int] = 2000,
+    max_iterations: Optional[int] = None,
+    table_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+    expect_degraded: bool = False,
+    out=None,
+) -> int:
+    """Run the suite; return the process exit status (0 = contract holds)."""
+    if out is None:
+        out = sys.stdout
+    degraded = 0
+    failures: List[str] = []
+    for benchmark in BENCHMARKS:
+        exact = Analyzer(benchmark.source).analyze([benchmark.entry])
+        budget = Budget(
+            max_steps=max_steps,
+            max_iterations=max_iterations,
+            max_table_entries=table_limit,
+            deadline=deadline,
+        )
+        try:
+            loose = Analyzer(
+                benchmark.source, budget=budget, on_budget="degrade"
+            ).analyze([benchmark.entry])
+        except Exception as error:  # the contract is "never raises"
+            failures.append(f"{benchmark.name}: raised {error!r}")
+            continue
+        problems = _sound_against(exact, loose)
+        failures.extend(f"{benchmark.name}: {p}" for p in problems)
+        line = f"{benchmark.name:12s} {loose.status:9s}"
+        if loose.status != "exact":
+            degraded += 1
+            line += f" ({loose.entry_reports[0].reason})"
+        print(line, file=out)
+    print(
+        f"{len(BENCHMARKS)} benchmarks, {degraded} degraded, "
+        f"{len(failures)} contract violation(s)",
+        file=out,
+    )
+    for failure in failures:
+        print(f"VIOLATION: {failure}", file=out)
+    if failures:
+        return 1
+    if expect_degraded and degraded == 0:
+        print(
+            "VIOLATION: --expect-degraded, but no benchmark degraded "
+            "(budget too generous to exercise the degradation path)",
+            file=out,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.stress",
+        description="Benchmark suite under a tight budget (robustness check)",
+    )
+    parser.add_argument("--max-steps", type=int, default=2000, metavar="N")
+    parser.add_argument("--max-iterations", type=int, default=None, metavar="N")
+    parser.add_argument("--table-limit", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--expect-degraded", action="store_true",
+        help="fail unless at least one benchmark degraded",
+    )
+    arguments = parser.parse_args(argv)
+    return run_stress(
+        max_steps=arguments.max_steps,
+        max_iterations=arguments.max_iterations,
+        table_limit=arguments.table_limit,
+        deadline=arguments.deadline,
+        expect_degraded=arguments.expect_degraded,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

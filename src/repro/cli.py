@@ -13,7 +13,12 @@ lint the source against the analysis; exit status 1 when any
 error-severity diagnostic (or a syntax error) is found, 0 otherwise.
 
 The three commands share one loader and one set of argument groups, so
-flags mean the same thing everywhere.
+flags mean the same thing everywhere.  All three catch library errors
+(:class:`~repro.errors.ReproError`) and I/O errors at top level: one
+line on stderr, exit status 2 — never a traceback.  Resource limits
+(``--max-steps``, ``--deadline``, ...) are available everywhere; the
+analysis commands default to ``--on-budget=degrade``, reporting a sound
+⊤-widened result instead of dying when a limit trips.
 """
 
 from __future__ import annotations
@@ -21,17 +26,33 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from .analysis.driver import Analyzer
+from .errors import ReproError
 from .prolog.library import with_library
 from .prolog.parser import parse_term
 from .prolog.program import Program
 from .prolog.solver import Solver
 from .prolog.writer import term_to_text
+from .robust import Budget
 from .wam.compile import CompilerOptions, compile_program
 from .wam.listing import disassemble
 from .wam.machine import Machine
+
+
+def _guard(command: Callable[[argparse.Namespace], int], prog: str):
+    """Run a command body; library and I/O failures become exit code 2
+    with a one-line message instead of a traceback."""
+
+    def main(argv: Optional[Sequence[str]] = None) -> int:
+        try:
+            return command(argv)
+        except (ReproError, OSError) as error:
+            print(f"{prog}: error: {error}", file=sys.stderr)
+            return 2
+
+    return main
 
 
 def _load_program(path: str, use_library: bool) -> Program:
@@ -46,6 +67,53 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by every command that reads a Prolog file."""
     parser.add_argument("file", help="Prolog source file")
     parser.add_argument("--library", action="store_true", help="add list library")
+
+
+def _add_budget_arguments(
+    parser: argparse.ArgumentParser, analysis: bool = True
+) -> None:
+    """Resource-limit flags (see repro.robust.Budget)."""
+    parser.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="abstract/concrete machine step limit",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit for the whole run",
+    )
+    if analysis:
+        parser.add_argument(
+            "--max-iterations", type=int, default=100, metavar="N",
+            help="fixpoint iteration limit (default 100)",
+        )
+        parser.add_argument(
+            "--table-limit", type=int, default=None, metavar="N",
+            help="extension-table entry limit",
+        )
+        parser.add_argument(
+            "--on-budget", default="degrade", choices=["degrade", "raise"],
+            help="when a limit trips: degrade soundly to ⊤ (default) "
+            "or raise",
+        )
+
+
+def _budget_from(arguments: argparse.Namespace) -> Optional[Budget]:
+    """A Budget from the parsed flags, or None when nothing was limited."""
+    max_iterations = getattr(arguments, "max_iterations", None)
+    table_limit = getattr(arguments, "table_limit", None)
+    if (
+        arguments.max_steps is None
+        and arguments.deadline is None
+        and table_limit is None
+        and (max_iterations is None or max_iterations == 100)
+    ):
+        return None
+    return Budget(
+        max_steps=arguments.max_steps,
+        max_iterations=max_iterations,
+        max_table_entries=table_limit,
+        deadline=arguments.deadline,
+    )
 
 
 def _add_analysis_arguments(
@@ -74,6 +142,7 @@ def _add_analysis_arguments(
     parser.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+    _add_budget_arguments(parser)
 
 
 def _build_analyzer(arguments: argparse.Namespace, program: Program) -> Analyzer:
@@ -82,12 +151,15 @@ def _build_analyzer(arguments: argparse.Namespace, program: Program) -> Analyzer
         program,
         options=options,
         depth=arguments.depth,
+        max_iterations=arguments.max_iterations,
         subsumption=arguments.subsumption,
         on_undefined=arguments.on_undefined,
+        budget=_budget_from(arguments),
+        on_budget=arguments.on_budget,
     )
 
 
-def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
+def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="Compiled dataflow analysis of a Prolog program",
@@ -150,7 +222,7 @@ def main_analyze(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def main_lint(argv: Optional[Sequence[str]] = None) -> int:
+def _lint_command(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
@@ -177,6 +249,8 @@ def main_lint(argv: Optional[Sequence[str]] = None) -> int:
         environment_trimming=not arguments.no_trimming,
         verify=not arguments.no_verify,
         source=not arguments.no_source,
+        budget=_budget_from(arguments),
+        on_budget=arguments.on_budget,
     )
     report = lint_file(
         arguments.file,
@@ -191,7 +265,7 @@ def main_lint(argv: Optional[Sequence[str]] = None) -> int:
     return 1 if report.has_errors else 0
 
 
-def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
+def _prolog_command(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-prolog",
         description="Run a Prolog query on the WAM (or the SLD solver)",
@@ -207,6 +281,7 @@ def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--listing", action="store_true", help="print WAM code and exit"
     )
+    _add_budget_arguments(parser, analysis=False)
     arguments = parser.parse_args(argv)
     program = _load_program(arguments.file, arguments.library)
     goal = parse_term(arguments.goal)
@@ -214,12 +289,21 @@ def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
         compiled = compile_program(program)
         print(disassemble(compiled.code))
         return 0
+    budget = None
+    if arguments.max_steps is not None or arguments.deadline is not None:
+        budget = Budget(
+            max_steps=arguments.max_steps, deadline=arguments.deadline
+        ).start()
     if arguments.engine == "wam":
         machine = Machine(compile_program(program))
+        if budget is not None:
+            machine.step_monitor = budget.charge_step
         solutions = machine.run(goal)
         output_source = machine
     else:
-        solver = Solver(program)
+        solver = Solver(program, budget=budget)
+        if budget is not None and arguments.max_steps is not None:
+            solver.max_steps = arguments.max_steps
         solutions = solver.solve(goal)
         output_source = solver
     found = 0
@@ -243,3 +327,10 @@ def main_prolog(argv: Optional[Sequence[str]] = None) -> int:
         if not text.endswith("\n"):
             sys.stdout.write("\n")
     return 0 if found else 1
+
+
+#: The console-script entry points: the command bodies above, wrapped so
+#: any ReproError or I/O error exits 2 with a one-line message.
+main_analyze = _guard(_analyze_command, "repro-analyze")
+main_lint = _guard(_lint_command, "repro-lint")
+main_prolog = _guard(_prolog_command, "repro-prolog")

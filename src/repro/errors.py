@@ -10,7 +10,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``partial_result`` carries whatever sound-but-incomplete result the
+    raising subsystem managed to compute before failing (a degraded
+    analysis table, for instance); None when nothing usable survived.
+    """
+
+    #: Partial result attached by resource-governed analyzers; see
+    #: :mod:`repro.robust`.
+    partial_result = None
 
 
 class PrologSyntaxError(ReproError):
@@ -50,3 +59,32 @@ class MachineError(ReproError):
 
 class AnalysisError(ReproError):
     """The abstract machine or fixpoint driver reached an inconsistent state."""
+
+
+class BudgetExceeded(AnalysisError):
+    """A resource budget dimension was exhausted (see :mod:`repro.robust`).
+
+    ``dimension`` names the tripped limit: ``"steps"`` (abstract-machine
+    instructions), ``"iterations"`` (fixpoint passes), ``"table"``
+    (extension-table entries) or ``"deadline"`` (wall clock).  Subclasses
+    :class:`AnalysisError` so pre-budget callers that caught iteration
+    exhaustion keep working.
+    """
+
+    def __init__(self, dimension: str, message: str):
+        self.dimension = dimension
+        super().__init__(message)
+
+
+class InjectedFault(AnalysisError):
+    """A deterministic fault raised by a :class:`repro.robust.FaultPlan`.
+
+    ``site`` is the instrumented event kind (``"step"``, ``"unify"``,
+    ``"table"``, ``"iteration"``) and ``count`` the 1-based event ordinal
+    at which the fault fired.
+    """
+
+    def __init__(self, site: str, count: int):
+        self.site = site
+        self.count = count
+        super().__init__(f"injected fault at {site} #{count}")

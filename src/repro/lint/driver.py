@@ -21,9 +21,10 @@ from typing import List, Optional, Sequence, Union
 
 from ..analysis.driver import Analyzer
 from ..analysis.results import AnalysisResult
-from ..errors import PrologSyntaxError, ReproError
+from ..errors import ReproError
 from ..prolog.library import with_library
 from ..prolog.program import Program
+from ..robust import Budget
 from ..wam.compile import CompilerOptions
 from .diagnostics import Diagnostic, LintReport
 from .source import lint_source
@@ -42,6 +43,13 @@ class LintOptions:
     verify: bool = True
     #: run the source rules.
     source: bool = True
+    #: optional resource budget for the underlying analysis.
+    budget: Optional[Budget] = None
+    #: deterministic fault injection (tests only).
+    fault_plan: object = None
+    #: a linter should produce a report, not crash, when the budget
+    #: trips — hence "degrade" here, unlike the analyzer's "raise".
+    on_budget: str = "degrade"
 
 
 def lint_program(
@@ -64,6 +72,9 @@ def lint_program(
         depth=options.depth,
         subsumption=options.subsumption,
         on_undefined=options.on_undefined,
+        budget=options.budget,
+        fault_plan=options.fault_plan,
+        on_budget=options.on_budget,
     )
     result: Optional[AnalysisResult] = None
     try:
@@ -75,6 +86,41 @@ def lint_program(
                     code="E000",
                     severity="error",
                     message=f"analysis failed: {error}",
+                    file=file,
+                )
+            ]
+        )
+    if result is not None and result.status != "exact":
+        # Entry specs whose analysis *errored* (not merely ran out of
+        # budget) keep the historical E000 semantics even in degrade
+        # mode — the result is sound but the error is still an error.
+        report.extend(
+            [
+                Diagnostic(
+                    code="E000",
+                    severity="error",
+                    message=f"analysis failed: {entry_report.reason}",
+                    file=file,
+                )
+                for entry_report in result.entry_reports
+                if entry_report.status == "failed"
+            ]
+        )
+        non_exact = ", ".join(
+            f"{entry_report.spec} ({entry_report.status})"
+            for entry_report in result.entry_reports
+            if entry_report.status != "exact"
+        )
+        report.extend(
+            [
+                Diagnostic(
+                    code="I001",
+                    severity="info",
+                    message=(
+                        "analysis widened to ⊤ for entry "
+                        f"{non_exact}; precision-dependent rules "
+                        "(W003-W007, I008) are muted for this run"
+                    ),
                     file=file,
                 )
             ]
@@ -93,14 +139,17 @@ def lint_file(
     library: bool = False,
     options: Optional[LintOptions] = None,
 ) -> LintReport:
-    """Lint a Prolog source file; syntax errors become ``E001``."""
+    """Lint a Prolog source file; syntax errors become ``E001``.
+
+    The parser recovers at clause boundaries, so *every* malformed
+    clause yields its own ``E001`` and the well-formed remainder is
+    still analyzed and linted.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    try:
-        program = with_library(text) if library else Program.from_text(text)
-    except PrologSyntaxError as error:
+    program, errors = Program.from_text_with_recovery(text)
+    if errors:
         report = LintReport()
-        position = (error.line, error.column) if error.line else None
         report.extend(
             [
                 Diagnostic(
@@ -108,9 +157,20 @@ def lint_file(
                     severity="error",
                     message=f"syntax error: {error}",
                     file=path,
-                    position=position,
+                    position=(error.line, error.column) if error.line else None,
                 )
+                for error in errors
             ]
         )
+        if not program.predicates:
+            report.sort()
+            return report
+        if library:
+            program = with_library(program)
+        inner = lint_program(program, entries, file=path, options=options)
+        report.extend(inner.diagnostics)
+        report.sort()
         return report
+    if library:
+        program = with_library(program)
     return lint_program(program, entries, file=path, options=options)

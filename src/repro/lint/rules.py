@@ -104,6 +104,24 @@ class LintContext:
         """Compiler-synthesized predicates are not user-facing."""
         return indicator[0].startswith("$")
 
+    @property
+    def trusted(self) -> Optional[AnalysisResult]:
+        """The analysis result, but only when it is globally *exact*.
+
+        Precision-dependent rules (dead code, failing goals, determinism,
+        arithmetic modes) reason from "every recorded calling pattern".
+        Once any entry spec degraded, the set of recorded calling
+        patterns is incomplete — even predicates whose own entries look
+        exact may be missing patterns the interrupted exploration would
+        have added — so those rules must not fire at all.  Rules that
+        only need the program text (singletons, undefined predicates)
+        keep working from ``program``.
+        """
+        result = self.result
+        if result is None or result.status != "exact":
+            return None
+        return result
+
 
 # ----------------------------------------------------------------------
 # W002: singleton variables.
@@ -152,9 +170,10 @@ def _first_position(context: LintContext, indicator: Indicator):
 
 
 def check_dead_code(context: LintContext) -> Iterator[Diagnostic]:
-    if context.result is None:
+    result = context.trusted
+    if result is None:
         return
-    report = find_dead_code(context.program, context.result)
+    report = find_dead_code(context.program, result)
     for indicator in report.unreachable_predicates:
         if context.is_internal(indicator):
             continue
@@ -204,11 +223,8 @@ def _head_states(
 ) -> Dict[int, str]:
     """Initial binding states of head variables from the call types."""
     states: Dict[int, str] = {}
-    info = (
-        context.result.predicate(indicator)
-        if context.result is not None
-        else None
-    )
+    trusted = context.trusted
+    info = trusted.predicate(indicator) if trusted is not None else None
     if not isinstance(clause.head, Struct):
         return states
     for position, argument in enumerate(clause.head.args):
@@ -244,9 +260,10 @@ def _head_states(
 
 
 def _success_state(context: LintContext, indicator: Indicator, position: int):
-    if context.result is None:
+    trusted = context.trusted
+    if trusted is None:
         return _UNKNOWN
-    info = context.result.predicate(indicator)
+    info = trusted.predicate(indicator)
     if info is None or position >= len(info.arguments):
         return _UNKNOWN
     success = info.arguments[position].success_type
@@ -332,11 +349,12 @@ def _walk_clause_arithmetic(
 # W007: goals that are proven to always fail.
 
 def check_failing_goals(context: LintContext) -> Iterator[Diagnostic]:
-    if context.result is None:
+    result = context.trusted
+    if result is None:
         return
     failing: Set[Indicator] = set()
-    for indicator in context.result.predicates():
-        entries = context.result.table.entries_for(indicator)
+    for indicator in result.predicates():
+        entries = result.table.entries_for(indicator)
         if entries and all(entry.success is None for entry in entries):
             failing.add(indicator)
     if not failing:
@@ -366,12 +384,13 @@ def check_failing_goals(context: LintContext) -> Iterator[Diagnostic]:
 # I008: determinism hints.
 
 def check_determinism(context: LintContext) -> Iterator[Diagnostic]:
-    if context.result is None:
+    result = context.trusted
+    if result is None:
         return
     for indicator, predicate in context.program.predicates.items():
         if context.is_internal(indicator) or len(predicate.clauses) < 2:
             continue
-        entries = context.result.table.entries_for(indicator)
+        entries = result.table.entries_for(indicator)
         if not entries:
             continue
         if all(

@@ -11,7 +11,12 @@ Public surface:
 """
 
 from .operators import OperatorTable
-from .parser import parse_term, parse_term_with_vars, read_terms
+from .parser import (
+    parse_term,
+    parse_term_with_vars,
+    read_terms,
+    read_terms_with_recovery,
+)
 from .program import Clause, Predicate, Program, normalize_program
 from .solver import Bindings, Solver, compare_terms, unify
 from .terms import (
@@ -65,6 +70,7 @@ __all__ = [
     "parse_term",
     "parse_term_with_vars",
     "read_terms",
+    "read_terms_with_recovery",
     "term_depth",
     "term_size",
     "term_to_text",

@@ -79,9 +79,14 @@ def library_program() -> Program:
     return Program.from_text(LIBRARY_SOURCE)
 
 
-def with_library(text: str) -> Program:
-    """Parse ``text`` and add library predicates it does not define."""
-    program = Program.from_text(text)
+def with_library(text) -> Program:
+    """Add library predicates a program does not define itself.
+
+    ``text`` may be a source string (parsed strictly) or an
+    already-parsed :class:`Program` — the latter lets callers that
+    parsed with error recovery reuse their program.
+    """
+    program = text if isinstance(text, Program) else Program.from_text(text)
     library = library_program()
     for indicator, predicate in library.predicates.items():
         if program.predicate(indicator) is None:

@@ -75,6 +75,32 @@ class Parser:
     def at_end(self) -> bool:
         return self._peek().kind == "eof"
 
+    def skip_to_clause_end(self) -> None:
+        """Error recovery: skip tokens up to and past the next clause
+        terminator (``.``), or to end of input.
+
+        After a syntax error this resynchronizes the stream at the start
+        of the next clause so reading can continue.  If the offending
+        token just consumed *was* the terminator (e.g. ``foo(.``, where
+        ``.`` arrives as an unexpected primary), the stream is already
+        at a clause boundary and nothing is skipped — this keeps the
+        following well-formed clause.  Always makes progress relative to
+        the erroring read: either a token was consumed raising the
+        error, or at least one is skipped here.
+        """
+        if self.index > 0 and self.tokens[self.index - 1].kind == "end":
+            return
+        start = self.index
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                break
+            self.index += 1
+            if token.kind == "end":
+                break
+        if self.index == start and not self.at_end():
+            self.index += 1
+
     # ------------------------------------------------------------------
     # Term reading.
 
@@ -341,3 +367,39 @@ def read_terms_with_positions(
         if not _apply_directive(term, table):
             assert parser.clause_position is not None
             result.append((term, parser.clause_position))
+
+
+def read_terms_with_recovery(
+    text: str, operators: Optional[OperatorTable] = None
+) -> Tuple[List[Tuple[Term, Tuple[int, int]]], List[PrologSyntaxError]]:
+    """Fault-tolerant :func:`read_terms_with_positions`.
+
+    On a syntax error the parser resynchronizes at the next clause
+    terminator (``.``) and keeps reading, so *all* malformed clauses are
+    diagnosed in one pass instead of stopping at the first.  Returns the
+    well-formed ``(term, (line, column))`` pairs plus every collected
+    error, in source order.
+
+    Lexical errors (unterminated quotes/comments, bad escapes) abort
+    tokenization itself, so they cannot be resynchronized: the single
+    error is returned with no terms.
+    """
+    table = operators if operators is not None else OperatorTable()
+    errors: List[PrologSyntaxError] = []
+    try:
+        tokens = tokenize(text)
+    except PrologSyntaxError as exc:
+        return [], [exc]
+    parser = Parser(tokens, table)
+    result: List[Tuple[Term, Tuple[int, int]]] = []
+    while True:
+        try:
+            term = parser.read_clause_term()
+            if term is None:
+                return result, errors
+            if not _apply_directive(term, table):
+                assert parser.clause_position is not None
+                result.append((term, parser.clause_position))
+        except PrologSyntaxError as exc:
+            errors.append(exc)
+            parser.skip_to_clause_end()

@@ -187,6 +187,33 @@ class Program:
             program.add_term(term, position=position)
         return program
 
+    @staticmethod
+    def from_text_with_recovery(
+        text: str,
+    ) -> Tuple["Program", List[PrologSyntaxError]]:
+        """Fault-tolerant :meth:`from_text`: parse what parses, collect
+        every syntax error instead of stopping at the first.
+
+        The parser resynchronizes after each error at the next clause
+        terminator (``.``); malformed clause *heads* are likewise
+        skipped.  Returns the program built from the well-formed clauses
+        plus the errors in source order — callers decide whether a
+        non-empty error list is fatal.
+        """
+        from .parser import read_terms_with_recovery
+
+        program = Program(OperatorTable())
+        terms, errors = read_terms_with_recovery(text, program.operators)
+        for term, position in terms:
+            try:
+                program.add_term(term, position=position)
+            except PrologSyntaxError as exc:
+                if not exc.line and position is not None:
+                    exc = PrologSyntaxError(str(exc), *position)
+                errors.append(exc)
+        errors.sort(key=lambda e: (e.line, e.column))
+        return program, errors
+
     def to_text(self) -> str:
         from .writer import term_to_text
 

@@ -26,6 +26,21 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 #: of 1000 is far too small for meta-level programs (see PrologAnalyzer).
 _MIN_RECURSION_LIMIT = 100_000
 
+
+def _ensure_recursion_limit(minimum: int = _MIN_RECURSION_LIMIT) -> None:
+    """Raise the process-wide recursion limit to at least ``minimum``.
+
+    SIDE EFFECT: ``sys.setrecursionlimit`` is process-global and this
+    deliberately leaks past the Solver's lifetime — shrinking it back
+    could break concurrently-running solvers, and re-raising it is
+    idempotent.  The guard only ever *raises* the limit, so constructing
+    a Solver after the embedding application chose a higher limit never
+    lowers it.
+    """
+    if sys.getrecursionlimit() < minimum:
+        sys.setrecursionlimit(minimum)
+
+
 from ..errors import PrologError
 from .program import Clause, Program
 from .terms import (
@@ -183,11 +198,11 @@ class Solver:
         program: Program,
         max_steps: int = 10_000_000,
         trace: bool = False,
+        budget=None,
     ):
         from .builtins import STANDARD_BUILTINS
 
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        _ensure_recursion_limit()
         self.program = program
         self.bindings = Bindings()
         self.builtins: Dict[Indicator, BuiltinFn] = dict(STANDARD_BUILTINS)
@@ -195,6 +210,10 @@ class Solver:
         self.steps = 0
         self.trace = trace
         self.output: List[str] = []
+        #: Optional repro.robust.Budget whose armed *deadline* the
+        #: resolution loop probes every 2048 steps (other dimensions are
+        #: analysis-side; the solver keeps its own max_steps).
+        self.budget = budget
         self._frame_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -234,6 +253,8 @@ class Solver:
         self.steps += 1
         if self.steps > self.max_steps:
             raise PrologError("resource_error", "step limit exceeded")
+        if self.budget is not None and not (self.steps & 2047):
+            self.budget.check_deadline()
         goal, rest = goals[0], goals[1:]
         if isinstance(goal, _CutToken):
             yield from self._solve(rest, depth)

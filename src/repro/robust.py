@@ -1,0 +1,290 @@
+"""Resource governance and fault tolerance for the analysis stack.
+
+The paper's pitch is that compiled analysis is fast enough to live inside
+a production compiler.  Production also means *bounded*: a pathological
+or adversarial program must not be able to spin the fixpoint engine
+forever, and a failure in one entry point must not wipe out every other
+result.  This module provides the two shared primitives:
+
+* :class:`Budget` — a multi-dimensional resource budget (abstract-machine
+  steps, fixpoint iterations, extension-table entries, wall-clock
+  deadline) threaded through the abstract WAM, the fixpoint drivers, the
+  extension table and the baseline analyzers.  Any dimension left as
+  ``None`` is unlimited.  When a dimension trips, the charging call
+  raises :class:`~repro.errors.BudgetExceeded`.
+
+* :class:`FaultPlan` — deterministic fault injection: raise
+  :class:`~repro.errors.InjectedFault` at exactly the Nth occurrence of
+  an instrumented event (abstract step, abstract unification, table
+  update, fixpoint iteration).  The test suite uses it to prove that
+  every degradation path is exercised and sound.
+
+Degradation contract (``on_budget="degrade"``): when a budget trips or a
+fault fires inside the analysis of one entry spec, the driver widens
+every extension-table entry that spec touched to ⊤ (success pattern all
+``any``, every argument pair may-share) and marks it ``degraded``.  A
+widened entry over-approximates every concrete behaviour, so the overall
+result stays *sound* — merely less precise — and the remaining entry
+specs are analyzed in isolation, unaffected.  :func:`widen_entry_to_top`
+and :func:`top_success_pattern` implement the widening.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, List, Optional, Tuple
+
+from .errors import BudgetExceeded, InjectedFault
+
+#: Ordered per-entry / per-spec statuses, least to most damaged.
+STATUS_EXACT = "exact"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+_STATUS_RANK = {STATUS_EXACT: 0, STATUS_DEGRADED: 1, STATUS_FAILED: 2}
+
+
+def worse_status(left: str, right: str) -> str:
+    """The more damaged of two statuses (``failed`` > ``degraded`` > ``exact``)."""
+    return left if _STATUS_RANK[left] >= _STATUS_RANK[right] else right
+
+
+#: How many charged steps pass between wall-clock probes; checking
+#: ``time.monotonic`` on every abstract instruction would dominate the
+#: dispatch loop.
+DEADLINE_STRIDE = 256
+
+
+class Budget:
+    """A resource budget shared by one analysis run.
+
+    Dimensions (each ``None`` = unlimited):
+
+    * ``max_steps`` — abstract-machine instructions (baselines charge one
+      step per interpreted goal, the closest equivalent);
+    * ``max_iterations`` — fixpoint passes, summed over all entry specs;
+    * ``max_table_entries`` — distinct (predicate, calling-pattern)
+      extension-table entries;
+    * ``deadline`` — wall-clock seconds for the whole run, armed by
+      :meth:`start`.
+
+    A Budget is mutable bookkeeping for **one run at a time**: the
+    analyzer calls :meth:`start` at the beginning of every run, which
+    resets the used counters and (re)arms the deadline.  After the run
+    the ``steps_used`` / ``iterations_used`` counters are left readable
+    for observability.  Do not share one Budget between concurrent runs.
+    """
+
+    __slots__ = (
+        "max_steps",
+        "max_iterations",
+        "max_table_entries",
+        "deadline",
+        "steps_used",
+        "iterations_used",
+        "_deadline_at",
+    )
+
+    def __init__(
+        self,
+        max_steps: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        max_table_entries: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        for name, value in (
+            ("max_steps", max_steps),
+            ("max_iterations", max_iterations),
+            ("max_table_entries", max_table_entries),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive, not {value!r}")
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, not {deadline!r}")
+        self.max_steps = max_steps
+        self.max_iterations = max_iterations
+        self.max_table_entries = max_table_entries
+        self.deadline = deadline
+        self.steps_used = 0
+        self.iterations_used = 0
+        self._deadline_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no dimension can ever trip."""
+        return (
+            self.max_steps is None
+            and self.max_iterations is None
+            and self.max_table_entries is None
+            and self.deadline is None
+        )
+
+    @property
+    def governs_steps(self) -> bool:
+        """Does the per-instruction monitor need to run at all?"""
+        return self.max_steps is not None or self.deadline is not None
+
+    def start(self) -> "Budget":
+        """Reset counters and arm the deadline clock; returns self."""
+        self.steps_used = 0
+        self.iterations_used = 0
+        self._deadline_at = (
+            time.monotonic() + self.deadline if self.deadline is not None else None
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Charging.  Each raises BudgetExceeded when its dimension trips.
+
+    def charge_step(self) -> None:
+        """Charge one abstract-machine instruction (or baseline goal)."""
+        self.steps_used = used = self.steps_used + 1
+        limit = self.max_steps
+        if limit is not None and used > limit:
+            raise BudgetExceeded(
+                "steps", f"step budget exceeded ({limit} abstract steps)"
+            )
+        if self._deadline_at is not None and used % DEADLINE_STRIDE == 0:
+            self.check_deadline()
+
+    def charge_iteration(self) -> None:
+        """Charge one fixpoint pass; also probes the deadline."""
+        self.iterations_used = used = self.iterations_used + 1
+        limit = self.max_iterations
+        if limit is not None and used > limit:
+            raise BudgetExceeded(
+                "iterations", f"no fixpoint after {limit} iterations"
+            )
+        self.check_deadline()
+
+    def charge_table(self, size: int) -> None:
+        """Charge the extension table growing to ``size`` entries."""
+        limit = self.max_table_entries
+        if limit is not None and size > limit:
+            raise BudgetExceeded(
+                "table", f"extension-table budget exceeded ({limit} entries)"
+            )
+
+    def check_deadline(self) -> None:
+        """Raise when the armed wall-clock deadline has passed."""
+        deadline_at = self._deadline_at
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            raise BudgetExceeded(
+                "deadline", f"deadline exceeded ({self.deadline}s wall clock)"
+            )
+
+    def expired(self) -> bool:
+        """Non-raising deadline probe (used by cooperative loops)."""
+        deadline_at = self._deadline_at
+        return deadline_at is not None and time.monotonic() > deadline_at
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in ("max_steps", "max_iterations", "max_table_entries", "deadline"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        return f"Budget({', '.join(parts)})"
+
+
+class FaultPlan:
+    """Deterministic fault injection at instrumented analysis sites.
+
+    Each site counts its events; when a site's counter reaches the
+    configured ordinal, :class:`~repro.errors.InjectedFault` is raised
+    exactly once (the counter keeps advancing, so re-running the same
+    plan object does not re-fire — build a fresh plan per experiment).
+
+    Sites:
+
+    * ``"step"`` — one abstract-machine instruction dispatched;
+    * ``"unify"`` — one abstract set-unification performed by the machine;
+    * ``"table"`` — one extension-table ``updateET``;
+    * ``"iteration"`` — one fixpoint pass started.
+    """
+
+    SITES = ("step", "unify", "table", "iteration")
+
+    def __init__(
+        self,
+        at_step: Optional[int] = None,
+        at_unification: Optional[int] = None,
+        at_table_update: Optional[int] = None,
+        at_iteration: Optional[int] = None,
+    ):
+        self._trip_at = {
+            "step": at_step,
+            "unify": at_unification,
+            "table": at_table_update,
+            "iteration": at_iteration,
+        }
+        for site, ordinal in self._trip_at.items():
+            if ordinal is not None and ordinal < 1:
+                raise ValueError(f"fault ordinal for {site!r} must be >= 1")
+        self.counts = {site: 0 for site in self.SITES}
+        #: (site, ordinal) pairs that actually fired, in firing order.
+        self.fired: List[Tuple[str, int]] = []
+
+    def watches(self, site: str) -> bool:
+        """Is any fault armed at this site (monitor worth installing)?"""
+        return self._trip_at.get(site) is not None
+
+    def fire(self, site: str) -> None:
+        """Record one event at ``site``; raise when its ordinal is reached."""
+        self.counts[site] = count = self.counts[site] + 1
+        if self._trip_at.get(site) == count:
+            self.fired.append((site, count))
+            raise InjectedFault(site, count)
+
+
+# ----------------------------------------------------------------------
+# Sound widening to ⊤.
+
+
+def top_success_pattern(arity: int):
+    """The ⊤ success pattern for ``arity`` arguments: every position
+    ``any``, no structure.  Over-approximates every concrete success."""
+    from .analysis.patterns import Pattern, canonicalize
+    from .domain.sorts import AbsSort
+
+    return canonicalize(
+        Pattern(tuple(("i", AbsSort.ANY, index) for index in range(arity)))
+    )
+
+
+def all_share_pairs(arity: int) -> FrozenSet[Tuple[int, int]]:
+    """Every argument-position pair: unknown code may alias anything."""
+    return frozenset(
+        (i, j) for i in range(arity) for j in range(i + 1, arity)
+    )
+
+
+def widen_entry_to_top(indicator, entry, status: str = STATUS_DEGRADED) -> None:
+    """Widen one table entry to ⊤ in place and stamp its status.
+
+    Used when an entry's exploration was interrupted: whatever partial
+    summary it holds may be an under-approximation, so the only sound
+    summary left is "may succeed with anything, aliasing anything".
+    """
+    arity = indicator[1]
+    entry.success = top_success_pattern(arity)
+    entry.may_share = all_share_pairs(arity)
+    entry.status = worse_status(entry.status, status)
+
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "FaultPlan",
+    "InjectedFault",
+    "STATUS_DEGRADED",
+    "STATUS_EXACT",
+    "STATUS_FAILED",
+    "all_share_pairs",
+    "top_success_pattern",
+    "widen_entry_to_top",
+    "worse_status",
+]

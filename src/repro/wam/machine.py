@@ -118,6 +118,12 @@ class Machine:
         self._switch_cache: Dict[int, Dict[object, int]] = {}
         #: Optional repro.wam.trace.Tracer recording executed instructions.
         self.tracer = None
+        #: Optional zero-argument callable invoked once per dispatched
+        #: instruction; the resource-governance layer (repro.robust)
+        #: installs Budget.charge_step / FaultPlan firing here.  Left as
+        #: None (no per-step overhead beyond one identity check) when the
+        #: machine runs ungoverned.
+        self.step_monitor = None
 
     # ------------------------------------------------------------------
     # Register access.
@@ -283,11 +289,18 @@ class Machine:
         count = self.instruction_count
         limit = self.max_steps
         tracer = self.tracer
+        monitor = self.step_monitor
         while True:
             count += 1
             if count > limit:
                 self.instruction_count = count
                 raise PrologError("resource_error", "WAM step limit exceeded")
+            if monitor is not None:
+                try:
+                    monitor()
+                except BaseException:
+                    self.instruction_count = count
+                    raise
             pc = self.pc
             if tracer is not None:
                 self.instruction_count = count

@@ -109,3 +109,46 @@ class TestHarness:
     def test_unknown_baseline(self):
         with pytest.raises(ValueError):
             measure_benchmark(get_benchmark("tak"), repeats=1, baseline="x")
+
+
+class TestStressHarness:
+    def test_tight_budget_contract_holds(self, capsys):
+        import io
+
+        from repro.bench.stress import run_stress
+
+        out = io.StringIO()
+        status = run_stress(max_steps=300, expect_degraded=True, out=out)
+        text = out.getvalue()
+        assert status == 0
+        assert "0 contract violation(s)" in text
+        assert "degraded" in text
+
+    def test_generous_budget_all_exact(self):
+        import io
+
+        from repro.bench.stress import run_stress
+
+        out = io.StringIO()
+        assert run_stress(max_steps=None, out=out) == 0
+        assert ", 0 degraded," in out.getvalue()
+
+    def test_expect_degraded_fails_when_nothing_trips(self):
+        import io
+
+        from repro.bench.stress import run_stress
+
+        out = io.StringIO()
+        assert run_stress(max_steps=None, expect_degraded=True, out=out) == 1
+        assert "no benchmark degraded" in out.getvalue()
+
+    def test_main_argv(self):
+        import contextlib
+        import io
+
+        from repro.bench.stress import main
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            status = main(["--max-steps", "300", "--expect-degraded"])
+        assert status == 0

@@ -181,3 +181,107 @@ class TestLintCli:
         assert "main/0" in out  # the analysis report
         assert "W002" in out  # the appended lint report
         assert "% lint: 1 warning" in out
+
+
+class TestCliHardening:
+    """Library/I-O failures exit 2 with one line on stderr, never a
+    traceback."""
+
+    def test_analyze_missing_file(self, capsys):
+        assert main_analyze(["/nonexistent/prog.pl", "main"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-analyze: error:")
+        assert err.count("\n") == 1
+
+    def test_lint_missing_file(self, capsys):
+        assert main_lint(["/nonexistent/prog.pl", "main"]) == 2
+        assert capsys.readouterr().err.startswith("repro-lint: error:")
+
+    def test_prolog_missing_file(self, capsys):
+        assert main_prolog(["/nonexistent/prog.pl", "main"]) == 2
+        assert capsys.readouterr().err.startswith("repro-prolog: error:")
+
+    def test_analyze_bad_entry_pattern(self, program_file, capsys):
+        assert main_analyze([program_file, "nrev(bogus_mode, var)"]) == 2
+        assert "repro-analyze: error:" in capsys.readouterr().err
+
+    def test_prolog_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.pl"
+        path.write_text("p(.\n")
+        assert main_prolog([str(path), "p(X)"]) == 2
+        assert "repro-prolog: error:" in capsys.readouterr().err
+
+
+class TestCliBudgets:
+    def test_analyze_degrades_by_default(self, program_file, capsys):
+        code = main_analyze([program_file, "nrev(glist, var)", "--max-steps", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "% status: degraded" in out
+
+    def test_analyze_on_budget_raise(self, program_file, capsys):
+        code = main_analyze(
+            [program_file, "nrev(glist, var)", "--max-steps", "5",
+             "--on-budget", "raise"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro-analyze: error:" in err
+        assert "step budget" in err
+
+    def test_analyze_exact_unaffected_by_loose_budget(
+        self, program_file, capsys
+    ):
+        assert main_analyze(
+            [program_file, "nrev(glist, var)", "--max-steps", "1000000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "status: degraded" not in out
+        assert "nrev/2" in out
+
+    def test_analyze_json_reports_status(self, program_file, capsys):
+        import json
+
+        main_analyze(
+            [program_file, "nrev(glist, var)", "--max-steps", "5", "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "degraded"
+        assert data["entry_reports"][0]["status"] == "degraded"
+        assert data["entry_reports"][0]["reason"]
+
+    def test_analyze_max_iterations_degrades(self, program_file, capsys):
+        assert main_analyze(
+            [program_file, "nrev(glist, var)", "--max-iterations", "1"]
+        ) == 0
+        assert "% status: degraded" in capsys.readouterr().out
+
+    def test_lint_budget_emits_i001_and_mutes(self, program_file, capsys):
+        assert main_lint(
+            [program_file, "nrev(glist, var)", "--max-steps", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "I001" in out
+        assert "muted" in out
+
+    def test_prolog_step_budget_trips(self, program_file, capsys):
+        code = main_prolog(
+            [program_file, "nrev([1,2,3,4,5,6,7,8], R)", "--max-steps", "10"]
+        )
+        assert code == 2
+        assert "repro-prolog: error:" in capsys.readouterr().err
+
+    def test_prolog_generous_budget_succeeds(self, program_file, capsys):
+        assert main_prolog(
+            [program_file, "nrev([1,2], R)", "--max-steps", "100000",
+             "--deadline", "60"]
+        ) == 0
+        assert "R = [2, 1]" in capsys.readouterr().out
+
+    def test_prolog_solver_budget(self, program_file, capsys):
+        code = main_prolog(
+            [program_file, "nrev([1,2], R)", "--engine", "solver",
+             "--deadline", "60"]
+        )
+        assert code == 0
+        assert "R = [2, 1]" in capsys.readouterr().out
