@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench table1 table2 examples coverage lint clean
+.PHONY: install test bench bench-serve table1 table2 examples coverage lint serve clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -10,8 +10,11 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-bench:
+bench: bench-serve
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-serve:
+	$(PYTHON) -m repro.bench.emit --out BENCH_serve.json
 
 table1:
 	$(PYTHON) -m repro.bench.table1
@@ -30,6 +33,9 @@ examples:
 lint:
 	$(PYTHON) -m repro.lint examples/nrev.pl "nrev(glist, var)"
 	$(PYTHON) -m repro.lint examples/lint_demo.pl "main" "wrapper(g)"
+
+serve:
+	$(PYTHON) -m repro.serve --batch examples/nrev.pl --entry "nrev(glist, var)"
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -220,6 +220,52 @@ class Analyzer:
         self.fault_plan = fault_plan
         self.on_budget = on_budget
 
+    # ------------------------------------------------------------------
+    # Fine-grained entry points (used by the repro.serve scheduler).
+
+    def machine_for(
+        self,
+        table: ExtensionTable,
+        budget: Optional[Budget] = None,
+        fault_plan=None,
+    ) -> AbstractMachine:
+        """An abstract machine over ``table`` with this analyzer's knobs."""
+        return AbstractMachine(
+            self.compiled, table, depth=self.depth,
+            list_aware=self.list_aware, subsumption=self.subsumption,
+            on_undefined=self.on_undefined,
+            budget=budget, fault_plan=fault_plan,
+        )
+
+    def pattern_fixpoint(
+        self,
+        machine: AbstractMachine,
+        indicator: Indicator,
+        pattern: Pattern,
+        budget: Optional[Budget] = None,
+        fault_plan=None,
+    ) -> int:
+        """Iterate one calling pattern to a local fixpoint.
+
+        This is the per-SCC entry point: the serve scheduler stabilizes
+        each strongly connected component bottom-up by iterating its
+        calling patterns here, with the callee components' summaries
+        already frozen in the machine's table.  Returns the number of
+        passes run; charges ``budget`` one iteration per pass.
+        """
+        table = machine.table
+        iterations = 0
+        while True:
+            if fault_plan is not None and fault_plan.watches("iteration"):
+                fault_plan.fire("iteration")
+            if budget is not None:
+                budget.charge_iteration()
+            iterations += 1
+            before = table.changes
+            machine.run_pattern(indicator, pattern)
+            if table.changes == before:
+                return iterations
+
     def analyze(
         self, entries: Sequence[Union[str, Term, EntrySpec]]
     ) -> AnalysisResult:

@@ -43,6 +43,11 @@ class TableEntry:
     #: "exact" normally; "degraded" once widened to ⊤ after an
     #: interrupted exploration (see repro.robust).
     status: str = "exact"
+    #: Frozen entries are known-final summaries (seeded from the result
+    #: store or stabilized bottom-up by the SCC scheduler): the abstract
+    #: machine treats them as explored in *every* pass and never re-runs
+    #: their clauses.  Normal runs never set this (see repro.serve).
+    frozen: bool = False
 
 
 class ExtensionTable:
@@ -58,6 +63,10 @@ class ExtensionTable:
         self.budget = budget
         #: Optional repro.robust.FaultPlan fired on every update.
         self.fault_plan = fault_plan
+        #: When a set, every key that ``find`` hits or ``entry`` touches
+        #: is recorded — the reachability trace used by
+        #: :meth:`restrict_to` (see repro.serve.scheduler).
+        self.touched: Optional[set] = None
 
     def disarm(self) -> None:
         """Drop the governor hooks (used before sound widening, which
@@ -78,6 +87,8 @@ class ExtensionTable:
             by_pattern[calling] = entry
             self.size += 1
             self.changes += 1
+        if self.touched is not None:
+            self.touched.add((indicator, calling))
         return entry
 
     def find(self, indicator: Indicator, calling: Pattern) -> Optional[TableEntry]:
@@ -85,7 +96,10 @@ class ExtensionTable:
         by_pattern = self._entries.get(indicator)
         if by_pattern is None:
             return None
-        return by_pattern.get(calling)
+        entry = by_pattern.get(calling)
+        if entry is not None and self.touched is not None:
+            self.touched.add((indicator, calling))
+        return entry
 
     def update(
         self,
@@ -157,6 +171,69 @@ class ExtensionTable:
         self.changes += other.changes
         self.lookups += other.lookups
         self.updates += other.updates
+
+    # ------------------------------------------------------------------
+    # Serving: seeding from cached summaries, freezing, reachability.
+    # (Used by repro.serve; a table never seeded behaves exactly as
+    # before — frozen stays False and touched stays None.)
+
+    def seed(
+        self,
+        indicator: Indicator,
+        calling: Pattern,
+        success: Optional[Pattern],
+        may_share: FrozenSet[Tuple[int, int]] = frozenset(),
+        status: str = "exact",
+        frozen: bool = True,
+    ) -> TableEntry:
+        """Install a known-final summary (a cache hit) as a frozen entry.
+
+        Seeding bypasses the governor hooks: reusing a cached result
+        must never trip a budget.  The ``changes`` counter still
+        advances, so convergence snapshots taken *after* seeding see a
+        consistent baseline.
+        """
+        by_pattern = self._entries.setdefault(indicator, {})
+        entry = by_pattern.get(calling)
+        if entry is None:
+            entry = TableEntry(calling)
+            by_pattern[calling] = entry
+            self.size += 1
+            self.changes += 1
+        entry.success = success
+        entry.may_share = may_share
+        entry.status = status
+        entry.frozen = frozen
+        return entry
+
+    def thaw(self) -> None:
+        """Clear every frozen mark (before a full verification sweep)."""
+        for _, entry in self.all_entries():
+            entry.frozen = False
+
+    def begin_touch_trace(self) -> set:
+        """Start recording touched keys; returns the live set."""
+        self.touched = set()
+        return self.touched
+
+    def end_touch_trace(self) -> None:
+        self.touched = None
+
+    def restrict_to(self, keys) -> int:
+        """Drop every entry whose (indicator, calling) is not in ``keys``;
+        returns how many entries were dropped.  Used to discard seeded
+        summaries that the current program version no longer reaches."""
+        dropped = 0
+        for indicator in list(self._entries):
+            by_pattern = self._entries[indicator]
+            for calling in list(by_pattern):
+                if (indicator, calling) not in keys:
+                    del by_pattern[calling]
+                    dropped += 1
+            if not by_pattern:
+                del self._entries[indicator]
+        self.size -= dropped
+        return dropped
 
     def worst_status(self, indicator: Indicator) -> str:
         """The most damaged status among ``indicator``'s entries

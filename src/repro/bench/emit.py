@@ -1,0 +1,169 @@
+"""Machine-readable serve benchmarks: cold vs warm vs incremental.
+
+``python -m repro.bench.emit --out BENCH_serve.json`` runs every
+Table 1 benchmark through the analysis service three ways:
+
+* **cold** — empty store, full fixpoint;
+* **warm** — identical request again: a full-result fingerprint hit,
+  no fixpoint at all;
+* **incremental** — the program is *edited* (a clause duplicating the
+  entry predicate's last clause is appended, changing its SCC's
+  fingerprint) and re-analyzed: clean components are seeded from cache,
+  only the dirty SCC and its callers re-iterate.
+
+Each request's result is checked against a from-scratch
+:meth:`~repro.analysis.driver.Analyzer.analyze` (via ``stable_dict``);
+an inequality aborts the run — a benchmark that lies about correctness
+measures nothing.  Output is sorted-keys JSON so diffs between runs are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..analysis.driver import Analyzer
+from ..prolog.program import Program
+from ..serve import AnalysisService, ServiceConfig
+from .programs import BENCHMARKS
+
+
+def _edit(source: str, entry: str) -> str:
+    """A real single-predicate edit: duplicate the entry predicate's
+    first clause as a new last clause (changes the clause list, keeps
+    the analysis semantics identical for deterministic comparison)."""
+    from ..prolog.writer import term_to_text
+
+    name = entry.split("(", 1)[0].strip()
+    program = Program.from_text(source)
+    for indicator, predicate in program.predicates.items():
+        if indicator[0] == name and predicate.clauses:
+            clause = predicate.clauses[-1]
+            text = term_to_text(
+                clause.to_term(), quoted=True, operators=program.operators
+            )
+            return source + "\n" + text + ".\n"
+    return source + "\n"
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def run(repeats: int = 3, names: Optional[Sequence[str]] = None) -> dict:
+    """Benchmark every program (or just ``names``); returns the document."""
+    selected = [
+        benchmark for benchmark in BENCHMARKS
+        if names is None or benchmark.name in names
+    ]
+    rows: List[dict] = []
+    for benchmark in selected:
+        entry = benchmark.entry
+        edited = _edit(benchmark.source, entry)
+        scratch = Analyzer(
+            Program.from_text(benchmark.source)
+        ).analyze([entry]).stable_dict()
+        scratch_edited = Analyzer(
+            Program.from_text(edited)
+        ).analyze([entry]).stable_dict()
+        cold_s: List[float] = []
+        warm_s: List[float] = []
+        incr_s: List[float] = []
+        cache = {}
+        for _ in range(repeats):
+            service = AnalysisService(ServiceConfig())
+            request = {
+                "op": "analyze",
+                "text": benchmark.source,
+                "entries": [entry],
+            }
+            cold, seconds = _timed(lambda: service.handle(request))
+            cold_s.append(seconds)
+            warm, seconds = _timed(lambda: service.handle(request))
+            warm_s.append(seconds)
+            incremental, seconds = _timed(lambda: service.handle(
+                {"op": "analyze", "text": edited, "entries": [entry]}
+            ))
+            incr_s.append(seconds)
+            for response, expected, label in (
+                (cold, scratch, "cold"),
+                (warm, scratch, "warm"),
+                (incremental, scratch_edited, "incremental"),
+            ):
+                if not response.get("ok") or response["result"] != expected:
+                    raise SystemExit(
+                        f"{benchmark.name}: {label} result differs from "
+                        f"from-scratch analyze() — refusing to emit"
+                    )
+            assert warm["cache"]["outcome"] == "hit"
+            cache = {
+                "cold": cold["cache"]["outcome"],
+                "warm": warm["cache"]["outcome"],
+                "incremental": incremental["cache"]["outcome"],
+                "incremental_sccs_seeded": incremental["cache"]["sccs_seeded"],
+                "sccs_total": incremental["cache"]["sccs_total"],
+            }
+        cold_ms = min(cold_s) * 1000.0
+        warm_ms = min(warm_s) * 1000.0
+        incr_ms = min(incr_s) * 1000.0
+        rows.append({
+            "name": benchmark.name,
+            "entry": entry,
+            "cold_ms": round(cold_ms, 3),
+            "warm_ms": round(warm_ms, 3),
+            "incremental_ms": round(incr_ms, 3),
+            "warm_speedup": round(cold_ms / warm_ms, 1) if warm_ms else None,
+            "incremental_speedup": (
+                round(cold_ms / incr_ms, 2) if incr_ms else None
+            ),
+            "cache": cache,
+        })
+    return {
+        "suite": "repro.serve cold/warm/incremental",
+        "repeats": repeats,
+        "benchmarks": rows,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.emit",
+        description="Emit machine-readable serve benchmarks",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serve.json", metavar="FILE",
+        help="output file (default BENCH_serve.json; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per benchmark; the minimum is reported",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="benchmark name to include (repeatable; default: all)",
+    )
+    arguments = parser.parse_args(argv)
+    document = run(repeats=arguments.repeats, names=arguments.only)
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if arguments.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        total_warm = sum(row["warm_speedup"] or 0 for row in document["benchmarks"])
+        count = len(document["benchmarks"])
+        print(
+            f"wrote {arguments.out}: {count} benchmarks, "
+            f"mean warm speedup {total_warm / count:.0f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

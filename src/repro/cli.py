@@ -12,7 +12,11 @@ a query on the concrete machine (``--engine solver`` uses the SLD solver,
 lint the source against the analysis; exit status 1 when any
 error-severity diagnostic (or a syntax error) is found, 0 otherwise.
 
-The three commands share one loader and one set of argument groups, so
+``repro-serve`` — the analysis service: JSON-lines requests on stdin
+(or ``--batch file.pl ...`` for a one-shot run), content-addressed
+result caching and incremental re-analysis (see docs/serve.md).
+
+The commands share one loader and one set of argument groups, so
 flags mean the same thing everywhere.  All three catch library errors
 (:class:`~repro.errors.ReproError`) and I/O errors at top level: one
 line on stderr, exit status 2 — never a traceback.  Resource limits
@@ -188,7 +192,7 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
     analyzer = _build_analyzer(arguments, program)
     result = analyzer.analyze(arguments.entries)
     if arguments.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
     print(result.to_text())
     if arguments.table:
@@ -259,7 +263,7 @@ def _lint_command(argv: Optional[Sequence[str]] = None) -> int:
         options=options,
     )
     if arguments.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.to_text())
     return 1 if report.has_errors else 0
@@ -329,8 +333,91 @@ def _prolog_command(argv: Optional[Sequence[str]] = None) -> int:
     return 0 if found else 1
 
 
+def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Analysis service: JSON-lines requests on stdin (default) "
+            "or a batch run over files; results are cached by content "
+            "fingerprint and re-analysis is incremental per SCC"
+        ),
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help="Prolog files for --batch mode (default: serve stdin)",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="analyze the given files and exit instead of serving stdin",
+    )
+    parser.add_argument(
+        "--entry", action="append", default=None, metavar="PATTERN",
+        help='entry calling pattern for --batch (repeatable), '
+        'e.g. "main(g, var)"',
+    )
+    parser.add_argument(
+        "--passes", type=int, default=2, metavar="N",
+        help="batch passes over the files (default 2; the second "
+        "should hit the cache)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist results on disk under DIR",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=1024, metavar="N",
+        help="in-memory store entry cap (default 1024)",
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024, metavar="N",
+        help="in-memory store byte cap (default 64 MiB)",
+    )
+    parser.add_argument("--library", action="store_true", help="add list library")
+    parser.add_argument("--depth", type=int, default=4, help="term-depth limit")
+    parser.add_argument(
+        "--no-trimming", action="store_true", help="disable environment trimming"
+    )
+    parser.add_argument(
+        "--subsumption", action="store_true",
+        help="reuse summaries of more general explored patterns",
+    )
+    parser.add_argument(
+        "--on-undefined", default="error", choices=["error", "fail", "top"],
+        help="policy for calls to undefined predicates",
+    )
+    _add_budget_arguments(parser)
+    arguments = parser.parse_args(argv)
+    from .serve import AnalysisService, ServiceConfig, run_batch, serve_loop
+
+    service = AnalysisService(ServiceConfig(
+        depth=arguments.depth,
+        list_aware=True,
+        subsumption=arguments.subsumption,
+        on_undefined=arguments.on_undefined,
+        environment_trimming=not arguments.no_trimming,
+        library=arguments.library,
+        budget=_budget_from(arguments),
+        max_entries=arguments.cache_entries,
+        max_bytes=arguments.cache_bytes,
+        store_dir=arguments.store,
+    ))
+    if arguments.batch or arguments.files:
+        if not arguments.files:
+            parser.error("--batch needs at least one file")
+        entries = arguments.entry or ["main"]
+        summary = run_batch(
+            service, arguments.files, entries,
+            passes=arguments.passes, stdout=sys.stdout,
+        )
+        print(json.dumps(summary, sort_keys=True))
+        errors = sum(counts["error"] for counts in summary["passes"])
+        return 1 if errors else 0
+    return serve_loop(service, sys.stdin, sys.stdout)
+
+
 #: The console-script entry points: the command bodies above, wrapped so
 #: any ReproError or I/O error exits 2 with a one-line message.
 main_analyze = _guard(_analyze_command, "repro-analyze")
 main_lint = _guard(_lint_command, "repro-lint")
 main_prolog = _guard(_prolog_command, "repro-prolog")
+main_serve = _guard(_serve_command, "repro-serve")

@@ -180,6 +180,47 @@ class Budget:
         return deadline_at is not None and time.monotonic() > deadline_at
 
     # ------------------------------------------------------------------
+    # Per-request budgets (used by the repro.serve service).
+
+    def copy(self) -> "Budget":
+        """A fresh, unstarted budget with the same limits.
+
+        A Budget is single-run bookkeeping; a long-lived service keeps
+        one *template* budget and hands each request its own copy, so
+        one hot request cannot consume a later request's allowance."""
+        return Budget(
+            max_steps=self.max_steps,
+            max_iterations=self.max_iterations,
+            max_table_entries=self.max_table_entries,
+            deadline=self.deadline,
+        )
+
+    def tightened(self, other: Optional["Budget"]) -> "Budget":
+        """A fresh budget taking the *tighter* of each dimension.
+
+        The service combines its server-wide caps with a request's own
+        limits this way: a request may ask for less than the server
+        allows, never for more."""
+        if other is None:
+            return self.copy()
+
+        def tight(mine, theirs):
+            if mine is None:
+                return theirs
+            if theirs is None:
+                return mine
+            return min(mine, theirs)
+
+        return Budget(
+            max_steps=tight(self.max_steps, other.max_steps),
+            max_iterations=tight(self.max_iterations, other.max_iterations),
+            max_table_entries=tight(
+                self.max_table_entries, other.max_table_entries
+            ),
+            deadline=tight(self.deadline, other.deadline),
+        )
+
+    # ------------------------------------------------------------------
 
     def __repr__(self) -> str:
         parts = []

@@ -1,0 +1,56 @@
+"""repro.serve — the analysis service.
+
+Turns the one-shot analyzer into a long-lived, cache-backed service:
+content-addressed fingerprints (:mod:`~repro.serve.fingerprint`), a
+predicate call graph with Merkle SCC fingerprints
+(:mod:`~repro.serve.callgraph`), a bottom-up SCC-scheduled fixpoint
+(:mod:`~repro.serve.scheduler`), a capped result store
+(:mod:`~repro.serve.store`) and the request loop itself
+(:mod:`~repro.serve.service`).  See docs/serve.md for the architecture
+and the cache-soundness argument.
+"""
+
+from .callgraph import CallGraph, call_edges
+from .fingerprint import (
+    clause_fingerprint,
+    config_fingerprint,
+    entry_fingerprint,
+    predicate_fingerprint,
+    predicate_fingerprints,
+    program_fingerprint,
+    request_fingerprint,
+)
+from .scheduler import SCCScheduler, ScheduleStats
+from .service import (
+    HIT,
+    INCREMENTAL,
+    MISS,
+    AnalysisService,
+    ServiceConfig,
+    run_batch,
+    serve_loop,
+)
+from .store import DiskStore, ResultStore
+
+__all__ = [
+    "HIT",
+    "INCREMENTAL",
+    "MISS",
+    "AnalysisService",
+    "CallGraph",
+    "DiskStore",
+    "ResultStore",
+    "SCCScheduler",
+    "ScheduleStats",
+    "ServiceConfig",
+    "call_edges",
+    "clause_fingerprint",
+    "config_fingerprint",
+    "entry_fingerprint",
+    "predicate_fingerprint",
+    "predicate_fingerprints",
+    "program_fingerprint",
+    "request_fingerprint",
+    "run_batch",
+    "serve_loop",
+]

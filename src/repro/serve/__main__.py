@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — the repro-serve CLI."""
+
+import sys
+
+from ..cli import main_serve
+
+if __name__ == "__main__":
+    sys.exit(main_serve())

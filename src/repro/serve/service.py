@@ -1,0 +1,418 @@
+"""The analysis service: requests in, cached or freshly computed facts out.
+
+:class:`AnalysisService` is the long-lived object behind the
+``repro-serve`` CLI.  One request names a program (inline text or a
+file), entry calling patterns, and optionally analysis knobs and a
+budget; the response carries the analysis (or lint) facts plus cache
+and degradation status.  The serving invariant:
+
+    **Served results are the results a from-scratch ``analyze()`` of the
+    current program text would produce.**  The cache can only make
+    answers faster, never different: full-result hits are keyed by
+    fingerprints covering everything the analysis depends on, and
+    partially-seeded runs end with a thawed verification sweep that
+    recomputes anything a stale summary could have influenced (see
+    :mod:`repro.serve.scheduler`).
+
+Request protocol (JSON object per line on stdin, response per line on
+stdout; see docs/serve.md):
+
+``{"op": "analyze", "file": "p.pl", "entries": ["main(g, var)"]}``
+``{"op": "analyze", "text": "...", "entries": [...], "budget": {"max_steps": 10000}}``
+``{"op": "lint", "file": "p.pl", "entries": [...]}``
+``{"op": "stats"}`` / ``{"op": "invalidate"}`` / ``{"op": "shutdown"}``
+
+Degraded results (budget trips, injected faults) are reported with
+``"status": "degraded"`` and are **never stored**: a later request with
+a healthier budget must recompute, not inherit imprecision.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.driver import Analyzer, parse_entry_spec
+from ..errors import ReproError
+from ..prolog.library import with_library
+from ..prolog.program import Program
+from ..robust import Budget
+from ..wam.compile import CompilerOptions
+from .callgraph import CallGraph
+from .fingerprint import (
+    config_fingerprint,
+    entry_fingerprint,
+    predicate_fingerprints,
+    request_fingerprint,
+)
+from .scheduler import SCCScheduler, Seed
+from .store import (
+    DiskStore,
+    ResultStore,
+    entry_from_json,
+    table_to_json,
+)
+
+#: Cache outcome of one analyze request.
+HIT = "hit"           # full-result fingerprint match; no fixpoint ran
+INCREMENTAL = "incremental"  # some SCC summaries reused, rest recomputed
+MISS = "miss"         # nothing reusable
+
+
+@dataclass
+class ServiceConfig:
+    """Server-wide settings; per-request knobs may tighten, not loosen."""
+
+    depth: int = 4
+    list_aware: bool = True
+    subsumption: bool = False
+    on_undefined: str = "error"
+    environment_trimming: bool = True
+    library: bool = False
+    #: Server-wide per-request resource caps (None = unlimited).
+    budget: Optional[Budget] = None
+    #: In-memory store caps.
+    max_entries: Optional[int] = 1024
+    max_bytes: Optional[int] = 64 * 1024 * 1024
+    #: Optional on-disk store directory.
+    store_dir: Optional[str] = None
+
+
+class AnalysisService:
+    """A long-lived analyzer with content-addressed result reuse."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.store = ResultStore(
+            max_entries=self.config.max_entries,
+            max_bytes=self.config.max_bytes,
+            disk=(
+                DiskStore(self.config.store_dir)
+                if self.config.store_dir
+                else None
+            ),
+        )
+        self.requests_served = 0
+        #: (program_fp, config knobs) → (Analyzer, CallGraph, merkle fps,
+        #: predicate fps); compiling is itself worth caching.
+        self._compiled: Dict[str, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Request handling.
+
+    def handle(self, request: dict) -> dict:
+        """Process one request dict; never raises for request-level
+        failures — errors come back as ``{"ok": false, ...}``."""
+        started = time.perf_counter()
+        try:
+            response = self._dispatch(request)
+        except ReproError as error:
+            response = {"ok": False, "error": str(error)}
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            response = {"ok": False, "error": f"bad request: {error}"}
+        if "id" in request:
+            response["id"] = request["id"]
+        response.setdefault("op", request.get("op"))
+        response["elapsed_ms"] = round(
+            (time.perf_counter() - started) * 1000.0, 3
+        )
+        self.requests_served += 1
+        return response
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op", "analyze")
+        if op == "analyze":
+            return self._analyze(request)
+        if op == "lint":
+            return self._lint(request)
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "invalidate":
+            self.store.clear()
+            self._compiled.clear()
+            return {"ok": True, "invalidated": True}
+        if op == "shutdown":
+            return {"ok": True, "shutdown": True}
+        raise ValueError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+
+    def _load_text(self, request: dict) -> str:
+        if "text" in request:
+            return request["text"]
+        if "file" in request:
+            with open(request["file"], "r", encoding="utf-8") as handle:
+                return handle.read()
+        raise ValueError("request needs 'text' or 'file'")
+
+    def _budget_for(self, request: dict) -> Optional[Budget]:
+        """The request's effective budget: server caps tightened by the
+        request's own limits; a fresh object every time."""
+        spec = request.get("budget")
+        requested = None
+        if spec:
+            requested = Budget(
+                max_steps=spec.get("max_steps"),
+                max_iterations=spec.get("max_iterations"),
+                max_table_entries=spec.get("max_table_entries"),
+                deadline=spec.get("deadline"),
+            )
+        base = self.config.budget
+        if base is not None:
+            return base.tightened(requested)
+        if requested is not None:
+            return requested.copy()
+        return None
+
+    def _prepare(self, text: str):
+        """Parse, compile and fingerprint; memoized per program text
+        fingerprint (the parse) and program fingerprint (the rest)."""
+        config = self.config
+        program = (
+            with_library(text) if config.library else Program.from_text(text)
+        )
+        fps = predicate_fingerprints(program)
+        from .fingerprint import _hash
+
+        program_key = _hash(
+            ["prepared"]
+            + sorted(f"{i[0]}/{i[1]}:{fp}" for i, fp in fps.items())
+        )
+        cached = self._compiled.get(program_key)
+        if cached is not None:
+            return cached
+        analyzer = Analyzer(
+            program,
+            options=CompilerOptions(
+                environment_trimming=config.environment_trimming
+            ),
+            depth=config.depth,
+            list_aware=config.list_aware,
+            subsumption=config.subsumption,
+            on_undefined=config.on_undefined,
+        )
+        graph = CallGraph.from_compiled(analyzer.compiled)
+        merkle = graph.merkle_fingerprints(fps)
+        prepared = (program, analyzer, graph, merkle)
+        if len(self._compiled) > 64:  # a small bounded memo, LRU-ish
+            self._compiled.pop(next(iter(self._compiled)))
+        self._compiled[program_key] = prepared
+        return prepared
+
+    def _config_fp(self) -> str:
+        config = self.config
+        return config_fingerprint(
+            depth=config.depth,
+            list_aware=config.list_aware,
+            subsumption=config.subsumption,
+            on_undefined=config.on_undefined,
+            environment_trimming=config.environment_trimming,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _analyze(self, request: dict) -> dict:
+        response, _ = self._analyze_core(request, need_live=False)
+        return response
+
+    def _analyze_core(self, request: dict, need_live: bool):
+        """The shared analyze path.
+
+        Returns ``(response, live_result)``; ``live_result`` is the
+        in-process :class:`AnalysisResult` when the fixpoint actually ran
+        (or when ``need_live`` forces a seeded run on a full-result hit —
+        seeded means zero re-iteration of clean components), else None.
+        """
+        text = self._load_text(request)
+        entries = request.get("entries")
+        if not entries:
+            raise ValueError("request needs non-empty 'entries'")
+        program, analyzer, graph, merkle = self._prepare(text)
+        specs = [parse_entry_spec(entry) for entry in entries]
+        config_fp = self._config_fp()
+        entry_fps = [entry_fingerprint(spec) for spec in specs]
+        reachable = graph.reachable_sccs([spec.indicator for spec in specs])
+        request_fp = request_fingerprint(
+            config_fp, entry_fps, [merkle[i] for i in reachable]
+        )
+        # ---- gather seeds from clean SCC summaries --------------------
+        seeds: List[Seed] = []
+        seeded_sccs = 0
+        for scc_index in reachable:
+            stored = self.store.get(f"scc:{merkle[scc_index]}:{config_fp}")
+            if stored is None:
+                continue
+            seeded_sccs += 1
+            for item in stored["entries"]:
+                seeds.append(entry_from_json(item))
+        # ---- full-result hit: no fixpoint at all ----------------------
+        cached = None if need_live else self.store.get(f"result:{request_fp}")
+        if cached is not None:
+            return (
+                {
+                    "ok": True,
+                    "status": cached["status"],
+                    "result": cached,
+                    "cache": {
+                        "outcome": HIT,
+                        "sccs_total": len(reachable),
+                        "sccs_seeded": seeded_sccs,
+                    },
+                },
+                None,
+            )
+        # ---- run the SCC-scheduled fixpoint ---------------------------
+        scheduler = SCCScheduler(analyzer, graph)
+        result, stats = scheduler.analyze(
+            specs,
+            seeds=seeds,
+            budget=self._budget_for(request),
+            on_budget=request.get("on_budget", "degrade"),
+        )
+        stable = result.stable_dict()
+        full_hit = need_live and f"result:{request_fp}" in self.store
+        outcome = HIT if full_hit else (INCREMENTAL if seeds else MISS)
+        # ---- store (exact results only) -------------------------------
+        if result.status == "exact":
+            self.store.put(f"result:{request_fp}", stable)
+            dirty_sccs = {
+                owner
+                for indicator, _ in result.table.all_entries()
+                if (owner := graph.scc_of.get(indicator)) is not None
+            }
+            for scc_index in dirty_sccs:
+                self.store.put(
+                    f"scc:{merkle[scc_index]}:{config_fp}",
+                    {"entries": table_to_json(
+                        result.table, graph.members(scc_index)
+                    )},
+                )
+        response = {
+            "ok": True,
+            "status": result.status,
+            "result": stable,
+            "timing": {
+                "seconds": result.seconds,
+                "iterations": result.iterations,
+                "instructions": result.instructions_executed,
+            },
+            "cache": {
+                "outcome": outcome,
+                "sccs_total": len(reachable),
+                "sccs_seeded": seeded_sccs,
+                "schedule": stats.to_dict(),
+            },
+        }
+        return response, result
+
+    # ------------------------------------------------------------------
+
+    def _lint(self, request: dict) -> dict:
+        """Lint = the (cached) analysis plus the bytecode verifier and
+        the source rules, which are cheap and run fresh every time.
+
+        The rule engine needs a live :class:`AnalysisResult`, so a
+        full-result cache hit still runs one fully-seeded pass — no
+        clean component is re-iterated."""
+        from ..lint import lint_source, verify_compiled
+        from ..lint.diagnostics import LintReport
+
+        analysis, result = self._analyze_core(request, need_live=True)
+        if not analysis.get("ok") or result is None:
+            return analysis
+        text = self._load_text(request)
+        program, analyzer, graph, merkle = self._prepare(text)
+        report = LintReport()
+        file_name = request.get("file", "?")
+        report.extend(verify_compiled(analyzer.compiled, file=file_name))
+        report.extend(lint_source(program, result, file=file_name))
+        report.sort()
+        return {
+            "ok": True,
+            "status": result.status,
+            "cache": analysis["cache"],
+            "lint": report.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "requests_served": self.requests_served,
+            "store": self.store.stats(),
+            "programs_prepared": len(self._compiled),
+        }
+
+
+# ----------------------------------------------------------------------
+# The request loop and batch mode (used by the repro-serve CLI).
+
+
+def serve_loop(service: AnalysisService, stdin, stdout) -> int:
+    """JSON-lines request/response loop; returns the exit status.
+
+    Malformed JSON lines produce an error response, not a crash; a
+    ``shutdown`` request (or EOF) ends the loop."""
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError as error:
+            response = {"ok": False, "error": f"bad JSON: {error}"}
+        else:
+            if not isinstance(request, dict):
+                response = {"ok": False, "error": "request must be an object"}
+            else:
+                response = service.handle(request)
+        stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+        if response.get("shutdown"):
+            break
+    return 0
+
+
+def run_batch(
+    service: AnalysisService,
+    files: Sequence[str],
+    entries: Sequence[str],
+    passes: int = 2,
+    stdout=None,
+) -> dict:
+    """Analyze every file ``passes`` times through the service.
+
+    The per-file responses of each pass are written as JSON lines; the
+    returned summary counts cache outcomes per pass — the second pass
+    over unchanged files should be all hits."""
+    summary: dict = {"passes": [], "files": list(files)}
+    for pass_index in range(passes):
+        counts = {HIT: 0, INCREMENTAL: 0, MISS: 0, "error": 0, "degraded": 0}
+        for path in files:
+            response = service.handle(
+                {"op": "analyze", "file": path, "entries": list(entries)}
+            )
+            if stdout is not None:
+                stdout.write(json.dumps(response, sort_keys=True) + "\n")
+            if not response.get("ok"):
+                counts["error"] += 1
+                continue
+            counts[response["cache"]["outcome"]] += 1
+            if response["status"] != "exact":
+                counts["degraded"] += 1
+        summary["passes"].append(counts)
+    summary["store"] = service.store.stats()
+    return summary
+
+
+__all__ = [
+    "HIT",
+    "INCREMENTAL",
+    "MISS",
+    "AnalysisService",
+    "ServiceConfig",
+    "run_batch",
+    "serve_loop",
+]

@@ -1,0 +1,334 @@
+"""The analysis result store: content-addressed, capped, optionally on disk.
+
+Two granularities are stored, both keyed by fingerprints from
+:mod:`repro.serve.fingerprint`:
+
+* **SCC summaries** — key ``scc:<merkle>:<config>``, value: every
+  extension-table entry (calling pattern → success pattern, may-share,
+  status) of the component's predicates from a previous *exact* run.
+  Because the Merkle fingerprint covers the component and everything it
+  calls, a clean key proves the cached summaries are still the exact
+  fixpoint values; editing one clause changes the fingerprints of its
+  SCC and its transitive callers, and only those keys go dark.
+
+* **Full results** — key ``result:<request>``, value: the serialized
+  response of a whole analyze request.  A hit answers without running
+  any fixpoint at all.
+
+Only ``exact`` results are ever stored: degraded (budget-tripped)
+entries are sound but not final, so serving them from cache could leak
+imprecision into runs that had budget to spare.  The service enforces
+this; :meth:`ResultStore.put` double-checks it.
+
+The in-memory layer is an LRU with entry- and byte-caps; the optional
+disk layer is one JSON file per key (human-inspectable, safe to delete
+at any time).  Serialization of patterns round-trips through plain JSON
+— no pickling, nothing process-specific.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..analysis.patterns import Pattern, canonicalize
+from ..analysis.table import ExtensionTable, TableEntry
+from ..domain.sorts import AbsSort
+from ..errors import AnalysisError
+from ..prolog.terms import Indicator, format_indicator
+
+# ----------------------------------------------------------------------
+# JSON round-trip of trees, nodes and patterns.
+
+
+def tree_to_json(tree) -> list:
+    kind = tree[0]
+    if kind == "s":
+        return ["s", AbsSort(tree[1]).name]
+    if kind == "l":
+        return ["l", tree_to_json(tree[1])]
+    assert kind == "f"
+    return ["f", tree[1], tree[2], [tree_to_json(arg) for arg in tree[3]]]
+
+
+def tree_from_json(data) -> tuple:
+    kind = data[0]
+    if kind == "s":
+        return ("s", AbsSort[data[1]])
+    if kind == "l":
+        return ("l", tree_from_json(data[1]))
+    if kind != "f":
+        raise AnalysisError(f"corrupt stored tree node kind {kind!r}")
+    return ("f", data[1], data[2], tuple(tree_from_json(arg) for arg in data[3]))
+
+
+def node_to_json(node) -> list:
+    kind = node[0]
+    if kind == "i":
+        return ["i", AbsSort(node[1]).name, node[2]]
+    if kind == "li":
+        return ["li", tree_to_json(node[1]), node[2]]
+    assert kind == "f"
+    return ["f", node[1], node[2], [node_to_json(child) for child in node[3]]]
+
+
+def node_from_json(data) -> tuple:
+    kind = data[0]
+    if kind == "i":
+        return ("i", AbsSort[data[1]], data[2])
+    if kind == "li":
+        return ("li", tree_from_json(data[1]), data[2])
+    if kind != "f":
+        raise AnalysisError(f"corrupt stored pattern node kind {kind!r}")
+    return ("f", data[1], data[2], tuple(node_from_json(child) for child in data[3]))
+
+
+def pattern_to_json(pattern: Pattern) -> list:
+    return [node_to_json(node) for node in pattern.args]
+
+
+def pattern_from_json(data) -> Pattern:
+    return canonicalize(Pattern(tuple(node_from_json(node) for node in data)))
+
+
+def entry_to_json(indicator: Indicator, entry: TableEntry) -> dict:
+    return {
+        "predicate": format_indicator(indicator),
+        "calling": pattern_to_json(entry.calling),
+        "success": (
+            pattern_to_json(entry.success)
+            if entry.success is not None
+            else None
+        ),
+        "may_share": sorted(list(pair) for pair in entry.may_share),
+        "status": entry.status,
+    }
+
+
+def entry_from_json(data) -> Tuple[Indicator, Pattern, Optional[Pattern], FrozenSet]:
+    name, _, arity = data["predicate"].rpartition("/")
+    indicator = (name, int(arity))
+    calling = pattern_from_json(data["calling"])
+    success = (
+        pattern_from_json(data["success"])
+        if data["success"] is not None
+        else None
+    )
+    may_share = frozenset(tuple(pair) for pair in data["may_share"])
+    return indicator, calling, success, may_share
+
+
+def table_to_json(table: ExtensionTable, indicators=None) -> List[dict]:
+    """Serialize a table (or the entries of ``indicators`` only), sorted
+    for deterministic output."""
+    wanted = set(indicators) if indicators is not None else None
+    entries = [
+        entry_to_json(indicator, entry)
+        for indicator, entry in table.all_entries()
+        if wanted is None or indicator in wanted
+    ]
+    entries.sort(key=lambda item: (item["predicate"], json.dumps(item["calling"])))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# The capped in-memory store.
+
+
+class ResultStore:
+    """A byte- and entry-capped LRU over JSON-serializable values.
+
+    Values are stored as their compact-JSON text (the serialization *is*
+    the size accounting), so whatever comes back out is guaranteed to be
+    process-independent.  An optional :class:`DiskStore` acts as a
+    second level: misses fall through to it, hits are promoted.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 1024,
+        max_bytes: Optional[int] = 64 * 1024 * 1024,
+        disk: Optional["DiskStore"] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.disk = disk
+        self._data: "OrderedDict[str, str]" = OrderedDict()
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected_degraded = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data or (
+            self.disk is not None and self.disk.contains(key)
+        )
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str):
+        text = self._data.get(key)
+        if text is not None:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return json.loads(text)
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.hits += 1
+                self._install(key, json.dumps(value, sort_keys=True))
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value, status: str = "exact") -> bool:
+        """Store ``value`` under ``key``; refused for non-exact results.
+
+        Returns True when stored.  A value bigger than the whole byte
+        cap is refused too (it would evict everything for nothing).
+        """
+        if status != "exact":
+            self.rejected_degraded += 1
+            return False
+        text = json.dumps(value, sort_keys=True)
+        if self.max_bytes is not None and len(text) > self.max_bytes:
+            return False
+        self._install(key, text)
+        if self.disk is not None:
+            self.disk.put(key, text)
+        return True
+
+    def _install(self, key: str, text: str) -> None:
+        old = self._data.pop(key, None)
+        if old is not None:
+            self.bytes_used -= len(old)
+        self._data[key] = text
+        self.bytes_used += len(text)
+        while self._over_cap():
+            evicted_key, evicted = self._data.popitem(last=False)
+            self.bytes_used -= len(evicted)
+            self.evictions += 1
+
+    def _over_cap(self) -> bool:
+        if self.max_entries is not None and len(self._data) > self.max_entries:
+            return True
+        if self.max_bytes is not None and self.bytes_used > self.max_bytes:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one key (memory and disk); True if anything was dropped."""
+        dropped = False
+        text = self._data.pop(key, None)
+        if text is not None:
+            self.bytes_used -= len(text)
+            dropped = True
+        if self.disk is not None and self.disk.invalidate(key):
+            dropped = True
+        return dropped
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.bytes_used = 0
+        if self.disk is not None:
+            self.disk.clear()
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._data),
+            "bytes": self.bytes_used,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rejected_degraded": self.rejected_degraded,
+        }
+
+
+class DiskStore:
+    """One JSON file per key under a directory (a level-2 store).
+
+    Keys are fingerprint-built (hex digests and fixed prefixes), but they
+    are sanitized anyway so a corrupt key cannot escape the directory.
+    Corrupt or unreadable files behave as misses.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in key
+        )
+        return os.path.join(self.directory, safe + ".json")
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str):
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, text: str) -> None:
+        path = self._path(key)
+        temporary = path + ".tmp"
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temporary, path)
+        except OSError:
+            # A read-only or full disk must never take the service down;
+            # the in-memory layer still has the value.
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+
+    def invalidate(self, key: str) -> bool:
+        try:
+            os.unlink(self._path(key))
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> None:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+
+__all__ = [
+    "DiskStore",
+    "ResultStore",
+    "entry_from_json",
+    "entry_to_json",
+    "node_from_json",
+    "node_to_json",
+    "pattern_from_json",
+    "pattern_to_json",
+    "table_to_json",
+    "tree_from_json",
+    "tree_to_json",
+]

@@ -1,5 +1,7 @@
 """Tests for the benchmark programs and the Table 1 / Table 2 harnesses."""
 
+import json
+
 import pytest
 
 from repro.analysis import Analyzer
@@ -152,3 +154,38 @@ class TestStressHarness:
         with contextlib.redirect_stdout(out):
             status = main(["--max-steps", "300", "--expect-degraded"])
         assert status == 0
+
+
+class TestServeBenchEmit:
+    """The machine-readable cold/warm/incremental emitter."""
+
+    def test_emit_one_benchmark(self, tmp_path, capsys):
+        from repro.bench.emit import main
+
+        out = tmp_path / "BENCH_serve.json"
+        assert main(
+            ["--out", str(out), "--repeats", "1", "--only", "nreverse"]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        [row] = document["benchmarks"]
+        assert row["name"] == "nreverse"
+        assert row["cache"]["warm"] == "hit"
+        assert row["cache"]["incremental"] == "incremental"
+        assert row["warm_ms"] <= row["cold_ms"]
+        # sorted-keys JSON: re-serializing changes nothing
+        assert out.read_text() == json.dumps(
+            document, indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_edit_changes_entry_predicate_only(self):
+        from repro.bench.emit import _edit
+        from repro.serve.fingerprint import predicate_fingerprints
+        from repro.prolog.program import Program as _Program
+
+        bench = get_benchmark("nreverse")
+        edited = _edit(bench.source, bench.entry)
+        base = predicate_fingerprints(_Program.from_text(bench.source))
+        after = predicate_fingerprints(_Program.from_text(edited))
+        changed = {ind for ind in base if base[ind] != after.get(ind)}
+        assert len(changed) == 1

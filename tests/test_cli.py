@@ -1,5 +1,7 @@
 """Tests for the command line entry points."""
 
+import json
+
 import pytest
 
 from repro.cli import main_analyze, main_lint, main_prolog
@@ -285,3 +287,67 @@ class TestCliBudgets:
         )
         assert code == 0
         assert "R = [2, 1]" in capsys.readouterr().out
+
+
+class TestServeCli:
+    """repro-serve: batch mode, the stdin loop, deterministic JSON."""
+
+    def test_batch_two_passes_hits(self, program_file, capsys):
+        from repro.cli import main_serve
+
+        assert main_serve(
+            [program_file, "--batch", "--entry", "nrev(glist, var)"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        summary = json.loads(lines[-1])
+        assert summary["passes"][0]["miss"] == 1
+        assert summary["passes"][1]["hit"] == 1
+
+    def test_batch_missing_file_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main_serve
+
+        code = main_serve(
+            [str(tmp_path / "nope.pl"), "--batch", "--entry", "main"]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_stdin_loop(self, program_file, capsys, monkeypatch):
+        import io
+
+        from repro.cli import main_serve
+
+        request = json.dumps({
+            "op": "analyze", "file": program_file,
+            "entries": ["nrev(glist, var)"],
+        })
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(request + "\n" + '{"op": "shutdown"}\n')
+        )
+        assert main_serve([]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        first = json.loads(lines[0])
+        assert first["ok"] and first["result"]["status"] == "exact"
+
+    def test_analyze_json_is_deterministic(self, program_file, capsys):
+        """--json output is byte-identical across runs, modulo timing."""
+        outputs = []
+        for _ in range(2):
+            assert main_analyze(
+                [program_file, "nrev(glist, var)", "--json"]
+            ) == 0
+            data = json.loads(capsys.readouterr().out)
+            for key in ("seconds", "iterations", "instructions_executed"):
+                data.pop(key)
+            outputs.append(json.dumps(data, sort_keys=True))
+        assert outputs[0] == outputs[1]
+
+    def test_lint_json_is_deterministic(self, program_file, capsys):
+        outputs = []
+        for _ in range(2):
+            main_lint([program_file, "nrev(glist, var)", "--json"])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        # keys are sorted at every level
+        report = json.loads(outputs[0])
+        assert list(report) == sorted(report)

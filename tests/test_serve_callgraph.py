@@ -1,0 +1,129 @@
+"""Call graph and Merkle SCC fingerprints (repro.serve.callgraph)."""
+
+from repro.analysis.driver import Analyzer
+from repro.prolog.program import Program
+from repro.serve.callgraph import CallGraph, call_edges
+from repro.serve.fingerprint import predicate_fingerprints
+
+MUTUAL = """
+even(0).
+even(s(N)) :- odd(N).
+odd(s(N)) :- even(N).
+top :- even(s(s(0))).
+side :- odd(s(0)).
+island(a).
+"""
+
+
+def _graph(text):
+    program = Program.from_text(text)
+    analyzer = Analyzer(program)
+    return program, CallGraph.from_compiled(analyzer.compiled)
+
+
+def test_call_edges_from_wam_code():
+    program, _ = _graph(MUTUAL)
+    edges = call_edges(Analyzer(program).compiled)
+    assert edges[("even", 1)] == [("odd", 1)]
+    assert edges[("odd", 1)] == [("even", 1)]
+    assert edges[("top", 0)] == [("even", 1)]
+    assert edges[("island", 1)] == []
+    assert not any(ind[0].startswith("$query") for ind in edges)
+
+
+def test_scc_condensation_groups_mutual_recursion():
+    _, graph = _graph(MUTUAL)
+    assert graph.scc_of[("even", 1)] == graph.scc_of[("odd", 1)]
+    assert graph.scc_of[("top", 0)] != graph.scc_of[("even", 1)]
+    even_odd = graph.sccs[graph.scc_of[("even", 1)]]
+    assert set(even_odd) == {("even", 1), ("odd", 1)}
+
+
+def test_sccs_emitted_callees_first():
+    _, graph = _graph(MUTUAL)
+    for source, targets in graph.scc_calls.items():
+        for target in targets:
+            assert target < source, "callee SCC must precede caller"
+
+
+def test_control_constructs_become_real_edges():
+    _, graph = _graph("p(X) :- (X = a ; q(X)).\nq(b).\n")
+    # p calls the synthetic $or predicate which calls q: q's SCC is
+    # reachable from p even though the source call sits inside ';'.
+    reachable = graph.reachable_sccs([("p", 1)])
+    assert graph.scc_of[("q", 1)] in reachable
+
+
+def test_reachable_sccs_bottom_up_and_partial():
+    _, graph = _graph(MUTUAL)
+    reachable = graph.reachable_sccs([("top", 0)])
+    assert graph.scc_of[("island", 1)] not in reachable
+    assert graph.scc_of[("side", 0)] not in reachable
+    assert graph.scc_of[("even", 1)] in reachable
+    assert reachable == sorted(reachable)
+    # undefined entry roots are ignored, not an error
+    assert graph.reachable_sccs([("nope", 3)]) == []
+
+
+def test_callers_closure():
+    _, graph = _graph(MUTUAL)
+    dirty = {graph.scc_of[("even", 1)]}
+    closure = graph.callers_closure(dirty)
+    assert graph.scc_of[("top", 0)] in closure
+    assert graph.scc_of[("side", 0)] in closure
+    assert graph.scc_of[("island", 1)] not in closure
+
+
+def test_undefined_callees_are_leaf_nodes():
+    _, graph = _graph("p :- missing(1).\n")
+    assert ("missing", 1) in graph.scc_of
+    missing_scc = graph.scc_of[("missing", 1)]
+    assert graph.scc_calls[missing_scc] == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Merkle invalidation scope: an edit dirties exactly its own SCC and
+# the transitive callers — nothing else.
+
+
+def test_merkle_invalidation_scope():
+    program, graph = _graph(MUTUAL)
+    base = graph.merkle_fingerprints(predicate_fingerprints(program))
+
+    edited_program, edited_graph = _graph(
+        MUTUAL.replace("odd(s(N)) :- even(N).",
+                       "odd(s(N)) :- even(N).\nodd(x).")
+    )
+    edited = edited_graph.merkle_fingerprints(
+        predicate_fingerprints(edited_program)
+    )
+    # Same program shape → same condensation, comparable index-by-index.
+    assert edited_graph.sccs == graph.sccs
+    changed = {i for i in range(len(base)) if base[i] != edited[i]}
+    expected = graph.callers_closure({graph.scc_of[("odd", 1)]})
+    assert changed == expected
+    # island and the leaf-free predicates kept their fingerprints
+    assert base[graph.scc_of[("island", 1)]] == \
+        edited[graph.scc_of[("island", 1)]]
+
+
+def test_merkle_covers_callees():
+    # Editing a callee changes the caller's Merkle fingerprint even
+    # though the caller's own clauses are untouched.
+    program, graph = _graph(MUTUAL)
+    base = graph.merkle_fingerprints(predicate_fingerprints(program))
+    edited_program, edited_graph = _graph(
+        MUTUAL.replace("even(0).", "even(0).\neven(zero).")
+    )
+    edited = edited_graph.merkle_fingerprints(
+        predicate_fingerprints(edited_program)
+    )
+    top = graph.scc_of[("top", 0)]
+    assert base[top] != edited[top]
+
+
+def test_to_dict_is_json_shaped():
+    _, graph = _graph(MUTUAL)
+    view = graph.to_dict()
+    assert isinstance(view["sccs"], list)
+    assert all(isinstance(name, str) for scc in view["sccs"] for name in scc)

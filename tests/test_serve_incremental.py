@@ -1,0 +1,154 @@
+"""Property test: incremental re-analysis ≡ from-scratch analysis.
+
+A corpus program is subjected to random single-clause edits (duplicate,
+delete, append a variant clause).  After every edit the service —
+seeding from whatever its store accumulated over the previous edits —
+must produce per-predicate lattice facts equal to a from-scratch
+``analyze()`` of the edited text (``stable_dict`` compares exactly the
+facts: modes, call/success types, aliasing, can-succeed, statuses).
+
+The budget variant: when the per-request budget trips mid-edit, the
+response is degraded, *nothing* enters the store, and the next
+healthy request still equals the from-scratch result.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.driver import Analyzer
+from repro.bench.programs import BY_NAME
+from repro.prolog.program import Program
+from repro.prolog.writer import term_to_text
+from repro.serve import AnalysisService, ServiceConfig
+
+NREV = """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+main :- nrev([1,2,3], R).
+"""
+
+CORPUS = [
+    ("nrev", NREV, "nrev(glist, var)"),
+    ("nreverse", BY_NAME["nreverse"].source, BY_NAME["nreverse"].entry),
+    ("qsort", BY_NAME["qsort"].source, BY_NAME["qsort"].entry),
+    ("tak", BY_NAME["tak"].source, BY_NAME["tak"].entry),
+    ("log10", BY_NAME["log10"].source, BY_NAME["log10"].entry),
+    ("serialise", BY_NAME["serialise"].source, BY_NAME["serialise"].entry),
+]
+
+
+def _render(program: Program) -> str:
+    """Program back to parseable text (clause order preserved)."""
+    lines = []
+    for directive in program.directives:
+        lines.append(
+            ":- " + term_to_text(
+                directive, quoted=True, operators=program.operators
+            ) + "."
+        )
+    for predicate in program.predicates.values():
+        for clause in predicate.clauses:
+            lines.append(
+                term_to_text(
+                    clause.to_term(), quoted=True, operators=program.operators
+                ) + "."
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _random_edit(text: str, rng: random.Random) -> str:
+    """One random single-clause edit, re-rendered to text."""
+    program = Program.from_text(text)
+    predicates = [p for p in program.predicates.values() if p.clauses]
+    predicate = rng.choice(predicates)
+    kind = rng.choice(["duplicate", "delete", "swap"])
+    if kind == "delete" and len(predicate.clauses) > 1:
+        predicate.clauses.pop(rng.randrange(len(predicate.clauses)))
+    elif kind == "swap" and len(predicate.clauses) > 1:
+        i = rng.randrange(len(predicate.clauses) - 1)
+        clauses = predicate.clauses
+        clauses[i], clauses[i + 1] = clauses[i + 1], clauses[i]
+    else:
+        clause = rng.choice(predicate.clauses)
+        predicate.clauses.append(clause)
+    return _render(program)
+
+
+def _scratch(text, entry):
+    return Analyzer(Program.from_text(text)).analyze([entry]).stable_dict()
+
+
+def test_render_round_trips():
+    for name, source, entry in CORPUS:
+        rendered = _render(Program.from_text(source))
+        assert _scratch(rendered, entry) == _scratch(source, entry), name
+
+
+@pytest.mark.parametrize("name,source,entry", CORPUS)
+def test_incremental_equals_scratch_under_random_edits(name, source, entry):
+    rng = random.Random(f"serve-{name}")
+    service = AnalysisService(ServiceConfig())
+    text = _render(Program.from_text(source))
+    edits = 4
+    for step in range(edits + 1):
+        response = service.handle(
+            {"op": "analyze", "text": text, "entries": [entry]}
+        )
+        assert response["ok"], response.get("error")
+        assert response["status"] == "exact"
+        assert response["result"] == _scratch(text, entry), (
+            f"{name} step {step}: served facts differ from from-scratch"
+        )
+        if step < edits:
+            text = _random_edit(text, rng)
+    # across the edit sequence the cache did real work at least once
+    stats = service.store.stats()
+    assert stats["hits"] + stats["misses"] > 0
+
+
+def test_same_text_after_edits_is_a_full_hit():
+    service = AnalysisService(ServiceConfig())
+    rng = random.Random("back-and-forth")
+    entry = "nrev(glist, var)"
+    base = _render(Program.from_text(NREV))
+    service.handle({"op": "analyze", "text": base, "entries": [entry]})
+    edited = _random_edit(base, rng)
+    service.handle({"op": "analyze", "text": edited, "entries": [entry]})
+    # reverting to the original text: content addressing makes it a hit
+    back = service.handle({"op": "analyze", "text": base, "entries": [entry]})
+    assert back["cache"]["outcome"] == "hit"
+    assert back["result"] == _scratch(base, entry)
+
+
+@pytest.mark.parametrize("max_iterations", [1, 2, 3])
+def test_tripped_budget_never_contaminates_the_store(max_iterations):
+    rng = random.Random(f"budget-{max_iterations}")
+    service = AnalysisService(ServiceConfig())
+    entry = "nrev(glist, var)"
+    text = _render(Program.from_text(NREV))
+    service.handle({"op": "analyze", "text": text, "entries": [entry]})
+    edited = _random_edit(text, rng)
+    before = service.store.stats()["entries"]
+    degraded = service.handle({
+        "op": "analyze", "text": edited, "entries": [entry],
+        "budget": {"max_iterations": max_iterations},
+    })
+    assert degraded["ok"]
+    if degraded["status"] == "exact":
+        # seeding made even this tiny budget sufficient — fine, but then
+        # the result must be the true one
+        assert degraded["result"] == _scratch(edited, entry)
+    else:
+        # degraded: the store must not have grown by this request
+        assert service.store.stats()["entries"] == before
+        assert service.store.stats()["rejected_degraded"] == 0
+    # a healthy request afterwards is exact and equal to from-scratch,
+    # never seeded with degraded garbage
+    healthy = service.handle(
+        {"op": "analyze", "text": edited, "entries": [entry]}
+    )
+    assert healthy["status"] == "exact"
+    assert healthy["result"] == _scratch(edited, entry)

@@ -1,0 +1,183 @@
+"""The result store (repro.serve.store): caps, LRU, disk, soundness gate."""
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro.analysis.driver import Analyzer
+from repro.prolog.program import Program
+from repro.serve.store import (
+    DiskStore,
+    ResultStore,
+    entry_from_json,
+    entry_to_json,
+    pattern_from_json,
+    pattern_to_json,
+    table_to_json,
+)
+
+NREV = """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+"""
+
+
+# ----------------------------------------------------------------------
+# Pattern JSON round-trips.
+
+
+def _final_table():
+    return Analyzer(Program.from_text(NREV)).analyze(["nrev(glist, var)"]).table
+
+
+def test_patterns_round_trip_through_json():
+    table = _final_table()
+    for indicator, entry in table.all_entries():
+        data = json.loads(json.dumps(entry_to_json(indicator, entry)))
+        back_ind, calling, success, may_share = entry_from_json(data)
+        assert back_ind == indicator
+        assert calling == entry.calling
+        assert success == entry.success
+        assert may_share == entry.may_share
+
+
+def test_pattern_json_is_plain_data():
+    table = _final_table()
+    for _, entry in table.all_entries():
+        text = json.dumps(pattern_to_json(entry.calling))
+        assert pattern_from_json(json.loads(text)) == entry.calling
+
+
+def test_table_to_json_is_sorted_and_filterable():
+    table = _final_table()
+    everything = table_to_json(table)
+    keys = [(item["predicate"], json.dumps(item["calling"])) for item in everything]
+    assert keys == sorted(keys)
+    only_nrev = table_to_json(table, [("nrev", 2)])
+    assert {item["predicate"] for item in only_nrev} == {"nrev/2"}
+
+
+# ----------------------------------------------------------------------
+# Caps and LRU.
+
+
+def test_entry_cap_evicts_least_recently_used():
+    store = ResultStore(max_entries=2, max_bytes=None)
+    store.put("a", {"v": 1})
+    store.put("b", {"v": 2})
+    assert store.get("a") == {"v": 1}  # a is now most recent
+    store.put("c", {"v": 3})           # evicts b
+    assert store.get("b") is None
+    assert store.get("a") == {"v": 1}
+    assert store.get("c") == {"v": 3}
+    assert store.evictions == 1
+
+
+def test_byte_cap_evicts_and_refuses_oversize():
+    small = {"v": "x"}
+    size = len(json.dumps(small, sort_keys=True))
+    store = ResultStore(max_entries=None, max_bytes=size * 2 + 1)
+    store.put("a", small)
+    store.put("b", small)
+    assert len(store) == 2
+    store.put("c", small)  # over byte cap → evict oldest
+    assert store.get("a") is None and len(store) == 2
+    # a value bigger than the whole cap is refused outright
+    assert store.put("big", {"v": "y" * (size * 4)}) is False
+    assert store.get("big") is None
+    assert store.bytes_used <= store.max_bytes
+
+
+def test_put_replaces_and_accounts_bytes():
+    store = ResultStore(max_entries=8, max_bytes=None)
+    store.put("k", {"v": "short"})
+    first = store.bytes_used
+    store.put("k", {"v": "a-much-longer-value-entirely"})
+    assert len(store) == 1
+    assert store.bytes_used > first
+    store.invalidate("k")
+    assert store.bytes_used == 0
+
+
+def test_degraded_results_are_refused():
+    store = ResultStore()
+    assert store.put("k", {"v": 1}, status="degraded") is False
+    assert store.put("k", {"v": 1}, status="failed") is False
+    assert store.get("k") is None
+    assert store.rejected_degraded == 2
+    assert store.put("k", {"v": 1}, status="exact") is True
+
+
+def test_stats_counts():
+    store = ResultStore()
+    store.get("missing")
+    store.put("k", {"v": 1})
+    store.get("k")
+    stats = store.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1 and stats["bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# Disk layer.
+
+
+def test_disk_round_trip_and_promotion(tmp_path):
+    directory = str(tmp_path / "cache")
+    first = ResultStore(disk=DiskStore(directory))
+    first.put("scc:abc:def", {"entries": [1, 2, 3]})
+    # a different process/instance sees the value via disk
+    second = ResultStore(disk=DiskStore(directory))
+    assert second.get("scc:abc:def") == {"entries": [1, 2, 3]}
+    # ...and it was promoted into memory
+    assert "scc:abc:def" in second._data
+
+
+def test_disk_keys_are_sanitized(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    disk.put("../../escape", json.dumps({"v": 1}))
+    names = os.listdir(directory)
+    assert names and all(os.sep not in name for name in names)
+    assert disk.get("../../escape") == {"v": 1}
+
+
+def test_corrupt_disk_file_is_a_miss(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    disk.put("key", json.dumps({"v": 1}))
+    [name] = os.listdir(directory)
+    with open(os.path.join(directory, name), "w") as handle:
+        handle.write("{not json")
+    assert disk.get("key") is None
+    store = ResultStore(disk=disk)
+    assert store.get("key") is None
+
+
+def test_unwritable_disk_does_not_crash(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    os.chmod(directory, stat.S_IRUSR | stat.S_IXUSR)
+    try:
+        if os.access(directory, os.W_OK):  # running as root: skip
+            pytest.skip("directory remains writable (euid 0)")
+        disk.put("key", json.dumps({"v": 1}))  # must not raise
+        assert disk.get("key") is None
+    finally:
+        os.chmod(directory, stat.S_IRWXU)
+
+
+def test_invalidate_and_clear_cover_disk(tmp_path):
+    directory = str(tmp_path / "cache")
+    store = ResultStore(disk=DiskStore(directory))
+    store.put("a", {"v": 1})
+    store.put("b", {"v": 2})
+    assert store.invalidate("a") is True
+    assert ResultStore(disk=DiskStore(directory)).get("a") is None
+    store.clear()
+    assert os.listdir(directory) == []
+    assert len(store) == 0
