@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serve table1 table2 examples coverage lint serve clean
+.PHONY: install test bench bench-serve chaos table1 table2 examples coverage lint serve clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -15,6 +15,9 @@ bench: bench-serve
 
 bench-serve:
 	$(PYTHON) -m repro.bench.emit --out BENCH_serve.json
+
+chaos:
+	$(PYTHON) -m repro.bench.chaos --out BENCH_chaos.json
 
 table1:
 	$(PYTHON) -m repro.bench.table1

@@ -1,0 +1,374 @@
+"""Deterministic chaos campaign for the supervised analysis service.
+
+``python -m repro.bench.chaos --out BENCH_chaos.json`` drives hundreds
+of analyze requests through a :class:`~repro.serve.supervisor.Supervisor`
+while deliberately breaking things, and asserts the service contract
+held throughout:
+
+* **worker kills** at fixed request indices (SIGKILL on receipt, the
+  deterministic stand-in for a segfault/OOM mid-request) — survived by
+  retry on a fresh worker;
+* **store corruption**: at fixed indices an on-disk entry file has its
+  bytes flipped and the write-ahead journal gets a torn tail appended —
+  healed by checksum quarantine and journal replay;
+* **a delayed response** past the request timeout — killed by the
+  supervisor's wall-clock timer and answered with a structured
+  non-retriable error;
+* **an oversized and a malformed request line** through ``serve_loop``
+  — answered with structured errors, loop keeps serving;
+* **warm restart** on the same (abused) store directory — startup
+  succeeds, damaged entries are quarantined, answers stay correct.
+
+The invariant checked on *every* successful response, chaos or not:
+the result equals a from-scratch ``analyze()`` of the same program
+(compared via ``stable_dict``), and only ``exact`` results are served.
+Any violation aborts with a non-zero exit — a chaos campaign that lies
+about correctness measures nothing.
+
+The emitted document tracks the cost of isolation alongside the
+survival counts: p50/p95 per-request latency through the worker pool
+versus the same request sequence handled in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.driver import Analyzer
+from ..prolog.program import Program
+from ..robust import FaultPlan
+from ..serve import (
+    AnalysisService,
+    ServiceConfig,
+    Supervisor,
+    SupervisorConfig,
+    serve_loop,
+)
+from .programs import BENCHMARKS
+
+#: Benchmarks small enough to cycle hundreds of times (the heavy
+#: search programs would dominate wall clock without adding coverage).
+PROGRAM_NAMES = ("log10", "ops8", "times10", "divide10", "nreverse", "qsort")
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _flip_one_entry_file(store_dir: str) -> bool:
+    """Corrupt the newest store entry file in place (flip bytes in the
+    middle) and append a torn half-record to the journal; True when a
+    file was damaged."""
+    try:
+        names = [
+            name for name in os.listdir(store_dir)
+            if name.endswith(".json")
+        ]
+    except OSError:
+        return False
+    if not names:
+        return False
+    path = os.path.join(store_dir, max(
+        names, key=lambda name: os.path.getmtime(os.path.join(store_dir, name))
+    ))
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    if not blob:
+        return False
+    middle = len(blob) // 2
+    for offset in range(middle, min(middle + 8, len(blob))):
+        blob[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    journal = os.path.join(store_dir, "journal.jsonl")
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn-tail", "sha256": "dead')  # no newline
+    return True
+
+
+def run(
+    requests: int = 200,
+    workers: int = 2,
+    kill_every: int = 17,
+    corrupt_every: int = 29,
+    store_dir: Optional[str] = None,
+    request_timeout: float = 30.0,
+    delay_index: Optional[int] = None,
+) -> dict:
+    """Run the campaign; returns the result document or raises
+    SystemExit on any contract violation."""
+    import tempfile
+
+    selected = [b for b in BENCHMARKS if b.name in PROGRAM_NAMES]
+    if not selected:
+        raise SystemExit("no campaign benchmarks found")
+    reference: Dict[str, dict] = {}
+    for benchmark in selected:
+        reference[benchmark.name] = Analyzer(
+            Program.from_text(benchmark.source)
+        ).analyze([benchmark.entry]).stable_dict()
+
+    owns_store = store_dir is None
+    if owns_store:
+        store_dir = tempfile.mkdtemp(prefix="repro-chaos-store-")
+    kill_at = [i for i in range(1, requests + 1) if i % kill_every == 0]
+    if delay_index is None:
+        delay_index = max(2, requests // 2 + 1)
+    while delay_index % kill_every == 0:
+        delay_index += 1  # a kill on receipt would mask the delay
+    delay_at = [delay_index] if delay_index <= requests else []
+    plan = FaultPlan(
+        kill_worker_at_request=kill_at,
+        delay_response_at_request=delay_at,
+        delay_seconds=5.0,
+    )
+    supervisor = Supervisor(
+        ServiceConfig(store_dir=store_dir, journal=True),
+        SupervisorConfig(
+            workers=workers,
+            request_timeout=request_timeout,
+            grace=0.5,
+            max_retries=2,
+            backoff_base=0.02,
+        ),
+        fault_plan=plan,
+    )
+
+    served = 0
+    exact = 0
+    errors_structured = 0
+    corruptions = 0
+    isolated_latency: List[float] = []
+    violations: List[str] = []
+    try:
+        for index in range(1, requests + 1):
+            benchmark = selected[(index - 1) % len(selected)]
+            if index % corrupt_every == 0 and _flip_one_entry_file(store_dir):
+                corruptions += 1
+            request = {
+                "op": "analyze",
+                "text": benchmark.source,
+                "entries": [benchmark.entry],
+                "id": index,
+            }
+            if index in delay_at:
+                # The delayed response sleeps 5s; a 2s request deadline
+                # arms the kill timer at 2s + grace instead of stalling
+                # the campaign for the full server-wide timeout.
+                request["budget"] = {"deadline": 2.0}
+            started = time.perf_counter()
+            response = supervisor.handle(request)
+            isolated_latency.append(time.perf_counter() - started)
+            served += 1
+            if response.get("ok"):
+                if response.get("status") != "exact":
+                    violations.append(
+                        f"request {index}: non-exact status "
+                        f"{response.get('status')!r} with no budget set"
+                    )
+                if response["result"] != reference[benchmark.name]:
+                    violations.append(
+                        f"request {index} ({benchmark.name}): served result "
+                        "differs from from-scratch analyze()"
+                    )
+                exact += 1
+            else:
+                # Only the supervisor's structured chaos errors are
+                # acceptable; anything unclassified is a bug.
+                if response.get("error_kind") not in ("timeout", "worker-crash"):
+                    violations.append(
+                        f"request {index}: unstructured failure {response!r}"
+                    )
+                errors_structured += 1
+        stats = supervisor.stats()
+
+        # ---- serve_loop abuse: oversized + malformed lines -----------
+        probe = selected[0]
+        good = json.dumps({
+            "op": "analyze", "text": probe.source,
+            "entries": [probe.entry], "id": "after-abuse",
+        })
+        abuse_in = io.StringIO(
+            '{"op": "analyze", "text": "' + "x" * 3000 + '"}\n'
+            + "this is not json\n"
+            + '[1, 2, 3]\n'
+            + good + "\n"
+            + '{"op": "shutdown"}\n'
+        )
+        abuse_out = io.StringIO()
+        loop_status = serve_loop(
+            supervisor, abuse_in, abuse_out, max_line_bytes=2048
+        )
+        abuse_responses = [
+            json.loads(line) for line in abuse_out.getvalue().splitlines()
+        ]
+        if loop_status != 0 or len(abuse_responses) != 5:
+            violations.append(
+                f"serve_loop abuse: status {loop_status}, "
+                f"{len(abuse_responses)} responses"
+            )
+        else:
+            oversized, bad_json, non_dict, after, shutdown = abuse_responses
+            for label, resp, want_ok in (
+                ("oversized", oversized, False),
+                ("bad-json", bad_json, False),
+                ("non-dict", non_dict, False),
+                ("after-abuse", after, True),
+                ("shutdown", shutdown, True),
+            ):
+                if bool(resp.get("ok")) != want_ok:
+                    violations.append(
+                        f"serve_loop abuse: {label} ok={resp.get('ok')}"
+                    )
+            if after.get("ok") and after["result"] != reference[probe.name]:
+                violations.append("serve_loop abuse: wrong result after abuse")
+    finally:
+        supervisor.close()
+
+    # ---- warm restart on the abused store --------------------------
+    restart = Supervisor(
+        ServiceConfig(store_dir=store_dir, journal=True),
+        SupervisorConfig(workers=1, request_timeout=request_timeout),
+    )
+    warm_hits = 0
+    try:
+        for benchmark in selected:
+            response = restart.handle({
+                "op": "analyze",
+                "text": benchmark.source,
+                "entries": [benchmark.entry],
+            })
+            if not response.get("ok"):
+                violations.append(
+                    f"restart: {benchmark.name} failed: {response!r}"
+                )
+                continue
+            if response["result"] != reference[benchmark.name]:
+                violations.append(
+                    f"restart: {benchmark.name} wrong warm-start result"
+                )
+            if response["cache"]["outcome"] == "hit":
+                warm_hits += 1
+    finally:
+        restart.close()
+
+    # ---- the same request sequence in-process (isolation overhead) --
+    inproc = AnalysisService(ServiceConfig())
+    inproc_latency: List[float] = []
+    for index in range(1, requests + 1):
+        benchmark = selected[(index - 1) % len(selected)]
+        request = {
+            "op": "analyze",
+            "text": benchmark.source,
+            "entries": [benchmark.entry],
+        }
+        started = time.perf_counter()
+        response = inproc.handle(request)
+        inproc_latency.append(time.perf_counter() - started)
+        if not response.get("ok"):
+            violations.append(f"in-process baseline failed at {index}")
+
+    if violations:
+        for violation in violations:
+            print(f"chaos violation: {violation}", file=sys.stderr)
+        raise SystemExit(1)
+
+    def _latency_block(samples: List[float]) -> dict:
+        return {
+            "p50_ms": round(_percentile(samples, 0.50) * 1000.0, 3),
+            "p95_ms": round(_percentile(samples, 0.95) * 1000.0, 3),
+            "mean_ms": round(
+                sum(samples) * 1000.0 / max(1, len(samples)), 3
+            ),
+        }
+
+    return {
+        "suite": "repro.bench.chaos",
+        "requests": requests,
+        "workers": workers,
+        "programs": [benchmark.name for benchmark in selected],
+        "requests_served": served,
+        "exact_responses": exact,
+        "structured_errors": errors_structured,
+        "kills_injected": len(kill_at),
+        "kills_survived": stats["crashes_survived"],
+        "retries": stats["retries"],
+        "timeouts": stats["timeouts"],
+        "store_corruptions": corruptions,
+        "warm_restart_hits": warm_hits,
+        "pool": stats["pool"],
+        "latency": {
+            "isolated": _latency_block(isolated_latency),
+            "in_process": _latency_block(inproc_latency),
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.chaos",
+        description=(
+            "Deterministic chaos campaign: worker kills, store "
+            "corruption, timeouts and protocol abuse against the "
+            "supervised analysis service"
+        ),
+    )
+    parser.add_argument(
+        "--out", default="BENCH_chaos.json", metavar="FILE",
+        help="output file (default BENCH_chaos.json; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200,
+        help="requests in the main campaign (default 200)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pool size (default 2)"
+    )
+    parser.add_argument(
+        "--kill-every", type=int, default=17,
+        help="SIGKILL the worker at every Nth request (default 17)",
+    )
+    parser.add_argument(
+        "--corrupt-every", type=int, default=29,
+        help="corrupt a store entry before every Nth request (default 29)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request wall-clock cap in seconds (default 30)",
+    )
+    arguments = parser.parse_args(argv)
+    document = run(
+        requests=arguments.requests,
+        workers=arguments.workers,
+        kill_every=arguments.kill_every,
+        corrupt_every=arguments.corrupt_every,
+        request_timeout=arguments.request_timeout,
+    )
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if arguments.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {arguments.out}: {document['requests_served']} requests, "
+            f"{document['kills_survived']} kills survived, "
+            f"{document['store_corruptions']} corruptions healed, "
+            f"isolated p50 {document['latency']['isolated']['p50_ms']}ms "
+            f"vs in-process {document['latency']['in_process']['p50_ms']}ms"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@ error-severity diagnostic (or a syntax error) is found, 0 otherwise.
 
 ``repro-serve`` — the analysis service: JSON-lines requests on stdin
 (or ``--batch file.pl ...`` for a one-shot run), content-addressed
-result caching and incremental re-analysis (see docs/serve.md).
+result caching and incremental re-analysis; ``--workers N`` executes
+requests in supervised, crash-isolated worker subprocesses with
+``--request-timeout`` / ``--max-retries`` policy, and ``--journal``
+arms the self-healing on-disk store (see docs/serve.md).
 
 The commands share one loader and one set of argument groups, so
 flags mean the same thing everywhere.  All three catch library errors
@@ -365,6 +368,27 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         help="persist results on disk under DIR",
     )
     parser.add_argument(
+        "--journal", action="store_true",
+        help="write-ahead journal for the --store directory: torn "
+        "writes are repaired on startup, corrupt entries quarantined",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run each request in one of N supervised worker "
+        "subprocesses (crash isolation; 0 = in-process, the default)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock cap; a worker still busy past it "
+        "(+ grace) is SIGKILLed and the request answered with a "
+        "structured error (needs --workers)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="crash retries per request before a structured retriable "
+        "error is returned (default 2; needs --workers)",
+    )
+    parser.add_argument(
         "--cache-entries", type=int, default=1024, metavar="N",
         help="in-memory store entry cap (default 1024)",
     )
@@ -389,7 +413,7 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     from .serve import AnalysisService, ServiceConfig, run_batch, serve_loop
 
-    service = AnalysisService(ServiceConfig(
+    service_config = ServiceConfig(
         depth=arguments.depth,
         list_aware=True,
         subsumption=arguments.subsumption,
@@ -400,19 +424,34 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         max_entries=arguments.cache_entries,
         max_bytes=arguments.cache_bytes,
         store_dir=arguments.store,
-    ))
-    if arguments.batch or arguments.files:
-        if not arguments.files:
-            parser.error("--batch needs at least one file")
-        entries = arguments.entry or ["main"]
-        summary = run_batch(
-            service, arguments.files, entries,
-            passes=arguments.passes, stdout=sys.stdout,
-        )
-        print(json.dumps(summary, sort_keys=True))
-        errors = sum(counts["error"] for counts in summary["passes"])
-        return 1 if errors else 0
-    return serve_loop(service, sys.stdin, sys.stdout)
+        journal=arguments.journal,
+    )
+    if arguments.workers > 0:
+        from .serve import Supervisor, SupervisorConfig
+
+        service = Supervisor(service_config, SupervisorConfig(
+            workers=arguments.workers,
+            request_timeout=arguments.request_timeout,
+            max_retries=arguments.max_retries,
+        ))
+    else:
+        service = AnalysisService(service_config)
+    try:
+        if arguments.batch or arguments.files:
+            if not arguments.files:
+                parser.error("--batch needs at least one file")
+            entries = arguments.entry or ["main"]
+            summary = run_batch(
+                service, arguments.files, entries,
+                passes=arguments.passes, stdout=sys.stdout,
+            )
+            print(json.dumps(summary, sort_keys=True))
+            errors = sum(counts["error"] for counts in summary["passes"])
+            return 1 if errors else 0
+        return serve_loop(service, sys.stdin, sys.stdout)
+    finally:
+        if hasattr(service, "close"):
+            service.close()
 
 
 #: The console-script entry points: the command bodies above, wrapped so

@@ -231,23 +231,53 @@ class Budget:
         return f"Budget({', '.join(parts)})"
 
 
+def _ordinal_set(site: str, spec) -> FrozenSet[int]:
+    """Normalize a fault spec (None, int, or iterable of ints) to a set
+    of 1-based ordinals; validates positivity."""
+    if spec is None:
+        return frozenset()
+    ordinals = (spec,) if isinstance(spec, int) else tuple(spec)
+    for ordinal in ordinals:
+        if ordinal < 1:
+            raise ValueError(f"fault ordinal for {site!r} must be >= 1")
+    return frozenset(ordinals)
+
+
 class FaultPlan:
-    """Deterministic fault injection at instrumented analysis sites.
+    """Deterministic fault injection at instrumented sites.
 
-    Each site counts its events; when a site's counter reaches the
-    configured ordinal, :class:`~repro.errors.InjectedFault` is raised
-    exactly once (the counter keeps advancing, so re-running the same
-    plan object does not re-fire — build a fresh plan per experiment).
+    Each site counts its events; when a site's counter reaches a
+    configured ordinal, the fault fires exactly once per ordinal (the
+    counter keeps advancing, so re-running the same plan object does not
+    re-fire — build a fresh plan per experiment).
 
-    Sites:
+    Two families of sites:
+
+    **Analysis sites** (checked with :meth:`fire`, which raises
+    :class:`~repro.errors.InjectedFault`; single ordinal each):
 
     * ``"step"`` — one abstract-machine instruction dispatched;
     * ``"unify"`` — one abstract set-unification performed by the machine;
     * ``"table"`` — one extension-table ``updateET``;
     * ``"iteration"`` — one fixpoint pass started.
+
+    **Serve chaos sites** (checked with :meth:`probe`, which merely
+    returns True — the caller performs the fault; each accepts one
+    ordinal or an iterable of ordinals, so a chaos campaign can kill
+    at many fixed request indices):
+
+    * ``"request"`` — the supervisor dispatches one request: the worker
+      is SIGKILLed on receipt (``kill_worker_at_request``);
+    * ``"response"`` — the worker delays its response by
+      ``delay_seconds`` wall-clock seconds, typically past the request
+      deadline (``delay_response_at_request``);
+    * ``"store"`` — one on-disk store write: the entry file is written
+      torn/corrupt while the journal keeps the good record
+      (``corrupt_store_at_put``).
     """
 
-    SITES = ("step", "unify", "table", "iteration")
+    SITES = ("step", "unify", "table", "iteration",
+             "request", "response", "store")
 
     def __init__(
         self,
@@ -255,30 +285,49 @@ class FaultPlan:
         at_unification: Optional[int] = None,
         at_table_update: Optional[int] = None,
         at_iteration: Optional[int] = None,
+        kill_worker_at_request=None,
+        delay_response_at_request=None,
+        corrupt_store_at_put=None,
+        delay_seconds: float = 0.25,
     ):
         self._trip_at = {
-            "step": at_step,
-            "unify": at_unification,
-            "table": at_table_update,
-            "iteration": at_iteration,
+            "step": _ordinal_set("step", at_step),
+            "unify": _ordinal_set("unify", at_unification),
+            "table": _ordinal_set("table", at_table_update),
+            "iteration": _ordinal_set("iteration", at_iteration),
+            "request": _ordinal_set("request", kill_worker_at_request),
+            "response": _ordinal_set(
+                "response", delay_response_at_request
+            ),
+            "store": _ordinal_set("store", corrupt_store_at_put),
         }
-        for site, ordinal in self._trip_at.items():
-            if ordinal is not None and ordinal < 1:
-                raise ValueError(f"fault ordinal for {site!r} must be >= 1")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+        #: How long a "response" fault delays the worker's answer.
+        self.delay_seconds = delay_seconds
         self.counts = {site: 0 for site in self.SITES}
         #: (site, ordinal) pairs that actually fired, in firing order.
         self.fired: List[Tuple[str, int]] = []
 
     def watches(self, site: str) -> bool:
         """Is any fault armed at this site (monitor worth installing)?"""
-        return self._trip_at.get(site) is not None
+        return bool(self._trip_at.get(site))
 
     def fire(self, site: str) -> None:
-        """Record one event at ``site``; raise when its ordinal is reached."""
+        """Record one event at ``site``; raise when an ordinal is reached."""
+        if self.probe(site):
+            raise InjectedFault(site, self.counts[site])
+
+    def probe(self, site: str) -> bool:
+        """Record one event at ``site``; True when an ordinal is reached.
+
+        The non-raising form used by the serve chaos sites, where the
+        caller (supervisor, disk store) performs the fault itself."""
         self.counts[site] = count = self.counts[site] + 1
-        if self._trip_at.get(site) == count:
+        if count in self._trip_at.get(site, frozenset()):
             self.fired.append((site, count))
-            raise InjectedFault(site, count)
+            return True
+        return False
 
 
 # ----------------------------------------------------------------------

@@ -4,10 +4,13 @@ Turns the one-shot analyzer into a long-lived, cache-backed service:
 content-addressed fingerprints (:mod:`~repro.serve.fingerprint`), a
 predicate call graph with Merkle SCC fingerprints
 (:mod:`~repro.serve.callgraph`), a bottom-up SCC-scheduled fixpoint
-(:mod:`~repro.serve.scheduler`), a capped result store
-(:mod:`~repro.serve.store`) and the request loop itself
-(:mod:`~repro.serve.service`).  See docs/serve.md for the architecture
-and the cache-soundness argument.
+(:mod:`~repro.serve.scheduler`), a self-healing capped result store
+(:mod:`~repro.serve.store`), the request loop itself
+(:mod:`~repro.serve.service`), and crash isolation — a supervised
+worker-subprocess pool (:mod:`~repro.serve.pool`) fronted by retry and
+kill policy (:mod:`~repro.serve.supervisor`).  See docs/serve.md for
+the architecture, the cache-soundness argument, and the operations /
+failure-modes contract.
 """
 
 from .callgraph import CallGraph, call_edges
@@ -20,10 +23,12 @@ from .fingerprint import (
     program_fingerprint,
     request_fingerprint,
 )
+from .pool import Worker, WorkerCrashed, WorkerPool, WorkerTimeout
 from .scheduler import SCCScheduler, ScheduleStats
 from .service import (
     HIT,
     INCREMENTAL,
+    MAX_REQUEST_LINE,
     MISS,
     AnalysisService,
     ServiceConfig,
@@ -31,10 +36,12 @@ from .service import (
     serve_loop,
 )
 from .store import DiskStore, ResultStore
+from .supervisor import Supervisor, SupervisorConfig
 
 __all__ = [
     "HIT",
     "INCREMENTAL",
+    "MAX_REQUEST_LINE",
     "MISS",
     "AnalysisService",
     "CallGraph",
@@ -43,6 +50,12 @@ __all__ = [
     "SCCScheduler",
     "ScheduleStats",
     "ServiceConfig",
+    "Supervisor",
+    "SupervisorConfig",
+    "Worker",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerTimeout",
     "call_edges",
     "clause_fingerprint",
     "config_fingerprint",

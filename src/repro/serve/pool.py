@@ -1,0 +1,277 @@
+"""Crash-isolated worker subprocesses: spawn, talk, time out, kill.
+
+This module is the *mechanics* layer of the supervised pool — process
+lifecycle and the JSON-lines pipe protocol; the *policy* layer (retry,
+backoff, error classification, chaos injection) lives in
+:mod:`repro.serve.supervisor`.
+
+A :class:`Worker` wraps one ``python -m repro.serve.worker`` subprocess:
+the service config goes down the pipe first, then one request line per
+:meth:`Worker.request` call, which blocks for the matching response
+line up to a wall-clock timeout.  A background reader thread owns the
+subprocess's stdout, so a timeout costs nothing but a queue wait and
+the caller can SIGKILL the worker at any moment without deadlocking on
+a half-written pipe.
+
+A :class:`WorkerPool` keeps ``size`` slots, hands out live workers
+round-robin, respawns crashed slots lazily with per-slot exponential
+backoff (a slot that keeps dying waits longer and longer before it
+burns another fork), and reaps everything on :meth:`WorkerPool.close`.
+
+Failure surface, as exceptions (both :class:`~repro.errors.ReproError`
+subclasses so CLI guards already catch them):
+
+* :class:`WorkerCrashed` — the subprocess died (signal, OOM kill,
+  interpreter abort) before responding.  Retriable: the request never
+  completed, analysis is a pure function, running it again is safe.
+* :class:`WorkerTimeout` — no response within the limit.  The caller
+  must assume the worker is wedged and kill it; retrying the same
+  request would wedge the replacement too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from ..errors import ReproError
+
+
+class WorkerCrashed(ReproError):
+    """The worker subprocess died before answering (retriable)."""
+
+
+class WorkerTimeout(ReproError):
+    """The worker did not answer within the wall-clock limit
+    (non-retriable; the worker must be killed)."""
+
+
+def _worker_environment() -> dict:
+    """The subprocess environment, with this repro package importable
+    even when the parent was launched via PYTHONPATH rather than an
+    installed distribution."""
+    environment = dict(os.environ)
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return environment
+
+
+class Worker:
+    """One supervised subprocess speaking the JSON-lines protocol."""
+
+    def __init__(self, config_wire: dict, slot: int = 0):
+        self.slot = slot
+        self.requests_handled = 0
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            encoding="utf-8",
+            env=_worker_environment(),
+        )
+        self._lines: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._drain_stdout, daemon=True
+        )
+        self._reader.start()
+        self._send_line(json.dumps(config_wire, sort_keys=True))
+
+    # ------------------------------------------------------------------
+
+    def _drain_stdout(self) -> None:
+        try:
+            for line in self.process.stdout:
+                self._lines.put(line)
+        except (OSError, ValueError):
+            pass
+        self._lines.put(None)  # EOF marker: the worker is gone
+
+    def _send_line(self, text: str) -> None:
+        try:
+            self.process.stdin.write(text + "\n")
+            self.process.stdin.flush()
+        except (OSError, ValueError) as error:
+            raise WorkerCrashed(
+                f"worker {self.slot} pipe closed: {error}"
+            ) from error
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict, timeout: Optional[float] = None) -> dict:
+        """Send one request, block for its response line.
+
+        Raises :class:`WorkerTimeout` when no line arrives in
+        ``timeout`` seconds (the worker is *not* killed here — that is
+        the caller's policy decision) and :class:`WorkerCrashed` when
+        the pipe breaks or EOF arrives instead of a response."""
+        self._send_line(json.dumps(payload, sort_keys=True))
+        try:
+            line = self._lines.get(timeout=timeout)
+        except queue.Empty:
+            raise WorkerTimeout(
+                f"worker {self.slot} gave no response within {timeout}s"
+            ) from None
+        if line is None:
+            status = self.process.poll()
+            raise WorkerCrashed(
+                f"worker {self.slot} died (exit status {status}) "
+                "before responding"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as error:
+            raise WorkerCrashed(
+                f"worker {self.slot} wrote a garbled response: {error}"
+            ) from error
+        if not isinstance(response, dict):
+            raise WorkerCrashed(
+                f"worker {self.slot} wrote a non-object response"
+            )
+        self.requests_handled += 1
+        return response
+
+    def kill(self) -> None:
+        """SIGKILL the subprocess and reap it; safe to call twice."""
+        try:
+            self.process.kill()
+        except OSError:
+            pass
+        try:
+            self.process.wait(timeout=10)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        for stream in (self.process.stdin, self.process.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+
+
+class WorkerPool:
+    """``size`` worker slots with lazy spawn and per-slot backoff."""
+
+    def __init__(
+        self,
+        config_wire: dict,
+        size: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.config_wire = config_wire
+        self.size = size
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._workers: List[Optional[Worker]] = [None] * size
+        #: Consecutive crashes per slot; reset on any success.
+        self._strikes = [0] * size
+        self._next_slot = 0
+        self.spawned = 0
+        self.crashes = 0
+        self.kills = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self, slot: int) -> Worker:
+        strikes = self._strikes[slot]
+        if strikes:
+            # Exponential backoff before burning another fork on a slot
+            # that keeps dying: base * 2^(strikes-1), capped.
+            time.sleep(min(
+                self.backoff_cap, self.backoff_base * (2 ** (strikes - 1))
+            ))
+        worker = Worker(self.config_wire, slot=slot)
+        self._workers[slot] = worker
+        self.spawned += 1
+        return worker
+
+    def checkout(self) -> Tuple[int, Worker]:
+        """The next slot's live worker (round-robin), spawning or
+        respawning as needed."""
+        if self.closed:
+            raise ReproError("worker pool is closed")
+        slot = self._next_slot
+        self._next_slot = (slot + 1) % self.size
+        worker = self._workers[slot]
+        if worker is None or not worker.alive:
+            if worker is not None:
+                worker.kill()  # reap the corpse
+            worker = self._spawn(slot)
+        return slot, worker
+
+    def workers(self) -> List[Tuple[int, Worker]]:
+        """Every currently-spawned live worker (for broadcasts)."""
+        return [
+            (slot, worker)
+            for slot, worker in enumerate(self._workers)
+            if worker is not None and worker.alive
+        ]
+
+    # ------------------------------------------------------------------
+    # Outcome reporting (drives the backoff).
+
+    def report_crash(self, slot: int) -> None:
+        self.crashes += 1
+        self._strikes[slot] += 1
+        worker = self._workers[slot]
+        if worker is not None:
+            worker.kill()
+            self._workers[slot] = None
+
+    def report_kill(self, slot: int) -> None:
+        """The supervisor killed this worker deliberately (timeout);
+        no backoff strike — the *request* was bad, not the slot."""
+        self.kills += 1
+        worker = self._workers[slot]
+        if worker is not None:
+            worker.kill()
+            self._workers[slot] = None
+
+    def report_success(self, slot: int) -> None:
+        self._strikes[slot] = 0
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.closed = True
+        for worker in self._workers:
+            if worker is not None:
+                worker.kill()
+        self._workers = [None] * self.size
+
+    def stats(self) -> dict:
+        return {
+            "size": self.size,
+            "alive": len(self.workers()),
+            "spawned": self.spawned,
+            "crashes": self.crashes,
+            "kills": self.kills,
+        }
+
+
+__all__ = ["Worker", "WorkerCrashed", "WorkerPool", "WorkerTimeout"]

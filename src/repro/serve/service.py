@@ -78,6 +78,8 @@ class ServiceConfig:
     max_bytes: Optional[int] = 64 * 1024 * 1024
     #: Optional on-disk store directory.
     store_dir: Optional[str] = None
+    #: Write-ahead journal for the disk store (replayed on startup).
+    journal: bool = False
 
 
 class AnalysisService:
@@ -89,7 +91,7 @@ class AnalysisService:
             max_entries=self.config.max_entries,
             max_bytes=self.config.max_bytes,
             disk=(
-                DiskStore(self.config.store_dir)
+                DiskStore(self.config.store_dir, journal=self.config.journal)
                 if self.config.store_dir
                 else None
             ),
@@ -350,24 +352,57 @@ class AnalysisService:
 # The request loop and batch mode (used by the repro-serve CLI).
 
 
-def serve_loop(service: AnalysisService, stdin, stdout) -> int:
+#: Longest request line serve_loop accepts; beyond it the line is
+#: drained and answered with an error instead of being buffered whole.
+MAX_REQUEST_LINE = 10 * 1024 * 1024
+
+
+def serve_loop(
+    service, stdin, stdout, max_line_bytes: int = MAX_REQUEST_LINE
+) -> int:
     """JSON-lines request/response loop; returns the exit status.
 
-    Malformed JSON lines produce an error response, not a crash; a
-    ``shutdown`` request (or EOF) ends the loop."""
-    for line in stdin:
-        line = line.strip()
+    Hardened against hostile or broken clients: malformed JSON, a
+    non-object request, or a line longer than ``max_line_bytes``
+    (drained without ever holding it in memory) each produce a
+    structured ``{"ok": false, ...}`` response and the loop keeps
+    serving; a ``shutdown`` request, EOF, or EOF mid-line ends the loop
+    cleanly with status 0.  ``service`` is anything with
+    ``handle(request) -> response`` — the in-process
+    :class:`AnalysisService` or a :class:`~repro.serve.supervisor.Supervisor`.
+    """
+    while True:
+        line = stdin.readline(max_line_bytes + 1)
         if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except ValueError as error:
-            response = {"ok": False, "error": f"bad JSON: {error}"}
+            break  # EOF
+        if len(line) > max_line_bytes and not line.endswith("\n"):
+            # Oversized: throw away the rest of the line in bounded
+            # chunks, answer with an error, keep serving.
+            while True:
+                chunk = stdin.readline(max_line_bytes)
+                if not chunk or chunk.endswith("\n"):
+                    break
+            response = {
+                "ok": False,
+                "error": (
+                    f"request line exceeds {max_line_bytes} bytes"
+                ),
+            }
         else:
-            if not isinstance(request, dict):
-                response = {"ok": False, "error": "request must be an object"}
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as error:
+                response = {"ok": False, "error": f"bad JSON: {error}"}
             else:
-                response = service.handle(request)
+                if not isinstance(request, dict):
+                    response = {
+                        "ok": False, "error": "request must be an object"
+                    }
+                else:
+                    response = service.handle(request)
         stdout.write(json.dumps(response, sort_keys=True) + "\n")
         stdout.flush()
         if response.get("shutdown"):
@@ -376,7 +411,7 @@ def serve_loop(service: AnalysisService, stdin, stdout) -> int:
 
 
 def run_batch(
-    service: AnalysisService,
+    service,
     files: Sequence[str],
     entries: Sequence[str],
     passes: int = 2,
@@ -403,13 +438,20 @@ def run_batch(
             if response["status"] != "exact":
                 counts["degraded"] += 1
         summary["passes"].append(counts)
-    summary["store"] = service.store.stats()
+    # A Supervisor fronts workers and has no store of its own; its
+    # stats() block stands in.
+    summary["store"] = (
+        service.store.stats()
+        if hasattr(service, "store")
+        else service.stats()
+    )
     return summary
 
 
 __all__ = [
     "HIT",
     "INCREMENTAL",
+    "MAX_REQUEST_LINE",
     "MISS",
     "AnalysisService",
     "ServiceConfig",

@@ -24,10 +24,23 @@ The in-memory layer is an LRU with entry- and byte-caps; the optional
 disk layer is one JSON file per key (human-inspectable, safe to delete
 at any time).  Serialization of patterns round-trips through plain JSON
 — no pickling, nothing process-specific.
+
+The disk layer is **self-healing**: every entry file carries a SHA-256
+checksum of its canonical value text, verified on load; corrupt, torn
+or unreadable files are moved to a ``quarantine/`` subdirectory (never
+propagated to the caller — a quarantined entry is a cache miss, and
+soundness rests on the scheduler's verification sweep anyway, so the
+cost is only performance).  With ``journal=True`` a write-ahead journal
+(``journal.jsonl``) records each put before the entry file is written;
+on startup the journal is replayed — entries whose files are missing or
+fail their checksum are rewritten from the journal — then truncated.  A
+torn journal tail (crash mid-append) is detected and discarded, so a
+recovered store is always either valid or absent.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import OrderedDict
@@ -246,7 +259,7 @@ class ResultStore:
             self.disk.clear()
 
     def stats(self) -> dict:
-        return {
+        counts = {
             "entries": len(self._data),
             "bytes": self.bytes_used,
             "hits": self.hits,
@@ -254,19 +267,64 @@ class ResultStore:
             "evictions": self.evictions,
             "rejected_degraded": self.rejected_degraded,
         }
+        if self.disk is not None:
+            counts["disk"] = self.disk.stats()
+        return counts
+
+
+def _checksum(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class DiskStore:
-    """One JSON file per key under a directory (a level-2 store).
+    """One checksummed JSON file per key under a directory (a level-2
+    store), with an optional write-ahead journal.
 
     Keys are fingerprint-built (hex digests and fixed prefixes), but they
     are sanitized anyway so a corrupt key cannot escape the directory.
-    Corrupt or unreadable files behave as misses.
+    Every entry file is a record ``{"key", "sha256", "value"}`` where the
+    digest covers the canonical (sorted-keys) serialization of the value;
+    a file that is unreadable, torn, or fails its checksum is moved to
+    ``quarantine/`` and behaves as a miss.  Pre-checksum (unwrapped)
+    payload files from older stores are still readable.
+
+    With ``journal=True``, each put appends the full record to
+    ``journal.jsonl`` (flushed) *before* the entry file is written, so a
+    write torn by a crash or power loss is repaired by :meth:`replay` on
+    the next startup.  The journal is truncated after a successful
+    replay and rotated when it outgrows ``JOURNAL_CAP`` — safe, because
+    every journaled record was also written to its entry file.
+
+    ``fault_plan`` arms the ``"store"`` chaos site (see
+    :class:`repro.robust.FaultPlan`): at the configured put ordinals the
+    entry file is deliberately written torn while the journal keeps the
+    good record, exercising both the quarantine and the replay paths.
     """
 
-    def __init__(self, directory: str):
+    JOURNAL_NAME = "journal.jsonl"
+    QUARANTINE_NAME = "quarantine"
+    JOURNAL_CAP = 8 * 1024 * 1024
+
+    def __init__(self, directory: str, journal: bool = False, fault_plan=None):
         self.directory = directory
+        self.journal_enabled = journal
+        self.fault_plan = fault_plan
+        self.quarantined = 0
+        self.checksum_failures = 0
+        self.journal_replayed = 0
+        self._journal_handle = None
         os.makedirs(directory, exist_ok=True)
+        if journal:
+            self.replay()
+            try:
+                self._journal_handle = open(
+                    self._journal_path(), "a", encoding="utf-8"
+                )
+            except OSError:
+                self._journal_handle = None  # read-only dir: degrade
+
+    # ------------------------------------------------------------------
+    # Paths.
 
     def _path(self, key: str) -> str:
         safe = "".join(
@@ -274,18 +332,167 @@ class DiskStore:
         )
         return os.path.join(self.directory, safe + ".json")
 
+    def _journal_path(self) -> str:
+        return os.path.join(self.directory, self.JOURNAL_NAME)
+
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.directory, self.QUARANTINE_NAME)
+
+    # ------------------------------------------------------------------
+    # Records.
+
+    @staticmethod
+    def _record_text(key: str, text: str) -> str:
+        # The value text is already canonical (compact sorted-keys JSON
+        # from ResultStore), so splice it in verbatim: re-serializing
+        # record["value"] with sort_keys reproduces it for verification.
+        return (
+            '{"key": ' + json.dumps(key)
+            + ', "sha256": "' + _checksum(text)
+            + '", "value": ' + text + "}"
+        )
+
+    def _verify(self, data):
+        """The value inside a parsed record, or None when the checksum
+        fails; unwrapped legacy payloads pass through unchecked."""
+        if (
+            isinstance(data, dict)
+            and "sha256" in data
+            and "value" in data
+            and "key" in data
+        ):
+            text = json.dumps(data["value"], sort_keys=True)
+            if _checksum(text) != data["sha256"]:
+                self.checksum_failures += 1
+                return None
+            return data["value"]
+        return data  # pre-checksum store format
+
+    def _quarantine(self, path: str) -> None:
+        """Move a damaged file out of the way instead of crashing or
+        re-reading it forever; quarantined files are kept for forensics
+        and are invisible to the store."""
+        destination_dir = self._quarantine_dir()
+        base = os.path.basename(path)
+        try:
+            os.makedirs(destination_dir, exist_ok=True)
+            destination = os.path.join(destination_dir, base)
+            suffix = 0
+            while os.path.exists(destination):
+                suffix += 1
+                destination = os.path.join(
+                    destination_dir, f"{base}.{suffix}"
+                )
+            os.replace(path, destination)
+            self.quarantined += 1
+        except OSError:
+            try:
+                os.unlink(path)
+                self.quarantined += 1
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # The journal.
+
+    def replay(self) -> int:
+        """Replay the write-ahead journal: rewrite any entry whose file
+        is missing, torn, or checksum-broken from its journaled record;
+        a torn journal tail is discarded.  Returns the repair count and
+        truncates the journal (every surviving record is now safely in
+        its entry file)."""
+        journal_path = self._journal_path()
+        repaired = 0
+        try:
+            with open(journal_path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail: a crash mid-append; nothing after it
+            if not (
+                isinstance(record, dict)
+                and isinstance(record.get("key"), str)
+                and "sha256" in record
+                and "value" in record
+            ):
+                break
+            value_text = json.dumps(record["value"], sort_keys=True)
+            if _checksum(value_text) != record["sha256"]:
+                continue  # a corrupted journal record repairs nothing
+            path = self._path(record["key"])
+            current = None
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    current = self._verify(json.load(handle))
+            except (OSError, ValueError):
+                current = None
+            if current is None:
+                self._write_file(path, self._record_text(
+                    record["key"], value_text
+                ))
+                repaired += 1
+        self.journal_replayed += repaired
+        try:
+            with open(journal_path, "w", encoding="utf-8"):
+                pass  # truncate: all records are applied and verified
+        except OSError:
+            pass
+        return repaired
+
+    def _journal_append(self, record_text: str) -> None:
+        handle = self._journal_handle
+        if handle is None:
+            return
+        try:
+            if handle.tell() > self.JOURNAL_CAP:
+                # Rotate by truncation: every earlier record's entry
+                # file was already written atomically, so only the
+                # record *about to be appended* needs journal cover.
+                handle.seek(0)
+                handle.truncate()
+            handle.write(record_text + "\n")
+            handle.flush()
+        except (OSError, ValueError):
+            pass  # full or closed: journaling degrades, puts continue
+
+    # ------------------------------------------------------------------
+    # The store protocol used by ResultStore.
+
     def contains(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
     def get(self, key: str):
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError:
             return None
+        except ValueError:
+            self._quarantine(path)  # torn write or bit rot: not JSON
+            return None
+        value = self._verify(data)
+        if value is None:
+            self._quarantine(path)
+        return value
 
     def put(self, key: str, text: str) -> None:
-        path = self._path(key)
+        record_text = self._record_text(key, text)
+        self._journal_append(record_text)
+        if self.fault_plan is not None and self.fault_plan.probe("store"):
+            # Injected torn write: the entry file gets half a record,
+            # the journal (above) kept the good one.
+            record_text = record_text[: max(1, len(record_text) // 2)]
+        self._write_file(self._path(key), record_text)
+
+    def _write_file(self, path: str, text: str) -> None:
         temporary = path + ".tmp"
         try:
             with open(temporary, "w", encoding="utf-8") as handle:
@@ -317,6 +524,28 @@ class DiskStore:
                     os.unlink(os.path.join(self.directory, name))
                 except OSError:
                     pass
+        if self._journal_handle is not None:
+            try:
+                self._journal_handle.seek(0)
+                self._journal_handle.truncate()
+            except (OSError, ValueError):
+                pass
+
+    def close(self) -> None:
+        if self._journal_handle is not None:
+            try:
+                self._journal_handle.close()
+            except OSError:
+                pass
+            self._journal_handle = None
+
+    def stats(self) -> dict:
+        return {
+            "journal": self.journal_enabled,
+            "quarantined": self.quarantined,
+            "checksum_failures": self.checksum_failures,
+            "journal_replayed": self.journal_replayed,
+        }
 
 
 __all__ = [

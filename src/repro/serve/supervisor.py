@@ -1,0 +1,256 @@
+"""The supervisor: crash-isolated request execution with retry policy.
+
+:class:`Supervisor` is a drop-in ``handle(request) -> response`` front
+for :class:`~repro.serve.service.AnalysisService` (same protocol, same
+``serve_loop``/``run_batch`` compatibility) that executes every request
+in a worker subprocess from a :class:`~repro.serve.pool.WorkerPool`:
+
+* **Hard wall-clock kill.**  Each request gets a deadline — the tighter
+  of the request/server budget ``deadline`` and ``request_timeout`` —
+  plus ``grace`` seconds for serialization overhead.  A worker that
+  blows it is SIGKILLed and the request answered with a structured
+  *non-retriable* error: a cooperative budget should have tripped
+  first, so a deadline overrun means the worker is wedged somewhere
+  budgets cannot see (C-level loop, pathological GC), and rerunning the
+  same request would wedge the replacement too.
+
+* **Bounded retry with backoff.**  A worker that *dies* (segfault, OOM
+  kill, injected SIGKILL) before responding is retriable: analysis is a
+  pure function of the request, so the supervisor respawns and retries
+  up to ``max_retries`` times with exponential backoff, then answers
+  with a structured *retriable* error.  Either way the next request
+  finds a fresh worker — a crash never takes the service down.
+
+Error responses carry machine-readable classification::
+
+    {"ok": false, "error": "...", "error_kind": "worker-crash",
+     "retriable": true, "attempts": 3}
+
+``error_kind`` is ``"worker-crash"`` or ``"timeout"``; ``retriable``
+tells the client whether resubmitting the identical request can
+succeed.
+
+Chaos injection: a :class:`~repro.robust.FaultPlan` with serve sites
+armed makes the supervisor attach ``"_chaos"`` directives to outgoing
+requests — ``kill_worker_at_request`` ordinals SIGKILL the worker on
+receipt, ``delay_response_at_request`` ordinals stall the response past
+the deadline.  Directives are stripped on retry, so an injected kill
+exercises exactly one crash.  See :mod:`repro.bench.chaos`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..robust import FaultPlan
+from .pool import WorkerCrashed, WorkerPool, WorkerTimeout
+from .service import ServiceConfig
+from .worker import config_to_wire
+
+
+@dataclass
+class SupervisorConfig:
+    """Pool and retry policy knobs (see module docstring)."""
+
+    workers: int = 2
+    #: Server-wide per-request wall-clock cap in seconds (None: only
+    #: budget deadlines arm the kill timer).
+    request_timeout: Optional[float] = None
+    #: Slack added on top of the deadline before the SIGKILL: budget
+    #: deadlines are checked cooperatively inside the worker, so a
+    #: healthy worker answers (degraded) just after the deadline; only
+    #: a wedged one reaches deadline + grace.
+    grace: float = 1.0
+    #: Crash retries per request (0 = fail fast on the first crash).
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+
+class Supervisor:
+    """Crash-isolated, self-healing front for the analysis service."""
+
+    def __init__(
+        self,
+        service_config: Optional[ServiceConfig] = None,
+        config: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
+        self.service_config = (
+            service_config if service_config is not None else ServiceConfig()
+        )
+        self.config = config if config is not None else SupervisorConfig()
+        self.fault_plan = fault_plan
+        self.pool = WorkerPool(
+            config_to_wire(self.service_config),
+            size=self.config.workers,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+        )
+        self.requests_served = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.crashes_survived = 0
+
+    # ------------------------------------------------------------------
+    # Deadlines.
+
+    def _timeout_for(self, request: dict) -> Optional[float]:
+        """The wall-clock kill limit for one request: the tightest of
+        the request budget deadline, the server budget deadline and the
+        configured request_timeout, plus grace; None = no kill timer."""
+        candidates = []
+        spec = request.get("budget")
+        if isinstance(spec, dict) and spec.get("deadline") is not None:
+            candidates.append(float(spec["deadline"]))
+        server = self.service_config.budget
+        if server is not None and server.deadline is not None:
+            candidates.append(server.deadline)
+        if self.config.request_timeout is not None:
+            candidates.append(self.config.request_timeout)
+        if not candidates:
+            return None
+        return min(candidates) + self.config.grace
+
+    # ------------------------------------------------------------------
+    # Request handling.
+
+    def handle(self, request: dict) -> dict:
+        """Execute one request in an isolated worker; mirrors
+        :meth:`AnalysisService.handle` — never raises for request-level
+        failures, and a dead worker is a request-level failure here."""
+        started = time.perf_counter()
+        op = request.get("op", "analyze")
+        if op == "shutdown":
+            response = {"ok": True, "shutdown": True, "op": "shutdown"}
+            if "id" in request:
+                response["id"] = request["id"]
+            self.close()
+            self.requests_served += 1
+            return response
+        if op == "invalidate":
+            response = self._broadcast(request)
+        else:
+            response = self._execute(request)
+        if op == "stats" and response.get("ok"):
+            response["supervisor"] = self.stats()
+        self.requests_served += 1
+        response["elapsed_total_ms"] = round(
+            (time.perf_counter() - started) * 1000.0, 3
+        )
+        return response
+
+    def _execute(self, request: dict) -> dict:
+        timeout = self._timeout_for(request)
+        payload = dict(request)
+        if self.fault_plan is not None:
+            chaos = {}
+            if self.fault_plan.probe("request"):
+                chaos["kill"] = True
+            if self.fault_plan.probe("response"):
+                chaos["delay"] = self.fault_plan.delay_seconds
+            if chaos:
+                payload["_chaos"] = chaos
+        attempts = 0
+        while True:
+            attempts += 1
+            slot, worker = self.pool.checkout()
+            try:
+                response = worker.request(payload, timeout)
+            except WorkerTimeout:
+                self.timeouts += 1
+                self.pool.report_kill(slot)
+                return self._error_response(
+                    request,
+                    kind="timeout",
+                    retriable=False,
+                    attempts=attempts,
+                    message=(
+                        f"no response within {timeout:.3f}s; "
+                        "worker killed (SIGKILL)"
+                    ),
+                )
+            except WorkerCrashed as error:
+                self.crashes_survived += 1
+                self.pool.report_crash(slot)
+                # An injected kill fired; the retry must run clean.
+                payload.pop("_chaos", None)
+                if attempts <= self.config.max_retries:
+                    self.retries += 1
+                    continue  # pool backoff throttles the respawn
+                return self._error_response(
+                    request,
+                    kind="worker-crash",
+                    retriable=True,
+                    attempts=attempts,
+                    message=str(error),
+                )
+            else:
+                self.pool.report_success(slot)
+                response["worker"] = slot
+                if attempts > 1:
+                    response["attempts"] = attempts
+                return response
+
+    def _error_response(
+        self, request, kind: str, retriable: bool, attempts: int, message: str
+    ) -> dict:
+        response = {
+            "ok": False,
+            "error": message,
+            "error_kind": kind,
+            "retriable": retriable,
+            "attempts": attempts,
+            "op": request.get("op", "analyze"),
+        }
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def _broadcast(self, request: dict) -> dict:
+        """Send one request to every live worker (cache invalidation
+        must reach each worker's in-memory store; the shared disk store
+        is cleared by whichever worker gets there first)."""
+        response = {"ok": True, "op": request.get("op")}
+        workers = self.pool.workers()
+        if not workers:
+            workers = [self.pool.checkout()]
+        for slot, worker in workers:
+            try:
+                answer = worker.request(dict(request), self._timeout_for(request))
+            except (WorkerCrashed, WorkerTimeout):
+                self.pool.report_crash(slot)
+                continue
+            self.pool.report_success(slot)
+            response.update(
+                (key, value) for key, value in answer.items()
+                if key not in ("elapsed_ms",)
+            )
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "requests_served": self.requests_served,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes_survived": self.crashes_survived,
+            "pool": self.pool.stats(),
+        }
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["Supervisor", "SupervisorConfig"]

@@ -1,0 +1,149 @@
+"""The worker-subprocess side of the supervised pool.
+
+``python -m repro.serve.worker`` is spawned by
+:class:`repro.serve.pool.WorkerPool`.  Protocol, all JSON lines on
+stdin/stdout: the first line is the wire-encoded
+:class:`~repro.serve.service.ServiceConfig`; every later line is one
+request, answered by exactly one response line.  The worker is the
+crash-isolation boundary — a segfault, OOM kill, or runaway recursion
+takes down this process, never the service: the supervisor reaps the
+corpse, spawns a replacement, and retries or answers with a structured
+error.
+
+Requests may carry a ``"_chaos"`` directive (injected by the
+supervisor's :class:`~repro.robust.FaultPlan`, or by a test driving the
+protocol directly); it is stripped before the request reaches the
+service:
+
+* ``{"kill": true}`` — SIGKILL *this* process on receipt, before any
+  response: the deterministic stand-in for a segfault mid-request;
+* ``{"delay": seconds}`` — compute the response, then sleep before
+  writing it: the stand-in for a runaway request that must be killed by
+  the supervisor's wall-clock timer;
+* ``{"exit": code}`` — exit immediately with ``code``.
+
+Python-level failures that *can* be caught (a bug in the analyzer, a
+``RecursionError`` that unwound cleanly) are answered in-process as
+``{"ok": false, ...}`` — only genuinely fatal events cost a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from typing import Optional
+
+from ..robust import Budget
+from .service import AnalysisService, ServiceConfig
+
+# ----------------------------------------------------------------------
+# ServiceConfig over the wire.  Budgets flatten to a plain dict; every
+# field is JSON-native already.
+
+_CONFIG_FIELDS = (
+    "depth",
+    "list_aware",
+    "subsumption",
+    "on_undefined",
+    "environment_trimming",
+    "library",
+    "max_entries",
+    "max_bytes",
+    "store_dir",
+    "journal",
+)
+
+_BUDGET_FIELDS = ("max_steps", "max_iterations", "max_table_entries", "deadline")
+
+
+def config_to_wire(config: ServiceConfig) -> dict:
+    """A JSON-safe dict that :func:`config_from_wire` reverses."""
+    wire = {name: getattr(config, name) for name in _CONFIG_FIELDS}
+    budget = config.budget
+    wire["budget"] = (
+        {name: getattr(budget, name) for name in _BUDGET_FIELDS}
+        if budget is not None
+        else None
+    )
+    return wire
+
+
+def config_from_wire(wire: dict) -> ServiceConfig:
+    config = ServiceConfig(
+        **{name: wire[name] for name in _CONFIG_FIELDS if name in wire}
+    )
+    budget = wire.get("budget")
+    if budget is not None:
+        config.budget = Budget(
+            **{name: budget.get(name) for name in _BUDGET_FIELDS}
+        )
+    return config
+
+
+# ----------------------------------------------------------------------
+# The request loop.
+
+
+def _apply_chaos_on_receipt(chaos: Optional[dict]) -> None:
+    if not chaos:
+        return
+    if chaos.get("exit") is not None:
+        os._exit(int(chaos["exit"]))
+    if chaos.get("kill"):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def worker_loop(stdin, stdout) -> int:
+    """Config line, then request/response lines until EOF or shutdown."""
+    first = stdin.readline()
+    if not first.strip():
+        return 0
+    try:
+        config = config_from_wire(json.loads(first))
+    except (ValueError, TypeError) as error:
+        stdout.write(json.dumps(
+            {"ok": False, "error": f"bad worker config: {error}"}
+        ) + "\n")
+        stdout.flush()
+        return 2
+    service = AnalysisService(config)
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        chaos = None
+        try:
+            request = json.loads(line)
+        except ValueError as error:
+            response = {"ok": False, "error": f"bad JSON: {error}"}
+        else:
+            if isinstance(request, dict):
+                chaos = request.pop("_chaos", None)
+                _apply_chaos_on_receipt(chaos)
+                try:
+                    response = service.handle(request)
+                except Exception as error:  # the isolation boundary
+                    response = {
+                        "ok": False,
+                        "error": f"worker exception: {error!r}",
+                    }
+            else:
+                response = {"ok": False, "error": "request must be an object"}
+        if chaos and chaos.get("delay"):
+            time.sleep(float(chaos["delay"]))
+        stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+        if response.get("shutdown"):
+            break
+    return 0
+
+
+def main() -> int:
+    return worker_loop(sys.stdin, sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

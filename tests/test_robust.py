@@ -134,6 +134,42 @@ class TestFaultPlan:
         assert counts[0] == counts[1] == 2
 
 
+class TestServeChaosSites:
+    """The non-raising serve sites: probe() fires, fire() still raises."""
+
+    def test_probe_fires_at_each_ordinal(self):
+        plan = FaultPlan(kill_worker_at_request=[2, 4])
+        assert [plan.probe("request") for _ in range(5)] == \
+            [False, True, False, True, False]
+        assert plan.fired == [("request", 2), ("request", 4)]
+
+    def test_single_int_ordinal_accepted(self):
+        plan = FaultPlan(delay_response_at_request=3)
+        assert [plan.probe("response") for _ in range(3)] == \
+            [False, False, True]
+
+    def test_watches_serve_sites(self):
+        plan = FaultPlan(corrupt_store_at_put=1)
+        assert plan.watches("store")
+        assert not plan.watches("request")
+        assert not plan.watches("step")
+
+    def test_probe_never_raises(self):
+        plan = FaultPlan(kill_worker_at_request=1)
+        assert plan.probe("request") is True  # no InjectedFault
+
+    def test_fire_still_raises_on_analysis_sites(self):
+        plan = FaultPlan(at_step=1)
+        with pytest.raises(InjectedFault):
+            plan.fire("step")
+
+    def test_rejects_nonpositive_serve_ordinals(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kill_worker_at_request=[1, 0])
+        with pytest.raises(ValueError):
+            FaultPlan(delay_seconds=-1.0)
+
+
 class TestWidening:
     def test_top_pattern_is_any(self):
         top = top_success_pattern(3)

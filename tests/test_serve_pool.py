@@ -1,0 +1,269 @@
+"""Crash isolation (repro.serve.pool + repro.serve.supervisor).
+
+The contract under test: a worker death — SIGKILL mid-request, injected
+chaos, timeout — costs at most one structured error response, never the
+service; results that do come back equal a from-scratch ``analyze()``.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.analysis.driver import Analyzer
+from repro.prolog.program import Program
+from repro.robust import Budget, FaultPlan
+from repro.serve import (
+    HIT,
+    ServiceConfig,
+    Supervisor,
+    SupervisorConfig,
+    run_batch,
+    serve_loop,
+)
+from repro.serve.worker import config_from_wire, config_to_wire
+
+NREV = """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+"""
+
+ENTRY = "nrev(glist, var)"
+
+REQUEST = {"op": "analyze", "text": NREV, "entries": [ENTRY]}
+
+
+def _scratch(text=NREV, entries=(ENTRY,)):
+    return Analyzer(Program.from_text(text)).analyze(list(entries)).stable_dict()
+
+
+def _supervisor(fault_plan=None, service_config=None, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("max_retries", 2)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("grace", 0.2)
+    return Supervisor(
+        service_config if service_config is not None else ServiceConfig(),
+        SupervisorConfig(**kwargs),
+        fault_plan=fault_plan,
+    )
+
+
+# ----------------------------------------------------------------------
+# Config wire format.
+
+
+def test_config_round_trips_through_wire():
+    config = ServiceConfig(
+        depth=3, subsumption=True, on_undefined="top", library=True,
+        store_dir="/tmp/x", journal=True,
+        budget=Budget(max_steps=100, deadline=1.5),
+    )
+    back = config_from_wire(json.loads(json.dumps(config_to_wire(config))))
+    assert back.depth == 3 and back.subsumption and back.library
+    assert back.on_undefined == "top"
+    assert back.store_dir == "/tmp/x" and back.journal
+    assert back.budget.max_steps == 100
+    assert back.budget.deadline == 1.5
+    plain = config_from_wire(config_to_wire(ServiceConfig()))
+    assert plain.budget is None
+
+
+# ----------------------------------------------------------------------
+# The happy path through a worker.
+
+
+def test_worker_answers_like_in_process():
+    with _supervisor() as supervisor:
+        cold = supervisor.handle(dict(REQUEST))
+        warm = supervisor.handle(dict(REQUEST))
+    assert cold["ok"] and cold["result"] == _scratch()
+    assert warm["ok"] and warm["cache"]["outcome"] == HIT
+    assert cold["status"] == "exact"
+
+
+def test_request_errors_still_structured_through_worker():
+    with _supervisor() as supervisor:
+        response = supervisor.handle({"op": "analyze", "text": "p("})
+    assert response["ok"] is False and "error" in response
+
+
+def test_config_knobs_reach_the_worker():
+    config = ServiceConfig(budget=Budget(max_iterations=1))
+    with _supervisor(service_config=config) as supervisor:
+        response = supervisor.handle(dict(REQUEST))
+    assert response["ok"] and response["status"] == "degraded"
+
+
+# ----------------------------------------------------------------------
+# Crash isolation: SIGKILL mid-request.
+
+
+def test_injected_kill_is_retried_transparently():
+    plan = FaultPlan(kill_worker_at_request=1)
+    with _supervisor(fault_plan=plan) as supervisor:
+        response = supervisor.handle(dict(REQUEST))
+        after = supervisor.handle(dict(REQUEST))
+        stats = supervisor.stats()
+    assert response["ok"] and response["result"] == _scratch()
+    assert response["attempts"] == 2
+    assert after["ok"]  # the next request on the same service succeeds
+    assert stats["crashes_survived"] == 1 and stats["retries"] == 1
+    assert stats["pool"]["spawned"] == 2  # a fresh worker replaced the corpse
+
+
+def test_kill_beyond_retries_is_structured_retriable_error():
+    # With max_retries=0 the one crash is final: the response is the
+    # structured retriable error, not an exception — and the service
+    # keeps serving.
+    plan = FaultPlan(kill_worker_at_request=1)
+    with _supervisor(fault_plan=plan, max_retries=0) as supervisor:
+        response = supervisor.handle({**REQUEST, "id": 9})
+        after = supervisor.handle(dict(REQUEST))
+    assert response["ok"] is False
+    assert response["error_kind"] == "worker-crash"
+    assert response["retriable"] is True
+    assert response["attempts"] == 1
+    assert response["id"] == 9
+    assert after["ok"] and after["result"] == _scratch()
+
+
+def test_external_sigkill_between_requests_is_survived():
+    with _supervisor() as supervisor:
+        first = supervisor.handle(dict(REQUEST))
+        assert first["ok"]
+        [(_, worker)] = supervisor.pool.workers()
+        os.kill(worker.pid, signal.SIGKILL)
+        worker.process.wait(timeout=10)
+        second = supervisor.handle(dict(REQUEST))
+    assert second["ok"] and second["result"] == _scratch()
+
+
+def test_worker_python_exception_does_not_cost_the_worker():
+    """A catchable failure is answered in-process: same worker, no
+    respawn."""
+    with _supervisor() as supervisor:
+        supervisor.handle(dict(REQUEST))
+        spawned = supervisor.pool.stats()["spawned"]
+        bad = supervisor.handle({"op": "nope"})
+        again = supervisor.handle(dict(REQUEST))
+        assert supervisor.pool.stats()["spawned"] == spawned
+    assert bad["ok"] is False and again["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# The wall-clock kill.
+
+
+def test_delayed_response_is_killed_nonretriable():
+    plan = FaultPlan(delay_response_at_request=1, delay_seconds=5.0)
+    with _supervisor(
+        fault_plan=plan, request_timeout=0.3, grace=0.2
+    ) as supervisor:
+        started = time.monotonic()
+        response = supervisor.handle(dict(REQUEST))
+        elapsed = time.monotonic() - started
+        after = supervisor.handle(dict(REQUEST))
+        stats = supervisor.stats()
+    assert response["ok"] is False
+    assert response["error_kind"] == "timeout"
+    assert response["retriable"] is False
+    assert elapsed < 4.0  # killed at deadline + grace, not after the sleep
+    assert stats["timeouts"] == 1 and stats["pool"]["kills"] == 1
+    assert after["ok"]  # a fresh worker took over
+
+
+def test_request_budget_deadline_arms_the_kill_timer():
+    supervisor = _supervisor(grace=0.25)
+    try:
+        assert supervisor._timeout_for({}) is None
+        assert supervisor._timeout_for(
+            {"budget": {"deadline": 1.0}}
+        ) == pytest.approx(1.25)
+    finally:
+        supervisor.close()
+
+
+def test_tightest_deadline_wins():
+    config = ServiceConfig(budget=Budget(deadline=5.0))
+    supervisor = _supervisor(
+        service_config=config, request_timeout=3.0, grace=0.5
+    )
+    try:
+        assert supervisor._timeout_for({}) == pytest.approx(3.5)
+        assert supervisor._timeout_for(
+            {"budget": {"deadline": 0.5}}
+        ) == pytest.approx(1.0)
+    finally:
+        supervisor.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol plumbing: shutdown, stats, invalidate, serve_loop, batch.
+
+
+def test_shutdown_closes_the_pool():
+    supervisor = _supervisor()
+    first = supervisor.handle(dict(REQUEST))
+    workers = [worker for _, worker in supervisor.pool.workers()]
+    response = supervisor.handle({"op": "shutdown", "id": 3})
+    assert first["ok"] and response["shutdown"] and response["id"] == 3
+    assert supervisor.pool.closed
+    assert all(not worker.alive for worker in workers)
+
+
+def test_stats_carry_supervisor_block():
+    with _supervisor() as supervisor:
+        supervisor.handle(dict(REQUEST))
+        response = supervisor.handle({"op": "stats"})
+    assert response["ok"]
+    assert response["stats"]["requests_served"] >= 1  # the worker's view
+    assert response["supervisor"]["pool"]["size"] == 1
+
+
+def test_invalidate_broadcasts_to_workers():
+    with _supervisor(workers=2) as supervisor:
+        supervisor.handle(dict(REQUEST))
+        supervisor.handle(dict(REQUEST))  # lands on the other worker
+        response = supervisor.handle({"op": "invalidate"})
+        cold = supervisor.handle(dict(REQUEST))
+    assert response["ok"] and response.get("invalidated")
+    assert cold["ok"] and cold["cache"]["outcome"] != HIT
+
+
+def test_serve_loop_over_supervisor_survives_a_crash():
+    plan = FaultPlan(kill_worker_at_request=2)
+    supervisor = _supervisor(fault_plan=plan, max_retries=0)
+    import io
+
+    lines = [
+        json.dumps({**REQUEST, "id": 1}),
+        json.dumps({**REQUEST, "id": 2}),  # killed, retries exhausted
+        json.dumps({**REQUEST, "id": 3}),
+        json.dumps({"op": "shutdown"}),
+    ]
+    stdout = io.StringIO()
+    status = serve_loop(
+        supervisor, io.StringIO("\n".join(lines) + "\n"), stdout
+    )
+    responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    assert status == 0 and len(responses) == 4
+    assert responses[0]["ok"] is True
+    assert responses[1]["ok"] is False
+    assert responses[1]["retriable"] is True
+    assert responses[2]["ok"] is True  # the service survived the crash
+    assert responses[3]["shutdown"] is True
+
+
+def test_run_batch_through_supervisor(tmp_path):
+    path = tmp_path / "nrev.pl"
+    path.write_text(NREV)
+    with _supervisor() as supervisor:
+        summary = run_batch(supervisor, [str(path)], [ENTRY], passes=2)
+    assert summary["passes"][0]["miss"] == 1
+    assert summary["passes"][1]["hit"] == 1
+    assert summary["store"]["pool"]["size"] == 1  # supervisor stats block

@@ -251,6 +251,54 @@ def test_serve_loop_protocol():
     assert responses[4]["shutdown"] is True
 
 
+def test_serve_loop_oversized_line_is_answered_and_survived():
+    service = _service()
+    good = json.dumps({"op": "analyze", "text": NREV, "entries": [ENTRY]})
+    stdin = io.StringIO(
+        '{"op": "analyze", "text": "' + "x" * 4096 + '"}\n'
+        + good + "\n"
+        + json.dumps({"op": "shutdown"}) + "\n"
+    )
+    stdout = io.StringIO()
+    assert serve_loop(service, stdin, stdout, max_line_bytes=1024) == 0
+    responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    assert len(responses) == 3
+    assert responses[0]["ok"] is False
+    assert "exceeds" in responses[0]["error"]
+    assert responses[1]["ok"] is True  # the loop kept serving
+    assert responses[1]["result"] == _scratch(NREV, [ENTRY])
+    assert responses[2]["shutdown"] is True
+
+
+def test_serve_loop_oversized_line_never_buffered_whole():
+    """The oversized line is drained in bounded chunks, not held."""
+    class CountingIO(io.StringIO):
+        def __init__(self, text, cap):
+            super().__init__(text)
+            self.cap = cap
+
+        def readline(self, size=-1):
+            assert 0 < size <= self.cap + 1
+            return super().readline(size)
+
+    cap = 64
+    stdin = CountingIO('{"pad": "' + "y" * 1000 + '"}\n', cap)
+    stdout = io.StringIO()
+    assert serve_loop(_service(), stdin, stdout, max_line_bytes=cap) == 0
+    [response] = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    assert response["ok"] is False
+
+
+def test_serve_loop_eof_mid_line_exits_cleanly():
+    service = _service()
+    # The stream ends without a trailing newline, mid-request.
+    stdin = io.StringIO('{"op": "stats"')
+    stdout = io.StringIO()
+    assert serve_loop(service, stdin, stdout) == 0
+    [response] = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    assert response["ok"] is False  # answered, not crashed
+
+
 def test_run_batch_second_pass_hits(tmp_path):
     path = tmp_path / "nrev.pl"
     path.write_text(NREV)

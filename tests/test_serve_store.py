@@ -181,3 +181,155 @@ def test_invalidate_and_clear_cover_disk(tmp_path):
     store.clear()
     assert os.listdir(directory) == []
     assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# Self-healing: checksums, quarantine, the write-ahead journal.
+
+
+def _entry_files(directory):
+    return [
+        name for name in os.listdir(directory)
+        if name.endswith(".json")
+    ]
+
+
+def test_entry_files_carry_verified_checksums(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    disk.put("key", json.dumps({"v": 1}, sort_keys=True))
+    [name] = _entry_files(directory)
+    with open(os.path.join(directory, name)) as handle:
+        record = json.load(handle)
+    assert set(record) == {"key", "sha256", "value"}
+    assert record["value"] == {"v": 1}
+    assert disk.get("key") == {"v": 1}
+
+
+def test_bitflip_is_quarantined_not_served(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    disk.put("key", json.dumps({"v": "payload"}, sort_keys=True))
+    [name] = _entry_files(directory)
+    path = os.path.join(directory, name)
+    with open(path) as handle:
+        text = handle.read()
+    with open(path, "w") as handle:
+        handle.write(text.replace("payload", "poisoned"))  # valid JSON!
+    assert disk.get("key") is None  # checksum catches it
+    assert disk.checksum_failures == 1
+    assert disk.quarantined == 1
+    assert not _entry_files(directory)  # moved, not left to re-read
+    assert os.listdir(os.path.join(directory, "quarantine")) == [name]
+
+
+def test_torn_file_is_quarantined_not_raised(tmp_path):
+    # Satellite contract: unreadable/truncated entries are skipped and
+    # quarantined, never propagated as json.JSONDecodeError.
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    disk.put("key", json.dumps({"v": 1}, sort_keys=True))
+    [name] = _entry_files(directory)
+    path = os.path.join(directory, name)
+    with open(path) as handle:
+        text = handle.read()
+    with open(path, "w") as handle:
+        handle.write(text[: len(text) // 2])
+    store = ResultStore(disk=disk)
+    assert store.get("key") is None
+    assert disk.quarantined == 1
+
+
+def test_legacy_unwrapped_files_still_readable(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    with open(os.path.join(directory, "legacy.json"), "w") as handle:
+        json.dump({"entries": [1, 2]}, handle)
+    assert disk.get("legacy") == {"entries": [1, 2]}
+
+
+def test_journal_replay_heals_torn_entry_write(tmp_path):
+    directory = str(tmp_path / "cache")
+    first = DiskStore(directory, journal=True)
+    first.put("healthy", json.dumps({"v": 1}, sort_keys=True))
+    first.put("torn", json.dumps({"v": 2}, sort_keys=True))
+    first.close()
+    # Tear the second entry's file behind the store's back.
+    for name in _entry_files(directory):
+        if "torn" in name:
+            path = os.path.join(directory, name)
+            with open(path) as handle:
+                text = handle.read()
+            with open(path, "w") as handle:
+                handle.write(text[: len(text) // 3])
+    second = DiskStore(directory, journal=True)
+    assert second.journal_replayed == 1
+    assert second.get("torn") == {"v": 2}
+    assert second.get("healthy") == {"v": 1}
+    # The journal was truncated after replay: records are in the files.
+    assert os.path.getsize(os.path.join(directory, "journal.jsonl")) == 0
+
+
+def test_injected_torn_write_heals_on_restart(tmp_path):
+    from repro.robust import FaultPlan
+
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(
+        directory, journal=True, fault_plan=FaultPlan(corrupt_store_at_put=1)
+    )
+    disk.put("key", json.dumps({"v": 1}, sort_keys=True))
+    assert disk.get("key") is None  # live read: quarantined miss
+    assert disk.quarantined == 1
+    disk.close()
+    healed = DiskStore(directory, journal=True)
+    assert healed.journal_replayed == 1
+    assert healed.get("key") == {"v": 1}
+
+
+def test_torn_journal_tail_is_discarded(tmp_path):
+    directory = str(tmp_path / "cache")
+    first = DiskStore(directory, journal=True)
+    first.put("key", json.dumps({"v": 1}, sort_keys=True))
+    first.close()
+    journal = os.path.join(directory, "journal.jsonl")
+    with open(journal, "a") as handle:
+        handle.write('{"key": "half-a-reco')  # crash mid-append
+    second = DiskStore(directory, journal=True)  # must not raise
+    assert second.get("key") == {"v": 1}
+    assert os.path.getsize(journal) == 0
+
+
+def test_journal_rotates_at_cap(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory, journal=True)
+    disk.JOURNAL_CAP = 512
+    for index in range(32):
+        disk.put(f"key-{index}", json.dumps(
+            {"v": "x" * 64}, sort_keys=True
+        ))
+    assert os.path.getsize(
+        os.path.join(directory, "journal.jsonl")
+    ) < 512 + 4096  # cap + one record, not 32 records
+    # Rotation lost no data: every entry file is intact.
+    for index in range(32):
+        assert disk.get(f"key-{index}") == {"v": "x" * 64}
+
+
+def test_quarantine_names_do_not_collide(tmp_path):
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory)
+    for _ in range(3):
+        disk.put("key", json.dumps({"v": 1}, sort_keys=True))
+        [name] = _entry_files(directory)
+        with open(os.path.join(directory, name), "w") as handle:
+            handle.write("{torn")
+        assert disk.get("key") is None
+    assert disk.quarantined == 3
+    assert len(os.listdir(os.path.join(directory, "quarantine"))) == 3
+
+
+def test_result_store_stats_include_disk(tmp_path):
+    store = ResultStore(disk=DiskStore(str(tmp_path / "cache"), journal=True))
+    stats = store.stats()
+    assert stats["disk"]["journal"] is True
+    assert stats["disk"]["quarantined"] == 0
