@@ -200,6 +200,8 @@ class Analyzer:
         budget: Optional[Budget] = None,
         fault_plan=None,
         on_budget: str = "raise",
+        metrics=None,
+        tracer=None,
     ):
         if on_budget not in ("raise", "degrade"):
             raise ValueError(
@@ -219,6 +221,13 @@ class Analyzer:
         self.budget = budget
         self.fault_plan = fault_plan
         self.on_budget = on_budget
+        #: repro.obs: an optional MetricsRegistry threaded into every
+        #: table and machine this analyzer creates, and an optional
+        #: span tracer for the structural layers (entry spec → pass).
+        #: Both default to None, which keeps every instrumented site a
+        #: single identity check.
+        self.metrics = metrics
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Fine-grained entry points (used by the repro.serve scheduler).
@@ -235,6 +244,7 @@ class Analyzer:
             list_aware=self.list_aware, subsumption=self.subsumption,
             on_undefined=self.on_undefined,
             budget=budget, fault_plan=fault_plan,
+            metrics=self.metrics,
         )
 
     def pattern_fixpoint(
@@ -261,6 +271,14 @@ class Analyzer:
             if budget is not None:
                 budget.charge_iteration()
             iterations += 1
+            if self.metrics is not None:
+                self.metrics.counter("analysis.iterations").inc()
+            if self.tracer is not None:
+                self.tracer.event(
+                    "fixpoint_iteration",
+                    pattern=f"{indicator[0]}/{indicator[1]}{pattern}",
+                    pass_number=iterations,
+                )
             before = table.changes
             machine.run_pattern(indicator, pattern)
             if table.changes == before:
@@ -285,35 +303,63 @@ class Analyzer:
         iterations = 0
         instructions = 0
         started = time.perf_counter()
+        metrics = self.metrics
+        tracer = self.tracer
         for spec in specs:
-            spec_table = ExtensionTable(budget=budget, fault_plan=plan)
+            spec_table = ExtensionTable(
+                budget=budget, fault_plan=plan, metrics=metrics
+            )
             machine = AbstractMachine(
                 self.compiled, spec_table, depth=self.depth,
                 list_aware=self.list_aware, subsumption=self.subsumption,
                 on_undefined=self.on_undefined,
                 budget=budget, fault_plan=plan,
+                metrics=metrics,
             )
             report = EntryReport(spec)
+            spec_started = time.perf_counter()
+            if tracer is not None:
+                tracer.begin("entry_spec", spec=str(spec))
             try:
                 while True:
                     if plan is not None and plan.watches("iteration"):
                         plan.fire("iteration")
                     budget.charge_iteration()
                     report.iterations += 1
+                    if metrics is not None:
+                        metrics.counter("analysis.iterations").inc()
+                    if tracer is not None:
+                        tracer.event(
+                            "fixpoint_iteration",
+                            pass_number=report.iterations,
+                        )
                     before = spec_table.changes
                     machine.run_pattern(spec.indicator, spec.pattern)
                     if spec_table.changes == before:
                         break
             except (BudgetExceeded, InjectedFault) as exc:
                 if self.on_budget == "raise":
+                    if tracer is not None:
+                        tracer.end(error=repr(exc))
                     raise
                 report.status = STATUS_DEGRADED
                 report.reason = str(exc)
             except ReproError as exc:
                 if self.on_budget == "raise":
+                    if tracer is not None:
+                        tracer.end(error=repr(exc))
                     raise
                 report.status = STATUS_FAILED
                 report.reason = str(exc)
+            if tracer is not None:
+                tracer.end(status=report.status)
+            if metrics is not None:
+                metrics.histogram("analysis.entry.seconds").observe(
+                    time.perf_counter() - spec_started
+                )
+                metrics.counter(
+                    "analysis.specs", status=report.status
+                ).inc()
             if report.status != STATUS_EXACT:
                 # Sound degradation: whatever partial summaries the
                 # interrupted exploration left may under-approximate, so

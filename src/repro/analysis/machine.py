@@ -110,11 +110,25 @@ class AbstractMachine(Machine):
         on_undefined: str = "error",
         budget=None,
         fault_plan=None,
+        metrics=None,
     ):
         super().__init__(compiled, max_steps=max_steps)
         from .builtins import ABSTRACT_BUILTINS
 
         self.table = table if table is not None else ExtensionTable()
+        #: repro.obs: when a registry is supplied the inherited dispatch
+        #: loop switches to its profiled variant, and the abstract-level
+        #: sites below count unifications, table consultations per
+        #: predicate, and the exploration stack's peak depth.  The
+        #: hot-site counters are bound once here so the metrics-on path
+        #: never pays a registry lookup per call.
+        self.metrics = metrics
+        if metrics is not None:
+            self._unify_counter = metrics.counter("analysis.unify.calls")
+            self._frames_peak = metrics.gauge("analysis.frames.peak")
+        else:
+            self._unify_counter = None
+            self._frames_peak = None
         #: Resource governance (repro.robust): the budget charges one
         #: "step" per dispatched instruction (plus deadline probes), the
         #: fault plan fires "step"/"unify" sites.  The per-instruction
@@ -164,7 +178,17 @@ class AbstractMachine(Machine):
     def _s_unify(self, left: Cell, right: Cell) -> bool:
         if self._unify_fire is not None:
             self._unify_fire("unify")
+        if self._unify_counter is not None:
+            self._unify_counter.inc()
         return s_unify(self.heap, left, right)
+
+    # ------------------------------------------------------------------
+    # Profiled dispatch: charge instructions to the predicate being
+    # explored (the innermost open frame).
+
+    def _profile_owner(self):
+        frames = self.frames
+        return frames[-1].indicator if frames else None
 
     # ------------------------------------------------------------------
     # Analysis passes.
@@ -206,6 +230,10 @@ class AbstractMachine(Machine):
 
     def _do_call(self, indicator: Indicator, ret: int):
         arity = indicator[1]
+        if self.metrics is not None:
+            self.metrics.counter(
+                "analysis.predicate.calls", pred=format_indicator(indicator)
+            ).inc()
         args = tuple(self.x[1 : arity + 1])
         calling = abstract_cells(
             self.heap, list(args), self.depth, self.list_aware
@@ -279,6 +307,8 @@ class AbstractMachine(Machine):
         frame.heap_mark_post = self.heap.top
         frame.clause_addresses = clause_addresses
         self.frames.append(frame)
+        if self._frames_peak is not None:
+            self._frames_peak.set_max(len(self.frames))
         self._enter_clause(frame)
 
     def _find_subsumer(self, indicator: Indicator, calling: Pattern):

@@ -53,7 +53,7 @@ class TableEntry:
 class ExtensionTable:
     """The global memo table of the analysis."""
 
-    def __init__(self, budget=None, fault_plan=None) -> None:
+    def __init__(self, budget=None, fault_plan=None, metrics=None) -> None:
         self._entries: Dict[Indicator, Dict[Pattern, TableEntry]] = {}
         self.changes = 0
         self.lookups = 0
@@ -67,6 +67,27 @@ class ExtensionTable:
         #: is recorded — the reachability trace used by
         #: :meth:`restrict_to` (see repro.serve.scheduler).
         self.touched: Optional[set] = None
+        #: repro.obs: the hot-site counters are bound once here, so the
+        #: per-lookup cost with metrics on is one attribute increment.
+        #: With metrics off (the default) each site is one None check.
+        if metrics is not None:
+            self._m_lookups = metrics.counter("table.lookups")
+            self._m_hits = metrics.counter("table.hits")
+            self._m_misses = metrics.counter("table.misses")
+            self._m_updates = metrics.counter("table.updates")
+            self._m_widenings = metrics.counter("table.widenings")
+            self._m_created = metrics.counter("table.entries.created")
+            self._m_frozen = metrics.counter("table.entries.frozen")
+            self._m_thawed = metrics.counter("table.entries.thawed")
+        else:
+            self._m_lookups = None
+            self._m_hits = None
+            self._m_misses = None
+            self._m_updates = None
+            self._m_widenings = None
+            self._m_created = None
+            self._m_frozen = None
+            self._m_thawed = None
 
     def disarm(self) -> None:
         """Drop the governor hooks (used before sound widening, which
@@ -87,6 +108,8 @@ class ExtensionTable:
             by_pattern[calling] = entry
             self.size += 1
             self.changes += 1
+            if self._m_created is not None:
+                self._m_created.inc()
         if self.touched is not None:
             self.touched.add((indicator, calling))
         return entry
@@ -94,9 +117,10 @@ class ExtensionTable:
     def find(self, indicator: Indicator, calling: Pattern) -> Optional[TableEntry]:
         self.lookups += 1
         by_pattern = self._entries.get(indicator)
-        if by_pattern is None:
-            return None
-        entry = by_pattern.get(calling)
+        entry = by_pattern.get(calling) if by_pattern is not None else None
+        if self._m_lookups is not None:
+            self._m_lookups.inc()
+            (self._m_misses if entry is None else self._m_hits).inc()
         if entry is not None and self.touched is not None:
             self.touched.add((indicator, calling))
         return entry
@@ -116,6 +140,8 @@ class ExtensionTable:
         if self.fault_plan is not None:
             self.fault_plan.fire("table")
         self.updates += 1
+        if self._m_updates is not None:
+            self._m_updates.inc()
         entry = self.entry(indicator, calling)
         new_share = entry.may_share | share_pairs(success) | extra_share
         if entry.success is None:
@@ -124,6 +150,15 @@ class ExtensionTable:
             merged = pattern_lub(entry.success, success)
         changed = merged != entry.success or new_share != entry.may_share
         if changed:
+            # A lub that strictly grew an existing summary is a widening
+            # step of the fixpoint (table.widenings); first successes and
+            # share-only growth are not.
+            if (
+                self._m_widenings is not None
+                and entry.success is not None
+                and merged != entry.success
+            ):
+                self._m_widenings.inc()
             entry.success = merged
             entry.may_share = new_share
             entry.updates += 1
@@ -203,13 +238,25 @@ class ExtensionTable:
         entry.success = success
         entry.may_share = may_share
         entry.status = status
+        if frozen and not entry.frozen and self._m_frozen is not None:
+            self._m_frozen.inc()
         entry.frozen = frozen
         return entry
+
+    def freeze(self, entry: TableEntry) -> None:
+        """Mark one entry as a known-final summary."""
+        if not entry.frozen:
+            entry.frozen = True
+            if self._m_frozen is not None:
+                self._m_frozen.inc()
 
     def thaw(self) -> None:
         """Clear every frozen mark (before a full verification sweep)."""
         for _, entry in self.all_entries():
-            entry.frozen = False
+            if entry.frozen:
+                entry.frozen = False
+                if self._m_thawed is not None:
+                    self._m_thawed.inc()
 
     def begin_touch_trace(self) -> set:
         """Start recording touched keys; returns the live set."""

@@ -83,6 +83,7 @@ class MetaAnalyzer:
         budget: Optional[Budget] = None,
         fault_plan=None,
         on_budget: str = "raise",
+        metrics=None,
     ):
         if on_budget not in ("raise", "degrade"):
             raise ValueError(
@@ -96,7 +97,13 @@ class MetaAnalyzer:
         self.budget = budget
         self.fault_plan = fault_plan
         self.on_budget = on_budget
-        self.table = ExtensionTable(budget=budget, fault_plan=fault_plan)
+        #: repro.obs: optional MetricsRegistry; each analyze() records
+        #: its cost counters under baseline.*{impl=meta} so instruction
+        #: -mix comparisons against the compiled path line up.
+        self.metrics = metrics
+        self.table = ExtensionTable(
+            budget=budget, fault_plan=fault_plan, metrics=metrics
+        )
         self.iteration = 0
         self.goals_interpreted = 0
         self.store_copies = 0
@@ -149,6 +156,20 @@ class MetaAnalyzer:
     def _result(
         self, iterations: int, started: float, status: str
     ) -> MetaResult:
+        if self.metrics is not None:
+            # The instance counters are cumulative across analyze()
+            # calls; ship only what this run added.
+            flushed = getattr(self, "_flushed", (0, 0))
+            self.metrics.counter(
+                "baseline.iterations", impl="meta"
+            ).inc(iterations)
+            self.metrics.counter(
+                "baseline.goals", impl="meta"
+            ).inc(self.goals_interpreted - flushed[0])
+            self.metrics.counter(
+                "baseline.store_copies", impl="meta"
+            ).inc(self.store_copies - flushed[1])
+            self._flushed = (self.goals_interpreted, self.store_copies)
         return MetaResult(
             table=self.table,
             iterations=iterations,

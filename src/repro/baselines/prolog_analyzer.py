@@ -532,6 +532,7 @@ class PrologAnalyzer:
         budget: Optional[Budget] = None,
         fault_plan=None,
         on_budget: str = "raise",
+        metrics=None,
     ):
         if on_budget not in ("raise", "degrade"):
             raise ValueError(
@@ -539,6 +540,12 @@ class PrologAnalyzer:
             )
         if isinstance(program, str):
             program = Program.from_text(program)
+        #: repro.obs: optional MetricsRegistry; each analyze() records
+        #: its iteration and resolution-step counts under
+        #: baseline.*{impl=...} (impl is "prolog" here, "transform" in
+        #: the subclass) for instruction-mix comparisons.
+        self.metrics = metrics
+        self.impl_label = "prolog"
         self.analyzed = normalize_program(program)
         self.depth = depth
         self.max_iterations = max_iterations
@@ -717,6 +724,7 @@ class PrologAnalyzer:
             # under-approximate, so widen it to ⊤ before handing it out.
             status = STATUS_DEGRADED
             state.table.widen_to_top(status)
+            self._record_metrics(iterations, total_steps)
             result = PrologBaselineResult(
                 table=state.table,
                 iterations=iterations,
@@ -729,6 +737,7 @@ class PrologAnalyzer:
                 raise
             return result
         elapsed = time.perf_counter() - started
+        self._record_metrics(iterations, total_steps)
         return PrologBaselineResult(
             table=state.table,
             iterations=iterations,
@@ -736,3 +745,13 @@ class PrologAnalyzer:
             resolution_steps=total_steps,
             status=status,
         )
+
+    def _record_metrics(self, iterations: int, steps: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "baseline.iterations", impl=self.impl_label
+        ).inc(iterations)
+        self.metrics.counter(
+            "baseline.resolution_steps", impl=self.impl_label
+        ).inc(steps)

@@ -250,11 +250,14 @@ class TransformAnalyzer(PrologAnalyzer):
         budget=None,
         fault_plan=None,
         on_budget: str = "raise",
+        metrics=None,
     ):
         super().__init__(
             program, depth=depth, max_iterations=max_iterations,
             budget=budget, fault_plan=fault_plan, on_budget=on_budget,
+            metrics=metrics,
         )
+        self.impl_label = "transform"
         transformed = transform_program(self.analyzed)
         support = normalize_program(Program.from_text(SUPPORT_SOURCE))
         merged = Program(transformed.operators)

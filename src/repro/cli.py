@@ -190,14 +190,47 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--lint", action="store_true", help="print the lint report too"
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect metrics and print the per-opcode-class and "
+        "per-predicate cost tables (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a JSON-lines span trace to PATH ('-' for stderr)",
+    )
     arguments = parser.parse_args(argv)
     program = _load_program(arguments.file, arguments.library)
     analyzer = _build_analyzer(arguments, program)
-    result = analyzer.analyze(arguments.entries)
+    tracer = None
+    if arguments.trace_out is not None:
+        from .obs import Tracer
+
+        tracer = Tracer(arguments.trace_out)
+        analyzer.tracer = tracer
+    metrics = None
+    if arguments.profile:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        analyzer.metrics = metrics
+    try:
+        result = analyzer.analyze(arguments.entries)
+    finally:
+        if tracer is not None:
+            tracer.close()
     if arguments.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        report = result.to_dict()
+        if metrics is not None:
+            report["metrics"] = metrics.snapshot()
+        print(json.dumps(report, indent=2, sort_keys=True))
         return 0
     print(result.to_text())
+    if metrics is not None:
+        from .obs import format_profile
+
+        print()
+        print(format_profile(metrics.snapshot()))
     if arguments.table:
         print()
         print(result.table_text())
@@ -409,6 +442,11 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         "--on-undefined", default="error", choices=["error", "fail", "top"],
         help="policy for calls to undefined predicates",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a JSON-lines span trace to PATH ('-' for stderr); "
+        "in-process mode only (ignored with --workers)",
+    )
     _add_budget_arguments(parser)
     arguments = parser.parse_args(argv)
     from .serve import AnalysisService, ServiceConfig, run_batch, serve_loop
@@ -426,6 +464,7 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         store_dir=arguments.store,
         journal=arguments.journal,
     )
+    tracer = None
     if arguments.workers > 0:
         from .serve import Supervisor, SupervisorConfig
 
@@ -435,7 +474,11 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
             max_retries=arguments.max_retries,
         ))
     else:
-        service = AnalysisService(service_config)
+        if arguments.trace_out is not None:
+            from .obs import Tracer
+
+            tracer = Tracer(arguments.trace_out)
+        service = AnalysisService(service_config, tracer=tracer)
     try:
         if arguments.batch or arguments.files:
             if not arguments.files:
@@ -452,6 +495,8 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if hasattr(service, "close"):
             service.close()
+        if tracer is not None:
+            tracer.close()
 
 
 #: The console-script entry points: the command bodies above, wrapped so

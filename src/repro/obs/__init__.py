@@ -1,0 +1,55 @@
+"""repro.obs — zero-dependency observability for the analyzer and serve stack.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms in a :class:`MetricsRegistry` with snapshot/delta/merge,
+  designed so that every instrumented component is a no-op when its
+  ``metrics`` attribute is ``None`` (the default everywhere);
+* :mod:`repro.obs.trace` — nested spans and events as JSON lines
+  (request → entry spec → SCC → fixpoint iteration), togglable via
+  ``--trace-out`` on ``repro-analyze`` and ``repro-serve``;
+* :mod:`repro.obs.report` — the ``repro-analyze --profile`` cost
+  tables (instruction mix by opcode class, per-predicate cost,
+  extension-table hit rate), computed from any registry snapshot.
+
+The metric catalog, trace schema and aggregation semantics are
+documented in ``docs/observability.md``; ``tests/test_obs.py`` pins
+hand-counted metric values and the metrics-on/off result identity.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OPCODE_CLASS,
+    SECONDS_BUCKETS,
+    metric_key,
+    opcode_class,
+)
+from repro.obs.report import (
+    format_profile,
+    instruction_mix,
+    split_key,
+    table_hit_rate,
+)
+from repro.obs.trace import Tracer, read_trace, validate_nesting
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OPCODE_CLASS",
+    "SECONDS_BUCKETS",
+    "Tracer",
+    "format_profile",
+    "instruction_mix",
+    "metric_key",
+    "opcode_class",
+    "read_trace",
+    "split_key",
+    "table_hit_rate",
+    "validate_nesting",
+]

@@ -1,0 +1,165 @@
+"""Human-readable profile reports over a metrics snapshot.
+
+``repro-analyze --profile`` runs the analysis with a fresh
+:class:`~repro.obs.metrics.MetricsRegistry` installed, then prints the
+two cost tables this module formats:
+
+* **instruction mix** — abstract WAM instructions by opcode class
+  (get/put/unify/control/index/builtin), with counts and percentages,
+  mirroring the cost axis of the paper's Table 1 ``Exec`` column;
+* **predicate cost** — per predicate: calls consulted against the
+  extension table and instructions attributed to it (an instruction is
+  charged to the predicate of the innermost open exploration frame).
+
+Everything is computed from the flat snapshot, so the same tables can
+be produced from a live registry, a worker's shipped delta, or a
+``metrics`` response of ``repro-serve``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+_LABELLED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """``"a.b{k=v,l=w}"`` → ``("a.b", {"k": "v", "l": "w"})``."""
+    match = _LABELLED.match(key)
+    if match is None:
+        return key, {}
+    labels: Dict[str, str] = {}
+    for part in match.group("labels").split(","):
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        labels[name] = value
+    return match.group("name"), labels
+
+
+def _labelled_counters(
+    snapshot: Dict[str, dict], name: str, label: str
+) -> Dict[str, int]:
+    values: Dict[str, int] = {}
+    for key, snap in snapshot.items():
+        if snap.get("type") != "counter":
+            continue
+        base, labels = split_key(key)
+        if base == name and label in labels:
+            values[labels[label]] = snap["value"]
+    return values
+
+
+def _table(
+    headers: List[str], rows: List[List[str]]
+) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    ]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def instruction_mix(snapshot: Dict[str, dict]) -> Dict[str, int]:
+    """Opcode-class → instruction count (see ``wam.instructions.class``)."""
+    return _labelled_counters(snapshot, "wam.instructions.class", "class")
+
+
+def table_hit_rate(snapshot: Dict[str, dict]) -> Dict[str, object]:
+    """Lookups, hits, misses and the hit rate of the extension table."""
+    lookups = snapshot.get("table.lookups", {}).get("value", 0)
+    hits = snapshot.get("table.hits", {}).get("value", 0)
+    misses = snapshot.get("table.misses", {}).get("value", 0)
+    return {
+        "lookups": lookups,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / lookups, 4) if lookups else None,
+    }
+
+
+def format_profile(snapshot: Dict[str, dict]) -> str:
+    """The full ``--profile`` report (both tables plus the table stats)."""
+    sections: List[str] = []
+    # ---- instruction mix -------------------------------------------
+    mix = instruction_mix(snapshot)
+    total = sum(mix.values()) or 1
+    rows = [
+        [klass, str(count), f"{100.0 * count / total:.1f}"]
+        for klass, count in sorted(
+            mix.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    rows.append(["total", str(sum(mix.values())), "100.0"])
+    sections.append(
+        "% instruction mix (abstract WAM, by opcode class)\n"
+        + _table(["class", "instructions", "%"], rows)
+    )
+    # ---- per-opcode detail -----------------------------------------
+    by_op = _labelled_counters(snapshot, "wam.instructions.op", "op")
+    if by_op:
+        rows = [
+            [op, str(count), f"{100.0 * count / total:.1f}"]
+            for op, count in sorted(
+                by_op.items(), key=lambda item: (-item[1], item[0])
+            )[:12]
+        ]
+        sections.append(
+            "% hottest opcodes (top 12)\n"
+            + _table(["opcode", "instructions", "%"], rows)
+        )
+    # ---- predicate cost --------------------------------------------
+    cost = _labelled_counters(
+        snapshot, "analysis.predicate.instructions", "pred"
+    )
+    calls = _labelled_counters(snapshot, "analysis.predicate.calls", "pred")
+    if cost or calls:
+        predicates = sorted(
+            set(cost) | set(calls),
+            key=lambda pred: (-cost.get(pred, 0), pred),
+        )
+        attributed = sum(cost.values()) or 1
+        rows = [
+            [
+                pred,
+                str(calls.get(pred, 0)),
+                str(cost.get(pred, 0)),
+                f"{100.0 * cost.get(pred, 0) / attributed:.1f}",
+            ]
+            for pred in predicates
+        ]
+        sections.append(
+            "% predicate cost (instructions attributed to the innermost "
+            "open exploration)\n"
+            + _table(["predicate", "calls", "instructions", "%"], rows)
+        )
+    # ---- extension table -------------------------------------------
+    table = table_hit_rate(snapshot)
+    rate = table["hit_rate"]
+    sections.append(
+        "% extension table: "
+        f"{table['lookups']} lookups, {table['hits']} hits, "
+        f"{table['misses']} misses"
+        + (f", hit rate {rate:.2%}" if rate is not None else "")
+    )
+    unify = snapshot.get("analysis.unify.calls", {}).get("value")
+    if unify is not None:
+        sections.append(f"% abstract unification: {unify} s_unify calls")
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "format_profile",
+    "instruction_mix",
+    "split_key",
+    "table_hit_rate",
+]

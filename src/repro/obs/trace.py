@@ -1,0 +1,221 @@
+"""Structured tracing: nested spans and events as JSON lines.
+
+A :class:`Tracer` writes one JSON object per line to a file or stderr.
+Timestamps come from ``time.monotonic()`` (re-based so the first record
+is at ~0), which never goes backwards — trace durations are real even
+across NTP steps.  The record schema (see docs/observability.md):
+
+``{"ts": 0.00123, "kind": "begin", "span": 2, "parent": 1,
+   "name": "entry_spec", "attrs": {...}}``
+``{"ts": ..., "kind": "event", "span": 2, "name": "iteration", "attrs": {...}}``
+``{"ts": ..., "kind": "end",   "span": 2, "name": "entry_spec",
+   "elapsed": 0.004}``
+
+Invariants (checked by :func:`validate_nesting`, pinned by the tests):
+
+* spans strictly nest — ``end`` always closes the most recently opened
+  span, and a span's ``parent`` is the span open at its ``begin``;
+* every ``begin`` has exactly one matching ``end`` (``Tracer.close``
+  ends anything left open, so a crashed trace is still well formed up
+  to its tail);
+* events carry the id of the innermost open span (or ``null`` at top
+  level).
+
+The tracer is for the *structural* layers — request → entry spec → SCC
+→ fixpoint iteration.  Per-instruction tracing stays the job of the
+Figure-3 style :mod:`repro.wam.trace` machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, IO, List, Optional, Union
+
+
+class Tracer:
+    """Writes nested spans and point events as JSON lines.
+
+    ``sink`` is a path (opened for append-less overwrite), ``"-"``
+    for stderr, or any file-like object with ``write``.
+    """
+
+    def __init__(self, sink: Union[str, IO[str]]):
+        if isinstance(sink, str):
+            if sink == "-":
+                self._handle: IO[str] = sys.stderr
+                self._owns_handle = False
+            else:
+                self._handle = open(sink, "w", encoding="utf-8")
+                self._owns_handle = True
+        else:
+            self._handle = sink
+            self._owns_handle = False
+        self._epoch = time.monotonic()
+        self._next_id = 1
+        #: (span id, name, start time) of every open span, outermost first.
+        self._stack: List[tuple] = []
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return round(time.monotonic() - self._epoch, 6)
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    # ------------------------------------------------------------------
+
+    def begin(self, name: str, **attrs) -> int:
+        """Open a span; returns its id.  Prefer :meth:`span`."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1][0] if self._stack else None
+        record = {
+            "ts": self._now(),
+            "kind": "begin",
+            "span": span_id,
+            "parent": parent,
+            "name": name,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+        self._stack.append((span_id, name, time.monotonic()))
+        return span_id
+
+    def end(self, **attrs) -> None:
+        """Close the innermost open span."""
+        if not self._stack:
+            raise ValueError("no open span to end")
+        span_id, name, started = self._stack.pop()
+        record = {
+            "ts": self._now(),
+            "kind": "end",
+            "span": span_id,
+            "name": name,
+            "elapsed": round(time.monotonic() - started, 6),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+
+    def span(self, name: str, **attrs) -> "_Span":
+        """``with tracer.span("request", op="analyze"): ...``"""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        record = {
+            "ts": self._now(),
+            "kind": "event",
+            "span": self._stack[-1][0] if self._stack else None,
+            "name": name,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+
+    def close(self) -> None:
+        """End any spans still open, flush, and release the sink."""
+        while self._stack:
+            self.end(aborted=True)
+        try:
+            self._handle.flush()
+        except (OSError, ValueError):
+            pass
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Span:
+    __slots__ = ("_tracer", "_name", "_attrs")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._tracer.begin(self._name, **self._attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._tracer.end(error=repr(exc))
+        else:
+            self._tracer.end()
+
+
+# ----------------------------------------------------------------------
+# Reading traces back (tests and tooling).
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse a trace file back into its records, in order."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_nesting(records: List[dict]) -> Dict[int, dict]:
+    """Check the span invariants; returns ``{span id: begin record}``.
+
+    Raises :class:`ValueError` on the first violation: an ``end`` for a
+    span that is not innermost, an event pointing at a closed span, a
+    ``parent`` that was not open at begin time, an unclosed span, or a
+    non-monotonic timestamp.
+    """
+    stack: List[int] = []
+    begun: Dict[int, dict] = {}
+    last_ts = float("-inf")
+    for record in records:
+        ts = record["ts"]
+        if ts < last_ts:
+            raise ValueError(f"timestamps went backwards at {record}")
+        last_ts = ts
+        kind = record["kind"]
+        if kind == "begin":
+            expected_parent = stack[-1] if stack else None
+            if record["parent"] != expected_parent:
+                raise ValueError(
+                    f"span {record['span']} parent {record['parent']} != "
+                    f"open span {expected_parent}"
+                )
+            if record["span"] in begun:
+                raise ValueError(f"span id {record['span']} reused")
+            begun[record["span"]] = record
+            stack.append(record["span"])
+        elif kind == "end":
+            if not stack or stack[-1] != record["span"]:
+                raise ValueError(
+                    f"end of span {record['span']} but open stack is {stack}"
+                )
+            stack.pop()
+        elif kind == "event":
+            expected = stack[-1] if stack else None
+            if record["span"] != expected:
+                raise ValueError(
+                    f"event {record['name']} points at span {record['span']} "
+                    f"but innermost open span is {expected}"
+                )
+        else:
+            raise ValueError(f"unknown record kind {kind!r}")
+    if stack:
+        raise ValueError(f"unclosed spans at EOF: {stack}")
+    return begun
+
+
+__all__ = ["Tracer", "read_trace", "validate_nesting"]

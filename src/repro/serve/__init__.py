@@ -11,6 +11,16 @@ worker-subprocess pool (:mod:`~repro.serve.pool`) fronted by retry and
 kill policy (:mod:`~repro.serve.supervisor`).  See docs/serve.md for
 the architecture, the cache-soundness argument, and the operations /
 failure-modes contract.
+
+Two invariants hold across every module here.  **Soundness**: a served
+response equals what a from-scratch ``analyze()`` of the current text
+would produce — caching and crash recovery may change latency, never
+answers (degraded results are never stored, frozen summaries are
+re-verified after seeding).  **Observation is inert**: the
+:mod:`repro.obs` metrics and traces threaded through the service
+(``metrics`` op, ``stats``, worker delta shipping) only record; they
+are guaranteed not to alter any response, and docs/observability.md
+catalogues what they record.
 """
 
 from .callgraph import CallGraph, call_edges

@@ -1,4 +1,11 @@
-"""``python -m repro.serve`` — the repro-serve CLI."""
+"""``python -m repro.serve`` — the repro-serve CLI.
+
+Equivalent to the ``repro-serve`` console script: a thin re-export of
+:func:`repro.cli.main_serve`, which owns all argument parsing and
+service construction.  This module must stay logic-free — anything
+added here would run for ``-m`` invocations but not for the installed
+script, and the two entry points are supposed to be indistinguishable.
+"""
 
 import sys
 

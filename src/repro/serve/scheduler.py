@@ -127,9 +127,13 @@ class SCCScheduler:
                 position,
             ),
         )
+        metrics = self.analyzer.metrics
+        tracer = self.analyzer.tracer
         for position in order:
             spec = specs[position]
-            spec_table = ExtensionTable(budget=budget, fault_plan=fault_plan)
+            spec_table = ExtensionTable(
+                budget=budget, fault_plan=fault_plan, metrics=metrics
+            )
             planted = 0
             for indicator, calling, success, share in pool.values():
                 spec_table.seed(indicator, calling, success, share)
@@ -138,19 +142,33 @@ class SCCScheduler:
             machine = self.analyzer.machine_for(spec_table, budget, fault_plan)
             report = EntryReport(spec)
             touched_all = spec_table.begin_touch_trace()
+            spec_started = time.perf_counter()
+            if tracer is not None:
+                tracer.begin("entry_spec", spec=str(spec), seeds=planted)
             try:
                 self._run_spec(spec, spec_table, machine, report, stats,
                                budget, fault_plan)
             except (BudgetExceeded, InjectedFault) as exc:
                 if on_budget == "raise":
+                    if tracer is not None:
+                        tracer.end(error=repr(exc))
                     raise
                 report.status = STATUS_DEGRADED
                 report.reason = str(exc)
             except ReproError as exc:
                 if on_budget == "raise":
+                    if tracer is not None:
+                        tracer.end(error=repr(exc))
                     raise
                 report.status = STATUS_FAILED
                 report.reason = str(exc)
+            if tracer is not None:
+                tracer.end(status=report.status)
+            if metrics is not None:
+                metrics.histogram("analysis.entry.seconds").observe(
+                    time.perf_counter() - spec_started
+                )
+                metrics.counter("analysis.specs", status=report.status).inc()
             spec_table.end_touch_trace()
             if report.status != STATUS_EXACT:
                 # Sound degradation, scoped to what this spec touched:
@@ -169,6 +187,10 @@ class SCCScheduler:
             iterations += report.iterations
             instructions += machine.instruction_count
             reports[position] = report
+        if metrics is not None:
+            for name, value in stats.to_dict().items():
+                if value:
+                    metrics.counter(f"serve.scheduler.{name}").inc(value)
         elapsed = time.perf_counter() - started
         result = AnalysisResult(
             table=merged,
@@ -195,10 +217,13 @@ class SCCScheduler:
         fault_plan,
     ) -> None:
         graph = self.graph
+        tracer = self.analyzer.tracer
         # --- 2. discovery ---------------------------------------------
         self._charge(budget, fault_plan)
         report.iterations += 1
         stats.discovery_passes += 1
+        if tracer is not None:
+            tracer.event("discovery_pass")
         machine.run_pattern(spec.indicator, spec.pattern)
         # --- 3. bottom-up stabilization -------------------------------
         # Components are visited callees-first; when one stabilizes,
@@ -210,18 +235,26 @@ class SCCScheduler:
                 if not keys:
                     break
                 stats.sccs_stabilized += 1
-                stable = False
-                while not stable:
-                    before = table.changes
-                    for indicator, calling in keys:
-                        passes = self.analyzer.pattern_fixpoint(
-                            machine, indicator, calling,
-                            budget=budget, fault_plan=fault_plan,
-                        )
-                        report.iterations += passes
-                        stats.stabilization_passes += passes
-                    stable = table.changes == before
-                    keys = self._unfrozen_keys(table, graph, scc_index)
+                if tracer is not None:
+                    tracer.begin(
+                        "scc", index=scc_index, patterns=len(keys)
+                    )
+                try:
+                    stable = False
+                    while not stable:
+                        before = table.changes
+                        for indicator, calling in keys:
+                            passes = self.analyzer.pattern_fixpoint(
+                                machine, indicator, calling,
+                                budget=budget, fault_plan=fault_plan,
+                            )
+                            report.iterations += passes
+                            stats.stabilization_passes += passes
+                        stable = table.changes == before
+                        keys = self._unfrozen_keys(table, graph, scc_index)
+                finally:
+                    if tracer is not None:
+                        tracer.end()
                 self._freeze_upto(table, graph, scc_index)
         # --- 4. verification & restriction ----------------------------
         # Thaw everything and re-run the entry to a confirmed fixpoint,
@@ -234,6 +267,8 @@ class SCCScheduler:
             self._charge(budget, fault_plan)
             report.iterations += 1
             stats.verification_passes += 1
+            if tracer is not None:
+                tracer.event("verification_pass")
             before = table.changes
             machine.run_pattern(spec.indicator, spec.pattern)
             if table.changes == before:
@@ -271,7 +306,7 @@ class SCCScheduler:
                 continue
             owner = graph.scc_of.get(indicator)
             if owner is not None and owner <= scc_index:
-                entry.frozen = True
+                table.freeze(entry)
 
 
 __all__ = ["SCCScheduler", "ScheduleStats", "Seed"]

@@ -85,16 +85,32 @@ class ServiceConfig:
 class AnalysisService:
     """A long-lived analyzer with content-addressed result reuse."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None):
+    def __init__(self, config: Optional[ServiceConfig] = None, tracer=None):
         self.config = config if config is not None else ServiceConfig()
+        #: repro.obs: the service always carries a registry — per-request
+        #: accounting costs a few counter bumps, and the ``metrics`` op /
+        #: ``stats`` snapshot need something to report.  It is threaded
+        #: into every analyzer, table and machine the service creates, so
+        #: the per-instruction and table counters aggregate here too.
+        from ..obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        #: Optional repro.obs.Tracer for request → entry spec → SCC spans
+        #: (the ``--trace-out`` flag of repro-serve).
+        self.tracer = tracer
         self.store = ResultStore(
             max_entries=self.config.max_entries,
             max_bytes=self.config.max_bytes,
             disk=(
-                DiskStore(self.config.store_dir, journal=self.config.journal)
+                DiskStore(
+                    self.config.store_dir,
+                    journal=self.config.journal,
+                    metrics=self.metrics,
+                )
                 if self.config.store_dir
                 else None
             ),
+            metrics=self.metrics,
         )
         self.requests_served = 0
         #: (program_fp, config knobs) → (Analyzer, CallGraph, merkle fps,
@@ -108,19 +124,29 @@ class AnalysisService:
         """Process one request dict; never raises for request-level
         failures — errors come back as ``{"ok": false, ...}``."""
         started = time.perf_counter()
+        op = request.get("op", "analyze")
+        if self.tracer is not None:
+            self.tracer.begin("request", op=op)
         try:
             response = self._dispatch(request)
         except ReproError as error:
             response = {"ok": False, "error": str(error)}
         except (OSError, ValueError, KeyError, TypeError) as error:
             response = {"ok": False, "error": f"bad request: {error}"}
+        finally:
+            if self.tracer is not None:
+                self.tracer.end()
         if "id" in request:
             response["id"] = request["id"]
         response.setdefault("op", request.get("op"))
-        response["elapsed_ms"] = round(
-            (time.perf_counter() - started) * 1000.0, 3
-        )
+        elapsed = time.perf_counter() - started
+        response["elapsed_ms"] = round(elapsed * 1000.0, 3)
         self.requests_served += 1
+        metrics = self.metrics
+        metrics.counter("serve.requests", op=str(op)).inc()
+        metrics.histogram("serve.request.seconds").observe(elapsed)
+        if not response.get("ok", True):
+            metrics.counter("serve.errors").inc()
         return response
 
     def _dispatch(self, request: dict) -> dict:
@@ -131,6 +157,8 @@ class AnalysisService:
             return self._lint(request)
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.metrics.snapshot()}
         if op == "invalidate":
             self.store.clear()
             self._compiled.clear()
@@ -194,6 +222,8 @@ class AnalysisService:
             list_aware=config.list_aware,
             subsumption=config.subsumption,
             on_undefined=config.on_undefined,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         graph = CallGraph.from_compiled(analyzer.compiled)
         merkle = graph.merkle_fingerprints(fps)
@@ -252,6 +282,7 @@ class AnalysisService:
         # ---- full-result hit: no fixpoint at all ----------------------
         cached = None if need_live else self.store.get(f"result:{request_fp}")
         if cached is not None:
+            self.metrics.counter("serve.cache", outcome=HIT).inc()
             return (
                 {
                     "ok": True,
@@ -276,6 +307,7 @@ class AnalysisService:
         stable = result.stable_dict()
         full_hit = need_live and f"result:{request_fp}" in self.store
         outcome = HIT if full_hit else (INCREMENTAL if seeds else MISS)
+        self.metrics.counter("serve.cache", outcome=outcome).inc()
         # ---- store (exact results only) -------------------------------
         if result.status == "exact":
             self.store.put(f"result:{request_fp}", stable)
@@ -345,6 +377,7 @@ class AnalysisService:
             "requests_served": self.requests_served,
             "store": self.store.stats(),
             "programs_prepared": len(self._compiled),
+            "metrics": self.metrics.snapshot(),
         }
 
 

@@ -164,6 +164,7 @@ class ResultStore:
         max_entries: Optional[int] = 1024,
         max_bytes: Optional[int] = 64 * 1024 * 1024,
         disk: Optional["DiskStore"] = None,
+        metrics=None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive")
@@ -178,6 +179,9 @@ class ResultStore:
         self.misses = 0
         self.evictions = 0
         self.rejected_degraded = 0
+        #: repro.obs: optional MetricsRegistry mirroring the counters
+        #: above under serve.store.* (see docs/observability.md).
+        self.metrics = metrics
 
     def __len__(self) -> int:
         return len(self._data)
@@ -194,14 +198,20 @@ class ResultStore:
         if text is not None:
             self._data.move_to_end(key)
             self.hits += 1
+            if self.metrics is not None:
+                self.metrics.counter("serve.store.hits").inc()
             return json.loads(text)
         if self.disk is not None:
             value = self.disk.get(key)
             if value is not None:
                 self.hits += 1
+                if self.metrics is not None:
+                    self.metrics.counter("serve.store.hits").inc()
                 self._install(key, json.dumps(value, sort_keys=True))
                 return value
         self.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("serve.store.misses").inc()
         return None
 
     def put(self, key: str, value, status: str = "exact") -> bool:
@@ -212,6 +222,8 @@ class ResultStore:
         """
         if status != "exact":
             self.rejected_degraded += 1
+            if self.metrics is not None:
+                self.metrics.counter("serve.store.rejected_degraded").inc()
             return False
         text = json.dumps(value, sort_keys=True)
         if self.max_bytes is not None and len(text) > self.max_bytes:
@@ -231,6 +243,8 @@ class ResultStore:
             evicted_key, evicted = self._data.popitem(last=False)
             self.bytes_used -= len(evicted)
             self.evictions += 1
+            if self.metrics is not None:
+                self.metrics.counter("serve.store.evictions").inc()
 
     def _over_cap(self) -> bool:
         if self.max_entries is not None and len(self._data) > self.max_entries:
@@ -305,13 +319,23 @@ class DiskStore:
     QUARANTINE_NAME = "quarantine"
     JOURNAL_CAP = 8 * 1024 * 1024
 
-    def __init__(self, directory: str, journal: bool = False, fault_plan=None):
+    def __init__(
+        self,
+        directory: str,
+        journal: bool = False,
+        fault_plan=None,
+        metrics=None,
+    ):
         self.directory = directory
         self.journal_enabled = journal
         self.fault_plan = fault_plan
         self.quarantined = 0
         self.checksum_failures = 0
         self.journal_replayed = 0
+        #: repro.obs: optional MetricsRegistry mirroring the self-healing
+        #: counters under serve.store.* (quarantines, checksum failures,
+        #: journal replays).
+        self.metrics = metrics
         self._journal_handle = None
         os.makedirs(directory, exist_ok=True)
         if journal:
@@ -364,6 +388,10 @@ class DiskStore:
             text = json.dumps(data["value"], sort_keys=True)
             if _checksum(text) != data["sha256"]:
                 self.checksum_failures += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "serve.store.checksum_failures"
+                    ).inc()
                 return None
             return data["value"]
         return data  # pre-checksum store format
@@ -385,10 +413,14 @@ class DiskStore:
                 )
             os.replace(path, destination)
             self.quarantined += 1
+            if self.metrics is not None:
+                self.metrics.counter("serve.store.quarantined").inc()
         except OSError:
             try:
                 os.unlink(path)
                 self.quarantined += 1
+                if self.metrics is not None:
+                    self.metrics.counter("serve.store.quarantined").inc()
             except OSError:
                 pass
 
@@ -439,6 +471,8 @@ class DiskStore:
                 ))
                 repaired += 1
         self.journal_replayed += repaired
+        if repaired and self.metrics is not None:
+            self.metrics.counter("serve.store.journal.replayed").inc(repaired)
         try:
             with open(journal_path, "w", encoding="utf-8"):
                 pass  # truncate: all records are applied and verified

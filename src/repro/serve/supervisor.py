@@ -93,6 +93,14 @@ class Supervisor:
         self.retries = 0
         self.timeouts = 0
         self.crashes_survived = 0
+        #: repro.obs: the supervisor's aggregate registry.  Workers ship
+        #: a "_metrics" delta on every response; it is popped off the
+        #: wire here and merged (counters add, gauges max), so a
+        #: ``metrics`` request answers with the whole fleet's view even
+        #: though each worker only ever saw its own requests.
+        from ..obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Deadlines.
@@ -130,7 +138,14 @@ class Supervisor:
             self.close()
             self.requests_served += 1
             return response
-        if op == "invalidate":
+        if op == "metrics":
+            # Answered from the aggregate: any single worker would only
+            # report its own share of the fleet's work.
+            response = {"ok": True, "metrics": self.metrics.snapshot()}
+            if "id" in request:
+                response["id"] = request["id"]
+            response["op"] = "metrics"
+        elif op == "invalidate":
             response = self._broadcast(request)
         else:
             response = self._execute(request)
@@ -154,6 +169,9 @@ class Supervisor:
             if chaos:
                 payload["_chaos"] = chaos
         attempts = 0
+        self.metrics.counter(
+            "serve.worker.requests", op=str(request.get("op", "analyze"))
+        ).inc()
         while True:
             attempts += 1
             slot, worker = self.pool.checkout()
@@ -161,6 +179,8 @@ class Supervisor:
                 response = worker.request(payload, timeout)
             except WorkerTimeout:
                 self.timeouts += 1
+                self.metrics.counter("serve.worker.timeouts").inc()
+                self.metrics.counter("serve.worker.respawns").inc()
                 self.pool.report_kill(slot)
                 return self._error_response(
                     request,
@@ -174,11 +194,14 @@ class Supervisor:
                 )
             except WorkerCrashed as error:
                 self.crashes_survived += 1
+                self.metrics.counter("serve.worker.crashes").inc()
+                self.metrics.counter("serve.worker.respawns").inc()
                 self.pool.report_crash(slot)
                 # An injected kill fired; the retry must run clean.
                 payload.pop("_chaos", None)
                 if attempts <= self.config.max_retries:
                     self.retries += 1
+                    self.metrics.counter("serve.worker.retries").inc()
                     continue  # pool backoff throttles the respawn
                 return self._error_response(
                     request,
@@ -189,10 +212,23 @@ class Supervisor:
                 )
             else:
                 self.pool.report_success(slot)
+                self._absorb_metrics(response)
                 response["worker"] = slot
                 if attempts > 1:
                     response["attempts"] = attempts
                 return response
+
+    def _absorb_metrics(self, response: dict) -> None:
+        """Pop a worker's shipped "_metrics" delta and fold it in; a
+        malformed delta is dropped, never fatal (the worker already
+        answered the actual request)."""
+        delta = response.pop("_metrics", None)
+        if not isinstance(delta, dict):
+            return
+        try:
+            self.metrics.merge(delta)
+        except (ValueError, KeyError, TypeError, IndexError):
+            pass
 
     def _error_response(
         self, request, kind: str, retriable: bool, attempts: int, message: str
@@ -222,8 +258,10 @@ class Supervisor:
                 answer = worker.request(dict(request), self._timeout_for(request))
             except (WorkerCrashed, WorkerTimeout):
                 self.pool.report_crash(slot)
+                self.metrics.counter("serve.worker.respawns").inc()
                 continue
             self.pool.report_success(slot)
+            self._absorb_metrics(answer)
             response.update(
                 (key, value) for key, value in answer.items()
                 if key not in ("elapsed_ms",)
@@ -241,6 +279,7 @@ class Supervisor:
             "timeouts": self.timeouts,
             "crashes_survived": self.crashes_survived,
             "pool": self.pool.stats(),
+            "metrics": self.metrics.snapshot(),
         }
 
     def close(self) -> None:

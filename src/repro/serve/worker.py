@@ -125,6 +125,12 @@ def worker_loop(stdin, stdout) -> int:
                 _apply_chaos_on_receipt(chaos)
                 try:
                     response = service.handle(request)
+                    # Ship what this request changed in the worker's
+                    # registry; the supervisor pops "_metrics" and merges
+                    # it into its aggregate (see docs/observability.md).
+                    delta = service.metrics.delta()
+                    if delta:
+                        response["_metrics"] = delta
                 except Exception as error:  # the isolation boundary
                     response = {
                         "ok": False,

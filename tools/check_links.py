@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Check every intra-repository link in the Markdown docs.
+
+Run from anywhere: ``python tools/check_links.py`` (CI runs it in the
+``docs`` job). Exit status 1 if any link is broken, with one line per
+offence.
+
+Checked, in every ``*.md`` file under the repository root and ``docs/``
+(plus any directories passed as arguments):
+
+* inline links and images, ``[text](target)`` / ``![alt](target)``;
+* reference definitions, ``[label]: target``;
+* bare code-span references to repo files like ```docs/serve.md```
+  are NOT checked (too noisy) — write a real link if it must not rot.
+
+A target is *intra-repo* when it is not an URL (``http://``,
+``https://``, ``mailto:``) and not a pure in-page anchor (``#...``).
+Relative targets resolve against the containing file's directory;
+``/``-rooted targets resolve against the repository root. A fragment
+(``file.md#section``) is checked against the target file's ATX
+headings using GitHub's slug rules (lowercase, spaces to dashes,
+punctuation dropped).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files quoting material from *other* repositories verbatim — their
+#: links point into trees we do not vendor, so they are not ours to fix.
+EXCLUDE_NAMES = {"SNIPPETS.md", "PAPERS.md", "ISSUE.md"}
+
+#: [text](target) and ![alt](target); target ends at the first ')' or
+#: space (titles like (file.md "Title") are split off).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: [label]: target reference definitions.
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code spans — links inside
+    them are examples, not navigation."""
+    lines = text.split("\n")
+    kept = []
+    in_fence = False
+    for line in lines:
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        kept.append("" if in_fence else line)
+    return re.sub(r"`[^`]*`", "", "\n".join(kept))
+
+
+def github_slug(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # unwrap links
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    slugs: set = set()
+    try:
+        text = strip_code(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError):
+        return slugs
+    seen: dict = {}
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        # GitHub de-duplicates repeated headings with -1, -2, ...
+        if slug in seen:
+            seen[slug] += 1
+            slug = f"{slug}-{seen[slug]}"
+        else:
+            seen[slug] = 0
+        slugs.add(slug)
+    return slugs
+
+
+def markdown_files(roots) -> list:
+    files = []
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            files.append(root)
+            continue
+        for path in sorted(root.rglob("*.md")):
+            if any(part.startswith(".") for part in path.parts):
+                continue
+            if path.name in EXCLUDE_NAMES:
+                continue
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = path
+    text = strip_code(path.read_text(encoding="utf-8"))
+    targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+    for target in targets:
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        target = target.strip("<>")
+        base, _, fragment = target.partition("#")
+        if base.startswith("/"):
+            resolved = REPO_ROOT / base.lstrip("/")
+        else:
+            resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{shown}: broken link "
+                            f"-> {target} ({base} does not exist)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in anchors_of(resolved):
+                problems.append(
+                    f"{shown}: broken anchor "
+                    f"-> {target} (no heading slugs to '#{fragment}')"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    roots = (argv if argv else None) or [
+        REPO_ROOT, REPO_ROOT / "docs", REPO_ROOT / "examples",
+    ]
+    # rglob from the repo root already covers docs/ and examples/;
+    # de-duplicate while keeping explicit extra roots usable.
+    files, seen = [], set()
+    for path in markdown_files(roots):
+        if path not in seen:
+            seen.add(path)
+            files.append(path)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'FAIL' if problems else 'ok'} ({len(problems)} broken)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
