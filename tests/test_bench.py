@@ -163,9 +163,14 @@ class TestServeBenchEmit:
         from repro.bench.emit import main
 
         out = tmp_path / "BENCH_serve.json"
-        assert main(
-            ["--out", str(out), "--repeats", "1", "--only", "nreverse"]
-        ) == 0
+        # --obs-out must be redirected too: its default writes
+        # BENCH_obs.json into the cwd, clobbering the checked-in
+        # full-suite artifact with a one-benchmark run.
+        obs_out = tmp_path / "BENCH_obs.json"
+        assert main([
+            "--out", str(out), "--obs-out", str(obs_out),
+            "--repeats", "1", "--only", "nreverse",
+        ]) == 0
         capsys.readouterr()
         document = json.loads(out.read_text())
         [row] = document["benchmarks"]
@@ -177,6 +182,17 @@ class TestServeBenchEmit:
         assert out.read_text() == json.dumps(
             document, indent=2, sort_keys=True
         ) + "\n"
+        obs_document = json.loads(obs_out.read_text())
+        [obs_row] = obs_document["benchmarks"]
+        assert obs_row["name"] == "nreverse"
+        assert obs_row["instructions"] > 0
+        overhead = obs_document["overhead"]
+        assert overhead["passes"] >= 15
+        assert overhead["metrics_off_bound_percent"] == 3.0
+        for key in ("metrics_off_ms", "metrics_on_ms",
+                    "metrics_off_again_ms", "metrics_off_delta_percent",
+                    "metrics_on_overhead_percent"):
+            assert key in overhead
 
     def test_edit_changes_entry_predicate_only(self):
         from repro.bench.emit import _edit
