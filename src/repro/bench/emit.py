@@ -26,6 +26,11 @@ again (the second off pass calibrates machine noise), and the on/off
 delta is reported next to that noise floor.  Results are additionally
 checked metrics-on vs metrics-off for equality — instrumentation that
 changed an answer would abort the emit.
+
+Finally it writes ``BENCH_opt.json`` (``--opt-out``): the repro.opt
+optimizer's before/after wall time and retired-instruction counts on
+the concrete WAM, translation-validated before any number is recorded
+(see :mod:`repro.bench.opt`).
 """
 
 from __future__ import annotations
@@ -285,6 +290,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "metrics overhead micro-benchmark (default BENCH_obs.json; "
         "'none' to skip)",
     )
+    parser.add_argument(
+        "--opt-out", default="BENCH_opt.json", metavar="FILE",
+        help="optimizer document: translation-validated before/after "
+        "wall time and retired instructions on the concrete WAM "
+        "(default BENCH_opt.json; 'none' to skip)",
+    )
     arguments = parser.parse_args(argv)
     document = run(repeats=arguments.repeats, names=arguments.only)
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"
@@ -316,6 +327,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(bound {overhead['metrics_off_bound_percent']:.0f}%), "
                 f"--profile costs "
                 f"{overhead['metrics_on_overhead_percent']:+.2f}%"
+            )
+    if arguments.opt_out != "none":
+        from .opt import run_opt
+
+        opt_document = run_opt(
+            repeats=arguments.repeats, names=arguments.only
+        )
+        opt_text = json.dumps(opt_document, indent=2, sort_keys=True) + "\n"
+        if arguments.opt_out == "-":
+            sys.stdout.write(opt_text)
+        else:
+            with open(arguments.opt_out, "w", encoding="utf-8") as handle:
+                handle.write(opt_text)
+            print(
+                f"wrote {arguments.opt_out}: geo-mean speedup "
+                f"{opt_document['geo_mean_speedup']:.3f}x "
+                f"(instruction ratio "
+                f"{opt_document['geo_mean_instruction_ratio']:.3f}x)"
             )
     return 0
 

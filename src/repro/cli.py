@@ -12,6 +12,13 @@ a query on the concrete machine (``--engine solver`` uses the SLD solver,
 lint the source against the analysis; exit status 1 when any
 error-severity diagnostic (or a syntax error) is found, 0 otherwise.
 
+``repro-optimize file.pl "main(g, var)" --goal "main(t, R)"`` — run the
+repro.opt pipeline (dead-clause elimination, forced first-argument
+indexing, get/unify specialization) and *validate* the result: the
+optimized code area must be verifier-clean and every ``--goal`` must
+produce identical solutions on the original and optimized programs;
+exit status 1 on any verifier diagnostic or divergence.
+
 ``repro-serve`` — the analysis service: JSON-lines requests on stdin
 (or ``--batch file.pl ...`` for a one-shot run), content-addressed
 result caching and incremental re-analysis; ``--workers N`` executes
@@ -188,6 +195,12 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
         "--deadcode", action="store_true", help="print the dead-code report"
     )
     parser.add_argument(
+        "--optimize", action="store_true",
+        help="run the repro.opt pipeline and print the optimization "
+        "report (verifier status included; repro-optimize adds "
+        "differential validation)",
+    )
+    parser.add_argument(
         "--lint", action="store_true", help="print the lint report too"
     )
     parser.add_argument(
@@ -249,6 +262,19 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
 
         print()
         print(find_dead_code(program, result).to_text())
+    if arguments.optimize:
+        from .lint.verifier import verify_code
+        from .opt import optimize_program
+
+        optimized = optimize_program(analyzer.compiled, result)
+        print()
+        print(optimized.report.to_text())
+        errors = verify_code(optimized.compiled.code)
+        print(
+            "% verifier: optimized code is clean"
+            if not errors
+            else f"% verifier: {len(errors)} diagnostic(s) on optimized code"
+        )
     if arguments.lint:
         from .lint import lint_source, verify_compiled
         from .lint.diagnostics import LintReport
@@ -303,6 +329,77 @@ def _lint_command(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(report.to_text())
     return 1 if report.has_errors else 0
+
+
+def _optimize_command(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize",
+        description=(
+            "Analysis-driven WAM optimization with translation "
+            "validation: dead clauses dropped, first-argument dispatch "
+            "forced, get/unify instructions specialized; the optimized "
+            "code must pass the bytecode verifier and produce the same "
+            "solutions as the original on every --goal"
+        ),
+    )
+    _add_source_arguments(parser)
+    _add_analysis_arguments(parser)
+    parser.add_argument(
+        "--goal", action="append", default=None, metavar="GOAL",
+        help="validation goal (repeatable); each goal is also folded "
+        "into the analysis entries so the facts cover it",
+    )
+    parser.add_argument(
+        "--max-solutions", type=int, default=None, metavar="N",
+        help="cap the solutions compared per goal",
+    )
+    parser.add_argument(
+        "--listing", action="store_true",
+        help="print the optimized WAM code listing too",
+    )
+    arguments = parser.parse_args(argv)
+    from .opt import goal_entry_specs, optimize_program, validate
+
+    program = _load_program(arguments.file, arguments.library)
+    analyzer = _build_analyzer(arguments, program)
+    goals = [parse_term(text) for text in (arguments.goal or [])]
+    entries: list = list(arguments.entries)
+    for goal in goals:
+        entries.extend(goal_entry_specs(analyzer.compiled.program, goal))
+    result = analyzer.analyze(entries)
+    optimized = optimize_program(analyzer.compiled, result)
+    report = validate(
+        analyzer.compiled,
+        optimized.compiled,
+        goals,
+        max_solutions=arguments.max_solutions,
+    )
+    if arguments.json:
+        document = {
+            "optimization": optimized.report.to_dict(),
+            "validation": {
+                "ok": report.ok,
+                "diagnostics": [d.to_dict() for d in report.diagnostics],
+                "goals": [
+                    {
+                        "goal": goal.goal,
+                        "solutions": goal.solutions,
+                        "matches": goal.matches,
+                        "detail": goal.detail,
+                    }
+                    for goal in report.goals
+                ],
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(optimized.report.to_text())
+    print()
+    print(report.to_text())
+    if arguments.listing:
+        print()
+        print(disassemble(optimized.compiled.code))
+    return 0 if report.ok else 1
 
 
 def _prolog_command(argv: Optional[Sequence[str]] = None) -> int:
@@ -503,5 +600,6 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
 #: any ReproError or I/O error exits 2 with a one-line message.
 main_analyze = _guard(_analyze_command, "repro-analyze")
 main_lint = _guard(_lint_command, "repro-lint")
+main_optimize = _guard(_optimize_command, "repro-optimize")
 main_prolog = _guard(_prolog_command, "repro-prolog")
 main_serve = _guard(_serve_command, "repro-serve")

@@ -1,10 +1,10 @@
 """WAM bytecode verifier: a forward dataflow pass over compiled code.
 
 For each predicate in a linked :class:`~repro.wam.code.CodeArea` the
-verifier walks the instruction graph — following ``try_me_else`` /
-``retry_me_else`` alternatives, ``try``/``retry``/``trust`` sub-chains and
-``switch_on_term``/``switch_on_constant``/``switch_on_structure`` targets —
-tracking an abstract register file per address:
+verifier solves a forward dataflow problem on the predicate's control
+flow graph (built by :mod:`repro.lint.dataflow`, the same framework the
+optimizer's liveness/determinacy passes run on), tracking an abstract
+register file per address:
 
 * which X registers hold a value (argument registers ``X1..Xn`` are live on
   entry; a ``call`` kills every temporary);
@@ -16,10 +16,18 @@ tracking an abstract register file per address:
   before ``execute`` reads it).
 
 States from different paths are merged by intersection, so every
-diagnostic holds on *some* path the machine can actually take.  The
-verifier is a regression net over the compiler: on compiler-emitted code
-it must stay silent (see ``tests/test_lint_verifier.py``), while
-hand-assembled bad sequences trigger the ``E1xx`` codes below.
+diagnostic holds on *some* path the machine can actually take.  Fresh
+edges (backtracking restarts — see the dataflow module) re-enter with
+the entry state, exactly like the machine restoring argument registers
+from a choice point.  The verifier is a regression net over the compiler
+*and* the optimizer: on compiler-emitted code it must stay silent (see
+``tests/test_lint_verifier.py``), every optimized code area must stay
+verifier-clean (``repro.opt.validate``), while hand-assembled bad
+sequences trigger the ``E1xx`` codes below.
+
+Every message names the owning predicate and the absolute listing
+address, so diagnostics are directly cross-referenceable against
+:func:`repro.wam.listing.disassemble` output.
 
 Codes:
 
@@ -41,23 +49,15 @@ Codes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..prolog.terms import Indicator, format_indicator
 from ..wam.code import CodeArea
-from ..wam.instructions import ALL_OPS, Instr, Reg
+from ..wam.instructions import ALL_OPS, Instr, Reg, base_op
 from ..wam.listing import format_instruction
+from .dataflow import build_cfg, predicate_regions, solve_forward
 from .diagnostics import Diagnostic
-
-#: Switch-table target meaning "backtrack"; not an address.
-_FAIL_TARGET = -1
-
-#: Opcodes that never fall through to the next address.
-_TERMINAL_OPS = frozenset(["execute", "proceed", "fail", "halt"])
-_JUMP_OPS = frozenset(
-    ["trust", "switch_on_term", "switch_on_constant", "switch_on_structure"]
-)
 
 
 @dataclass(frozen=True)
@@ -81,7 +81,7 @@ def _merge(a: _State, b: _State) -> Tuple[_State, bool]:
 
 
 class _PredicateVerifier:
-    """Verifies one predicate's code region with a worklist walk."""
+    """Verifies one predicate's code region as a forward dataflow client."""
 
     def __init__(
         self,
@@ -105,8 +105,7 @@ class _PredicateVerifier:
             y=frozenset(),
             freed=False,
         )
-        self.states: Dict[int, _State] = {}
-        self.worklist: List[int] = []
+        self.cfg = build_cfg(code, indicator, start, end)
         self.findings: Set[Tuple[str, int, str]] = set()
 
     # ------------------------------------------------------------------
@@ -118,7 +117,8 @@ class _PredicateVerifier:
             (
                 code,
                 address,
-                f"{message} (at {address}: {format_instruction(instruction)})",
+                f"{message} (in {format_indicator(self.indicator)} "
+                f"at {address}: {format_instruction(instruction)})",
             )
         )
 
@@ -136,55 +136,19 @@ class _PredicateVerifier:
         ]
 
     # ------------------------------------------------------------------
-    # The walk.
+    # The solve.
 
     def run(self) -> List[Diagnostic]:
-        self._propagate(self.start, self.entry_state)
-        while self.worklist:
-            address = self.worklist.pop()
-            self._step(address, self.states[address])
-        return self.diagnostics()
-
-    def _propagate(self, address: int, state: _State) -> None:
-        existing = self.states.get(address)
-        if existing is None:
-            self.states[address] = state
-            self.worklist.append(address)
-            return
-        merged, mismatch = _merge(existing, state)
-        if mismatch:
-            self._report(
+        solve_forward(
+            self.cfg,
+            self.entry_state,
+            self._transfer,
+            _merge,
+            on_merge_conflict=lambda address, _: self._report(
                 "E107", address, "inconsistent environment state at merge point"
-            )
-        if merged != existing:
-            self.states[address] = merged
-            self.worklist.append(address)
-
-    def _check_target(self, address: int, target: object) -> Optional[int]:
-        """Validate a branch target; None when it must not be followed."""
-        if target == _FAIL_TARGET:
-            return None
-        if not isinstance(target, int) or not (self.start <= target < self.end):
-            self._report(
-                "E105",
-                address,
-                f"branch target {target} escapes predicate "
-                f"{format_indicator(self.indicator)} "
-                f"(code region {self.start}..{self.end - 1})",
-            )
-            return None
-        return target
-
-    def _fall_through(self, address: int, state: _State) -> None:
-        if address + 1 >= self.end:
-            self._report(
-                "E106",
-                address,
-                "control falls through the end of the predicate "
-                "(missing execute/proceed)",
-            )
-            return
-        self._propagate(address + 1, state)
+            ),
+        )
+        return self.diagnostics()
 
     # ------------------------------------------------------------------
     # Register accesses.
@@ -246,13 +210,31 @@ class _PredicateVerifier:
     # ------------------------------------------------------------------
     # Transfer function.
 
-    def _step(self, address: int, state: _State) -> None:
-        instruction = self.code.at(address)
-        op = instruction.op
+    def _transfer(
+        self, address: int, instruction: Instr, state: _State
+    ) -> Optional[_State]:
+        raw_op = instruction.op
         args = instruction.args
-        if op not in ALL_OPS or op == "label":
-            self._report("E108", address, f"unknown opcode {op!r}")
-            return
+        if raw_op not in ALL_OPS or raw_op == "label":
+            self._report("E108", address, f"unknown opcode {raw_op!r}")
+            return None
+        # Specialized opcodes have their base's dataflow behavior.
+        op = base_op(raw_op)
+
+        for target in self.cfg.escapes.get(address, []):
+            self._report(
+                "E105",
+                address,
+                f"branch target {target} escapes the code region "
+                f"{self.start}..{self.end - 1}",
+            )
+        if address in self.cfg.falls_off:
+            self._report(
+                "E106",
+                address,
+                "control falls through the end of the predicate "
+                "(missing execute/proceed)",
+            )
 
         x = set(state.x)
         y = set(state.y)
@@ -271,65 +253,47 @@ class _PredicateVerifier:
             else:  # put_variable writes both
                 self._touch_reg(address, register, state, x, y, write=True)
                 x.add(position)
-            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
-            return
+            return replace(state, x=frozenset(x), y=frozenset(y))
 
         if op in ("put_constant", "put_nil"):
             x.add(args[-1])
-            self._fall_through(address, replace(state, x=frozenset(x)))
-            return
+            return replace(state, x=frozenset(x))
         if op in ("get_constant", "get_nil"):
             self._read_x(address, args[-1], x)
-            self._fall_through(address, replace(state, x=frozenset(x)))
-            return
+            return replace(state, x=frozenset(x))
         if op in ("put_list", "put_structure"):
             self._touch_reg(address, args[-1], state, x, y, write=True)
-            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
-            return
+            return replace(state, x=frozenset(x), y=frozenset(y))
         if op in ("get_list", "get_structure"):
             self._touch_reg(address, args[-1], state, x, y, write=False)
-            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
-            return
+            return replace(state, x=frozenset(x), y=frozenset(y))
         if op == "unify_variable":
             self._touch_reg(address, args[0], state, x, y, write=True)
-            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
-            return
+            return replace(state, x=frozenset(x), y=frozenset(y))
         if op == "unify_value":
             self._touch_reg(address, args[0], state, x, y, write=False)
-            self._fall_through(address, replace(state, x=frozenset(x), y=frozenset(y)))
-            return
+            return replace(state, x=frozenset(x), y=frozenset(y))
         if op in ("unify_constant", "unify_nil", "unify_void"):
-            self._fall_through(address, state)
-            return
+            return state
 
         if op == "allocate":
             if state.env is not None:
                 self._report(
                     "E107", address, "allocate with an environment already allocated"
                 )
-            self._fall_through(
-                address,
-                _State(x=frozenset(x), env=args[0], y=frozenset(), freed=False),
-            )
-            return
+            return _State(x=frozenset(x), env=args[0], y=frozenset(), freed=False)
         if op == "deallocate":
             if state.env is None:
                 self._report(
                     "E107", address, "deallocate without an allocated environment"
                 )
-            self._fall_through(
-                address, _State(x=frozenset(x), env=None, y=frozenset(), freed=True)
-            )
-            return
+            return _State(x=frozenset(x), env=None, y=frozenset(), freed=True)
         if op == "call":
             predicate, live = args
             for index in range(1, predicate[1] + 1):
                 self._read_x(address, index, x)
             survivors = frozenset(s for s in y if s <= live) if state.env else frozenset()
-            self._fall_through(
-                address, replace(state, x=frozenset(), y=survivors)
-            )
-            return
+            return replace(state, x=frozenset(), y=survivors)
         if op == "execute":
             predicate = args[0]
             for index in range(1, predicate[1] + 1):
@@ -338,75 +302,49 @@ class _PredicateVerifier:
                 self._report(
                     "E107", address, "execute with the environment still allocated"
                 )
-            return
+            return None
         if op == "proceed":
             if state.env is not None:
                 self._report(
                     "E107", address, "proceed with the environment still allocated"
                 )
-            return
+            return None
         if op == "builtin":
             predicate = args[0]
             for index in range(1, predicate[1] + 1):
                 self._read_x(address, index, x)
-            self._fall_through(address, replace(state, x=frozenset(x)))
-            return
+            return replace(state, x=frozenset(x))
         if op == "neck_cut":
-            self._fall_through(address, state)
-            return
+            return state
         if op == "get_level":
             self._access_y(address, args[0].index, state, y, write=True)
-            self._fall_through(address, replace(state, y=frozenset(y)))
-            return
+            return replace(state, y=frozenset(y))
         if op == "cut":
             self._access_y(address, args[0].index, state, y, write=False)
-            self._fall_through(address, replace(state, y=frozenset(y)))
-            return
+            return replace(state, y=frozenset(y))
         if op in ("fail", "halt"):
-            return
+            return None
 
-        if op in ("try_me_else", "retry_me_else"):
-            target = self._check_target(address, args[0])
-            if target is not None:
-                self._propagate(target, self.entry_state)
-            self._fall_through(address, state)
-            return
-        if op == "trust_me":
-            self._fall_through(address, state)
-            return
-        if op in ("try", "retry", "trust"):
-            target = self._check_target(address, args[0])
-            if target is not None:
-                self._propagate(target, self.entry_state)
-            if op != "trust":
-                # The next instruction runs after backtracking, with the
-                # argument registers restored from the choice point.
-                self._fall_through(address, self.entry_state)
-            return
-        if op == "switch_on_term":
-            for target in args:
-                resolved = self._check_target(address, target)
-                if resolved is not None:
-                    self._propagate(resolved, state)
-            return
-        if op in ("switch_on_constant", "switch_on_structure"):
-            for _, target in args[0]:
-                resolved = self._check_target(address, target)
-                if resolved is not None:
-                    self._propagate(resolved, state)
-            return
+        if op in (
+            "try_me_else",
+            "retry_me_else",
+            "trust_me",
+            "try",
+            "retry",
+            "trust",
+            "switch_on_term",
+            "switch_on_constant",
+            "switch_on_structure",
+        ):
+            # Control effects (fresh restarts, dispatch) live entirely in
+            # the CFG's edges; the register file is untouched.
+            return state
 
         raise AssertionError(f"unhandled opcode {op}")  # pragma: no cover
 
 
-def _predicate_ranges(code: CodeArea) -> List[Tuple[Indicator, int, int]]:
-    """(indicator, start, end) for every predicate, in address order."""
-    entries = sorted(code.owners.items())
-    ranges = []
-    for position, (start, indicator) in enumerate(entries):
-        end = entries[position + 1][0] if position + 1 < len(entries) else len(code)
-        ranges.append((indicator, start, end))
-    return ranges
+#: Backward-compatible alias; the implementation moved to repro.lint.dataflow.
+_predicate_ranges = predicate_regions
 
 
 def verify_code(
@@ -421,7 +359,7 @@ def verify_code(
     """
     positions = positions or {}
     diagnostics: List[Diagnostic] = []
-    for indicator, start, end in _predicate_ranges(code):
+    for indicator, start, end in predicate_regions(code):
         verifier = _PredicateVerifier(
             code, indicator, start, end, file, positions.get(indicator)
         )

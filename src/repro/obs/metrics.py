@@ -289,6 +289,21 @@ for _op in (
 ):
     OPCODE_CLASS[_op] = "index"
 OPCODE_CLASS["builtin"] = "builtin"
+# Specialized opcodes (repro.opt) count toward their base opcode's class
+# so before/after instruction mixes stay comparable.
+for _op, _base in (
+    ("get_constant_nv", "get_constant"), ("get_nil_nv", "get_nil"),
+    ("get_list_nv", "get_list"), ("get_structure_nv", "get_structure"),
+    ("get_constant_w", "get_constant"), ("get_nil_w", "get_nil"),
+    ("get_list_w", "get_list"), ("get_structure_w", "get_structure"),
+    ("unify_variable_r", "unify_variable"), ("unify_value_r", "unify_value"),
+    ("unify_constant_r", "unify_constant"), ("unify_nil_r", "unify_nil"),
+    ("unify_void_r", "unify_void"),
+    ("unify_variable_w", "unify_variable"), ("unify_value_w", "unify_value"),
+    ("unify_constant_w", "unify_constant"), ("unify_nil_w", "unify_nil"),
+    ("unify_void_w", "unify_void"),
+):
+    OPCODE_CLASS[_op] = OPCODE_CLASS[_base]
 
 
 def opcode_class(op: str) -> str:

@@ -1,0 +1,31 @@
+"""repro.opt — the analysis-driven WAM code optimizer.
+
+Closes the paper's loop: :mod:`repro.analysis` computes interprocedural
+modes/types/aliasing, :mod:`repro.lint.dataflow` supplies the
+intra-predicate CFG/liveness/determinacy substrate, and this package
+*rewrites* compiled code areas with the facts — first-argument dispatch
+tables, specialized get/unify instructions, dead-clause elimination —
+then proves each rewrite with translation validation
+(:mod:`repro.opt.validate`): the optimized code area must be
+verifier-clean and produce identical solutions to the original.
+"""
+
+from .pipeline import (
+    OptimizationReport,
+    OptimizedProgram,
+    PredicateOptimization,
+    goal_entry_specs,
+    optimize_program,
+)
+from .validate import GoalValidation, ValidationReport, validate
+
+__all__ = [
+    "GoalValidation",
+    "OptimizationReport",
+    "OptimizedProgram",
+    "PredicateOptimization",
+    "ValidationReport",
+    "goal_entry_specs",
+    "optimize_program",
+    "validate",
+]

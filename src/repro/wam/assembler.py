@@ -72,6 +72,12 @@ _SIGNATURES: Dict[str, str] = {
     "switch_on_structure": "T",
 }
 
+# Specialized opcodes (repro.opt) share their base opcode's shape.
+from .instructions import SPECIALIZED_BASE as _SPECIALIZED_BASE  # noqa: E402
+
+for _op, _base in _SPECIALIZED_BASE.items():
+    _SIGNATURES[_op] = _SIGNATURES[_base]
+
 
 def _parse_register(text: str) -> Reg:
     match = _REGISTER.match(text)
@@ -188,6 +194,14 @@ def assemble_instruction(line: str) -> Instr:
             raise CompileError(f"switch_on_term needs 4 targets: {line!r}")
         return Instr(op, tuple(_parse_target(o) for o in operands))
     if signature == "T":
+        # ``{...}`` optionally followed by ``else <target>`` (optimizer
+        # switches route table misses to the variable-keyed chain).
+        table_text, separator, default_text = rest.rpartition(" else ")
+        if separator:
+            return Instr(
+                op,
+                (_parse_table(table_text), _parse_target(default_text.strip())),
+            )
         return Instr(op, (_parse_table(rest),))
     operands = _split_operands(rest) if rest else []
     if len(operands) != len(signature):

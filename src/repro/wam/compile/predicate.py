@@ -55,10 +55,21 @@ def _first_argument_key(head: Term):
 
 
 class _PredicateAssembler:
-    def __init__(self, predicate: Predicate, options: CompilerOptions, builtins):
+    def __init__(
+        self,
+        predicate: Predicate,
+        options: CompilerOptions,
+        builtins,
+        force_index: bool = False,
+    ):
         self.predicate = predicate
         self.options = options
         self.builtins = builtins
+        #: Optimizer mode: emit a switch even when some clauses have
+        #: variable first-argument keys, merging those clauses into every
+        #: bucket (in source order) and routing table misses and the
+        #: on-variable case to chains that still try them.
+        self.force_index = force_index
         self.code: List[Instr] = []
         self.clause_labels = [
             Label(f"c{i}") for i in range(len(predicate.clauses))
@@ -84,10 +95,9 @@ class _PredicateAssembler:
             return self._finish()
 
         keys = [_first_argument_key(clause.head) for clause in clauses]
-        use_switch = (
-            self.options.indexing
-            and self.predicate.arity > 0
-            and all(key != "var" for key in keys)
+        use_switch = self.predicate.arity > 0 and (
+            (self.options.indexing and all(key != "var" for key in keys))
+            or (self.force_index and any(key != "var" for key in keys))
         )
         main_label = self._fresh_label("chain")
         if use_switch:
@@ -125,36 +135,58 @@ class _PredicateAssembler:
     # ------------------------------------------------------------------
 
     def _emit_switch(self, keys: List[object], main_label: Label) -> None:
+        """First-argument dispatch.
+
+        Variable-keyed clauses (possible only under ``force_index``) can
+        match *any* runtime first argument, so they are merged into every
+        bucket in source order, table misses fall back to the chain of
+        just the variable-keyed clauses (``default`` operand), and the
+        on-variable case runs the full main chain.  That makes the
+        dispatch unconditionally semantics-preserving: each bucket holds
+        exactly the clauses whose head could unify with the dispatched
+        argument, in source order.
+        """
+        var_bucket = [i for i, key in enumerate(keys) if key == "var"]
         constant_buckets: Dict[object, List[int]] = {}
         structure_buckets: Dict[Tuple[str, int], List[int]] = {}
-        list_bucket: List[int] = []
         for index, key in enumerate(keys):
-            if key == "list":
-                list_bucket.append(index)
-            elif isinstance(key, tuple) and key[0] == "const":
-                constant_buckets.setdefault(key[1], []).append(index)
-            else:
-                assert isinstance(key, tuple) and key[0] == "struct"
-                structure_buckets.setdefault(key[1], []).append(index)
+            if isinstance(key, tuple) and key[0] == "const":
+                constant_buckets.setdefault(key[1], [])
+            elif isinstance(key, tuple) and key[0] == "struct":
+                structure_buckets.setdefault(key[1], [])
+        for index, key in enumerate(keys):
+            for value, bucket in constant_buckets.items():
+                if key == ("const", value) or key == "var":
+                    bucket.append(index)
+            for functor, bucket in structure_buckets.items():
+                if key == ("struct", functor) or key == "var":
+                    bucket.append(index)
+        list_bucket = [
+            i for i, key in enumerate(keys) if key in ("list", "var")
+        ]
 
+        var_target = self._bucket_target(var_bucket)
         tables: List[Tuple[Label, Instr]] = []
 
         def table_target(buckets: Dict, op: str) -> Union[Label, int]:
             if not buckets:
-                return FAIL_TARGET
+                return var_target
             table = {
                 key: self._bucket_target(bucket)
                 for key, bucket in buckets.items()
             }
             label = self._fresh_label("tbl")
             if op == "switch_on_constant":
-                tables.append((label, ins.switch_on_constant(table)))
+                tables.append((label, ins.switch_on_constant(table, var_target)))
             else:
-                tables.append((label, ins.switch_on_structure(table)))
+                tables.append((label, ins.switch_on_structure(table, var_target)))
             return label
 
         constant_target = table_target(constant_buckets, "switch_on_constant")
-        list_target = self._bucket_target(list_bucket)
+        if list_bucket == var_bucket:
+            list_target = var_target
+        else:
+            list_target = self._bucket_target(list_bucket)
         structure_target = table_target(structure_buckets, "switch_on_structure")
         self.code.append(
             ins.switch_on_term(
@@ -187,13 +219,21 @@ def compile_predicate(
     predicate: Predicate,
     options: Optional[CompilerOptions] = None,
     builtin_indicators=None,
+    force_index: bool = False,
 ) -> PredicateCode:
-    """Compile all clauses of one predicate, chains and indexing included."""
+    """Compile all clauses of one predicate, chains and indexing included.
+
+    ``force_index`` is the optimizer's entry point: emit first-argument
+    dispatch even when some clauses carry variable keys (they merge into
+    every bucket; see :meth:`_PredicateAssembler._emit_switch`).
+    """
     from ..builtins import MACHINE_BUILTIN_INDICATORS
 
     if options is None:
         options = CompilerOptions()
     if builtin_indicators is None:
         builtin_indicators = MACHINE_BUILTIN_INDICATORS
-    assembler = _PredicateAssembler(predicate, options, builtin_indicators)
+    assembler = _PredicateAssembler(
+        predicate, options, builtin_indicators, force_index=force_index
+    )
     return assembler.assemble()

@@ -218,6 +218,128 @@ def halt_instr() -> Instr:
 
 
 # ----------------------------------------------------------------------
+# specialized instructions (repro.opt).
+#
+# The optimizer rewrites general get/unify instructions into these
+# variants when the analysis proves a calling-pattern fact (paper §1's
+# "substantial optimizations"):
+#
+# * ``*_nv`` — the examined argument is always instantiated (``nv`` or
+#   ``ground``), so the unbound-REF branch and its binding/trailing are
+#   compiled away (Taylor's dereference/trail removal);
+# * ``get_*_w`` — the argument is always an unbound, unaliased variable,
+#   so matching degenerates to construction: bind directly, no tag
+#   dispatch (write-only specialization);
+# * ``unify_*_r`` / ``unify_*_w`` — the read/write mode is statically
+#   known (it follows a specialized ``get``), so the mode test goes away.
+#
+# Every specialized opcode maps to its general form in
+# :data:`SPECIALIZED_BASE`; the verifier, listing and profiler treat a
+# specialized instruction exactly like its base.
+
+def get_constant_nv(constant: Constant, argument: int) -> Instr:
+    return Instr("get_constant_nv", (constant, argument))
+
+
+def get_nil_nv(argument: int) -> Instr:
+    return Instr("get_nil_nv", (argument,))
+
+
+def get_list_nv(target: RegLike) -> Instr:
+    return Instr("get_list_nv", (_as_reg(target),))
+
+
+def get_structure_nv(functor: Indicator, target: RegLike) -> Instr:
+    return Instr("get_structure_nv", (functor, _as_reg(target)))
+
+
+def get_constant_w(constant: Constant, argument: int) -> Instr:
+    return Instr("get_constant_w", (constant, argument))
+
+
+def get_nil_w(argument: int) -> Instr:
+    return Instr("get_nil_w", (argument,))
+
+
+def get_list_w(target: RegLike) -> Instr:
+    return Instr("get_list_w", (_as_reg(target),))
+
+
+def get_structure_w(functor: Indicator, target: RegLike) -> Instr:
+    return Instr("get_structure_w", (functor, _as_reg(target)))
+
+
+def unify_variable_r(register: Reg) -> Instr:
+    return Instr("unify_variable_r", (register,))
+
+
+def unify_value_r(register: Reg) -> Instr:
+    return Instr("unify_value_r", (register,))
+
+
+def unify_constant_r(constant: Constant) -> Instr:
+    return Instr("unify_constant_r", (constant,))
+
+
+def unify_nil_r() -> Instr:
+    return Instr("unify_nil_r", ())
+
+
+def unify_void_r(count: int) -> Instr:
+    return Instr("unify_void_r", (count,))
+
+
+def unify_variable_w(register: Reg) -> Instr:
+    return Instr("unify_variable_w", (register,))
+
+
+def unify_value_w(register: Reg) -> Instr:
+    return Instr("unify_value_w", (register,))
+
+
+def unify_constant_w(constant: Constant) -> Instr:
+    return Instr("unify_constant_w", (constant,))
+
+
+def unify_nil_w() -> Instr:
+    return Instr("unify_nil_w", ())
+
+
+def unify_void_w(count: int) -> Instr:
+    return Instr("unify_void_w", (count,))
+
+
+#: specialized opcode -> the general opcode it refines.
+SPECIALIZED_BASE: Dict[str, str] = {
+    "get_constant_nv": "get_constant",
+    "get_nil_nv": "get_nil",
+    "get_list_nv": "get_list",
+    "get_structure_nv": "get_structure",
+    "get_constant_w": "get_constant",
+    "get_nil_w": "get_nil",
+    "get_list_w": "get_list",
+    "get_structure_w": "get_structure",
+    "unify_variable_r": "unify_variable",
+    "unify_value_r": "unify_value",
+    "unify_constant_r": "unify_constant",
+    "unify_nil_r": "unify_nil",
+    "unify_void_r": "unify_void",
+    "unify_variable_w": "unify_variable",
+    "unify_value_w": "unify_value",
+    "unify_constant_w": "unify_constant",
+    "unify_nil_w": "unify_nil",
+    "unify_void_w": "unify_void",
+}
+
+SPECIALIZED_OPS = frozenset(SPECIALIZED_BASE)
+
+
+def base_op(op: str) -> str:
+    """The general opcode behind ``op`` (identity for unspecialized ops)."""
+    return SPECIALIZED_BASE.get(op, op)
+
+
+# ----------------------------------------------------------------------
 # indexing instructions.
 
 Target = Union[Label, int]
@@ -256,12 +378,28 @@ def switch_on_term(
     return Instr("switch_on_term", (on_variable, on_constant, on_list, on_structure))
 
 
-def switch_on_constant(table: Dict[Constant, Target]) -> Instr:
-    return Instr("switch_on_constant", (tuple(sorted(table.items(), key=lambda kv: str(kv[0]))),))
+def switch_on_constant(table: Dict[Constant, Target], default: Target = -1) -> Instr:
+    """Dispatch on a constant key.  ``default`` is taken on a key miss —
+    ``-1`` (fail) unless the optimizer routes misses to variable-keyed
+    clauses.  The operand tuple stays one-element when the default is
+    fail, so pre-optimizer code is unchanged."""
+    entries = (tuple(sorted(table.items(), key=lambda kv: str(kv[0]))),)
+    if default != -1:
+        entries += (default,)
+    return Instr("switch_on_constant", entries)
 
 
-def switch_on_structure(table: Dict[Indicator, Target]) -> Instr:
-    return Instr("switch_on_structure", (tuple(sorted(table.items(), key=lambda kv: str(kv[0]))),))
+def switch_on_structure(table: Dict[Indicator, Target], default: Target = -1) -> Instr:
+    """Dispatch on a functor key; see :func:`switch_on_constant`."""
+    entries = (tuple(sorted(table.items(), key=lambda kv: str(kv[0]))),)
+    if default != -1:
+        entries += (default,)
+    return Instr("switch_on_structure", entries)
+
+
+def switch_default(instruction: Instr) -> Target:
+    """The miss target of a switch-table instruction (``-1`` = fail)."""
+    return instruction.args[1] if len(instruction.args) > 1 else -1
 
 
 def label_marker(label: Label) -> Instr:
@@ -307,4 +445,7 @@ INDEXING_OPS = frozenset(
         "switch_on_structure",
     ]
 )
-ALL_OPS = GET_OPS | PUT_OPS | UNIFY_OPS | PROCEDURAL_OPS | INDEXING_OPS | {"label"}
+ALL_OPS = (
+    GET_OPS | PUT_OPS | UNIFY_OPS | PROCEDURAL_OPS | INDEXING_OPS
+    | SPECIALIZED_OPS | {"label"}
+)

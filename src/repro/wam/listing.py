@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional
 from ..prolog.terms import Atom, Float, Indicator, Int, format_indicator
 from ..prolog.writer import term_to_text
 from .code import CodeArea
-from .instructions import Instr, Label, Reg
+from .instructions import Instr, Label, Reg, base_op
 
 
 def _operand(value: object, arity: int = 0) -> str:
@@ -33,20 +33,25 @@ def _operand(value: object, arity: int = 0) -> str:
 
 
 def format_instruction(instruction: Instr, arity: int = 0) -> str:
-    """Render one instruction; ``arity`` turns low X registers into An."""
+    """Render one instruction; ``arity`` turns low X registers into An.
+
+    Specialized opcodes (``get_list_nv``, ``unify_value_r``, ...) render
+    with their own name but the operand layout of their base opcode.
+    """
     op = instruction.op
+    shape = base_op(op)
     args = instruction.args
-    if op in ("put_variable", "put_value", "get_variable", "get_value"):
+    if shape in ("put_variable", "put_value", "get_variable", "get_value"):
         register, position = args
         return f"{op} {_operand(register, arity)}, A{position}"
-    if op in ("put_constant", "get_constant"):
+    if shape in ("put_constant", "get_constant"):
         constant, position = args
         return f"{op} {_operand(constant)}, A{position}"
-    if op in ("put_nil", "get_nil"):
+    if shape in ("put_nil", "get_nil"):
         return f"{op} A{args[0]}"
-    if op in ("put_list", "get_list"):
+    if shape in ("put_list", "get_list"):
         return f"{op} {_operand(args[0], arity)}"
-    if op in ("put_structure", "get_structure"):
+    if shape in ("put_structure", "get_structure"):
         functor, register = args
         return f"{op} {_operand(functor)}, {_operand(register, arity)}"
     if op in ("call",):
@@ -61,7 +66,10 @@ def format_instruction(instruction: Instr, arity: int = 0) -> str:
         pairs = ", ".join(
             f"{_operand(key)}: {_operand(target)}" for key, target in args[0]
         )
-        return f"{op} {{{pairs}}}"
+        rendered = f"{op} {{{pairs}}}"
+        if len(args) > 1:
+            rendered += f" else {_operand(args[1])}"
+        return rendered
     if not args:
         return op
     rendered = ", ".join(_operand(a, arity) for a in args)

@@ -526,6 +526,75 @@ class Machine:
         self.pc += 1
 
     # ------------------------------------------------------------------
+    # specialized get instructions (repro.opt).
+    #
+    # The ``_nv`` variants trust the analysis fact "this argument is
+    # always instantiated": the unbound-REF branch is gone, so a
+    # non-matching tag simply fails.  The ``_w`` variants trust "this
+    # argument is always an unbound, unaliased variable": they bind
+    # without any tag dispatch.  Translation validation (repro.opt.validate)
+    # checks the facts end to end before optimized code is trusted.
+
+    def _get_constant_nv(self, instruction: Instr):
+        constant, position = instruction.args
+        cell = self.heap.deref(self.get_x(position))
+        if cell[0] == CON and cell[1] == constant:
+            self.pc += 1
+            return None
+        return "fail"
+
+    def _get_nil_nv(self, instruction: Instr):
+        cell = self.heap.deref(self.get_x(instruction.args[0]))
+        if cell[0] == CON and cell[1] == NIL:
+            self.pc += 1
+            return None
+        return "fail"
+
+    def _get_list_nv(self, instruction: Instr):
+        cell = self.heap.deref(self.get_reg(instruction.args[0]))
+        if cell[0] != LIS:
+            return "fail"
+        self.s = cell[1]  # type: ignore[assignment]
+        self.mode = "read"
+        self.pc += 1
+
+    def _get_structure_nv(self, instruction: Instr):
+        functor, register = instruction.args
+        cell = self.heap.deref(self.get_reg(register))
+        if cell[0] != STR:
+            return "fail"
+        if self.heap.cells[cell[1]][1] != functor:  # type: ignore[index]
+            return "fail"
+        self.s = cell[1] + 1  # type: ignore[assignment]
+        self.mode = "read"
+        self.pc += 1
+
+    def _get_constant_w(self, instruction: Instr):
+        constant, position = instruction.args
+        cell = self.heap.deref(self.get_x(position))
+        self.bind(cell[1], (CON, constant))  # type: ignore[arg-type]
+        self.pc += 1
+
+    def _get_nil_w(self, instruction: Instr):
+        cell = self.heap.deref(self.get_x(instruction.args[0]))
+        self.bind(cell[1], (CON, NIL))  # type: ignore[arg-type]
+        self.pc += 1
+
+    def _get_list_w(self, instruction: Instr):
+        cell = self.heap.deref(self.get_reg(instruction.args[0]))
+        self.bind(cell[1], (LIS, self.heap.top))  # type: ignore[arg-type]
+        self.mode = "write"
+        self.pc += 1
+
+    def _get_structure_w(self, instruction: Instr):
+        functor, register = instruction.args
+        cell = self.heap.deref(self.get_reg(register))
+        address = self.heap.push((FUN, functor))
+        self.bind(cell[1], (STR, address))  # type: ignore[arg-type]
+        self.mode = "write"
+        self.pc += 1
+
+    # ------------------------------------------------------------------
     # unify instructions.
 
     def _unify_variable(self, instruction: Instr):
@@ -575,6 +644,65 @@ class Machine:
         else:
             for _ in range(count):
                 self.heap.new_var()
+        self.pc += 1
+
+    # ------------------------------------------------------------------
+    # mode-specialized unify instructions (repro.opt): the read/write
+    # mode is statically known after a specialized get, so the mode test
+    # disappears.
+
+    def _unify_variable_r(self, instruction: Instr):
+        self.set_reg(instruction.args[0], self.heap.cells[self.s])
+        self.s += 1
+        self.pc += 1
+
+    def _unify_value_r(self, instruction: Instr):
+        if not self.unify(
+            self.get_reg(instruction.args[0]), self.heap.cells[self.s]
+        ):
+            return "fail"
+        self.s += 1
+        self.pc += 1
+
+    def _unify_constant_r(self, instruction: Instr):
+        outcome = self._get_constant_cell(
+            instruction.args[0], self.heap.cells[self.s]
+        )
+        if outcome is not None:
+            return outcome
+        self.s += 1
+        self.pc += 1
+
+    def _unify_nil_r(self, instruction: Instr):
+        outcome = self._get_constant_cell(NIL, self.heap.cells[self.s])
+        if outcome is not None:
+            return outcome
+        self.s += 1
+        self.pc += 1
+
+    def _unify_void_r(self, instruction: Instr):
+        self.s += instruction.args[0]
+        self.pc += 1
+
+    def _unify_variable_w(self, instruction: Instr):
+        self.set_reg(instruction.args[0], self.heap.new_var())
+        self.pc += 1
+
+    def _unify_value_w(self, instruction: Instr):
+        self.heap.push(self.get_reg(instruction.args[0]))
+        self.pc += 1
+
+    def _unify_constant_w(self, instruction: Instr):
+        self.heap.push((CON, instruction.args[0]))
+        self.pc += 1
+
+    def _unify_nil_w(self, instruction: Instr):
+        self.heap.push((CON, NIL))
+        self.pc += 1
+
+    def _unify_void_w(self, instruction: Instr):
+        for _ in range(instruction.args[0]):
+            self.heap.new_var()
         self.pc += 1
 
     # ------------------------------------------------------------------
@@ -719,7 +847,12 @@ class Machine:
         if table is None:
             table = dict(instruction.args[0])
             self._switch_cache[id(instruction)] = table
-        target = table.get(key, -1)
+        if len(instruction.args) > 1:
+            # Optimizer-emitted switch: misses fall back to the
+            # variable-keyed clause chain instead of failing.
+            target = table.get(key, instruction.args[1])
+        else:
+            target = table.get(key, -1)
         if target == -1:
             return "fail"
         self.pc = target
@@ -780,4 +913,22 @@ Machine.DISPATCH = {
     "switch_on_term": Machine._switch_on_term,
     "switch_on_constant": Machine._switch_on_constant,
     "switch_on_structure": Machine._switch_on_structure,
+    "get_constant_nv": Machine._get_constant_nv,
+    "get_nil_nv": Machine._get_nil_nv,
+    "get_list_nv": Machine._get_list_nv,
+    "get_structure_nv": Machine._get_structure_nv,
+    "get_constant_w": Machine._get_constant_w,
+    "get_nil_w": Machine._get_nil_w,
+    "get_list_w": Machine._get_list_w,
+    "get_structure_w": Machine._get_structure_w,
+    "unify_variable_r": Machine._unify_variable_r,
+    "unify_value_r": Machine._unify_value_r,
+    "unify_constant_r": Machine._unify_constant_r,
+    "unify_nil_r": Machine._unify_nil_r,
+    "unify_void_r": Machine._unify_void_r,
+    "unify_variable_w": Machine._unify_variable_w,
+    "unify_value_w": Machine._unify_value_w,
+    "unify_constant_w": Machine._unify_constant_w,
+    "unify_nil_w": Machine._unify_nil_w,
+    "unify_void_w": Machine._unify_void_w,
 }

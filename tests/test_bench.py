@@ -163,12 +163,15 @@ class TestServeBenchEmit:
         from repro.bench.emit import main
 
         out = tmp_path / "BENCH_serve.json"
-        # --obs-out must be redirected too: its default writes
-        # BENCH_obs.json into the cwd, clobbering the checked-in
-        # full-suite artifact with a one-benchmark run.
+        # Every artifact the emitter writes must be redirected to
+        # tmp_path: the defaults write BENCH_obs.json / BENCH_opt.json
+        # into the cwd, clobbering the checked-in full-suite artifacts
+        # with a one-benchmark run.
         obs_out = tmp_path / "BENCH_obs.json"
+        opt_out = tmp_path / "BENCH_opt.json"
         assert main([
             "--out", str(out), "--obs-out", str(obs_out),
+            "--opt-out", str(opt_out),
             "--repeats", "1", "--only", "nreverse",
         ]) == 0
         capsys.readouterr()
@@ -193,6 +196,17 @@ class TestServeBenchEmit:
                     "metrics_off_again_ms", "metrics_off_delta_percent",
                     "metrics_on_overhead_percent"):
             assert key in overhead
+        opt_document = json.loads(opt_out.read_text())
+        [opt_row] = opt_document["benchmarks"]
+        assert opt_row["name"] == "nreverse"
+        assert opt_row["baseline_instructions"] > 0
+        # The optimizer must never emit code that retires more
+        # instructions than the baseline.
+        assert (opt_row["optimized_instructions"]
+                <= opt_row["baseline_instructions"])
+        assert opt_out.read_text() == json.dumps(
+            opt_document, indent=2, sort_keys=True
+        ) + "\n"
 
     def test_edit_changes_entry_predicate_only(self):
         from repro.bench.emit import _edit

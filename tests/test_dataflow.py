@@ -1,0 +1,306 @@
+"""Tests for the intra-predicate dataflow framework (repro.lint.dataflow).
+
+The CFG and solver tests run on *hand-built* code areas — adversarial
+shapes the compiler never emits (unreachable blocks, loops through
+switch tables, merge points with conflicting states) — because the
+framework must be correct on anything the optimizer might construct,
+not just on compiler output.
+"""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.lint.dataflow import (
+    FAIL_TARGET,
+    KILL_ALL,
+    build_cfg,
+    determinacy,
+    predicate_regions,
+    solve_backward,
+    solve_forward,
+    x_liveness,
+    x_uses_defs,
+)
+from repro.prolog.terms import Atom
+from repro.wam import instructions as ins
+from repro.wam.code import CodeArea, PredicateCode
+from repro.wam.instructions import xreg, yreg
+
+
+def area(indicator, instructions):
+    """Link one hand-written predicate into a fresh code area."""
+    code = CodeArea()
+    code.link([PredicateCode(indicator, list(instructions), 1, [])])
+    return code
+
+
+def cfg_for(indicator, instructions):
+    code = area(indicator, instructions)
+    return build_cfg(code, indicator, 0, len(code))
+
+
+class TestControlFlowGraph:
+    def test_straight_line(self):
+        cfg = cfg_for(("p", 1), [
+            ins.get_nil(1),          # 0
+            ins.proceed(),           # 1
+        ])
+        assert [e.target for e in cfg.successors(0)] == [1]
+        assert not cfg.successors(0)[0].fresh
+        assert cfg.successors(1) == []  # terminal
+        assert not cfg.escapes and not cfg.falls_off
+
+    def test_try_me_else_edges_are_fresh(self):
+        cfg = cfg_for(("p", 1), [
+            ins.try_me_else(2),      # 0
+            ins.proceed(),           # 1
+            ins.trust_me(),          # 2
+            ins.proceed(),           # 3
+        ])
+        edges = {(e.target, e.fresh) for e in cfg.successors(0)}
+        # The alternative is a backtracking restart (fresh); the
+        # fall-through into the first clause carries the entry state.
+        assert edges == {(2, True), (1, False)}
+
+    def test_try_fall_through_is_fresh(self):
+        cfg = cfg_for(("p", 1), [
+            ins.try_clause(2),       # 0
+            ins.retry_clause(3),     # 1
+            ins.proceed(),           # 2
+            ins.proceed(),           # 3
+        ])
+        assert {(e.target, e.fresh) for e in cfg.successors(0)} == {
+            (2, True), (1, True),
+        }
+        assert {(e.target, e.fresh) for e in cfg.successors(1)} == {
+            (3, True), (2, True),
+        }
+
+    def test_escaping_branch_recorded_not_edged(self):
+        cfg = cfg_for(("p", 1), [
+            ins.try_me_else(99),     # 0 — target outside the region
+            ins.proceed(),           # 1
+        ])
+        assert [e.target for e in cfg.successors(0)] == [1]
+        assert cfg.escapes == {0: [99]}
+
+    def test_fall_off_the_end(self):
+        cfg = cfg_for(("p", 1), [
+            ins.get_nil(1),          # 0 — non-terminal last instruction
+        ])
+        assert cfg.falls_off == {0}
+        assert cfg.successors(0) == []
+
+    def test_switch_on_term_skips_fail_targets(self):
+        cfg = cfg_for(("p", 1), [
+            ins.switch_on_term(1, 2, FAIL_TARGET, FAIL_TARGET),  # 0
+            ins.proceed(),                                       # 1
+            ins.proceed(),                                       # 2
+        ])
+        assert sorted(e.target for e in cfg.successors(0)) == [1, 2]
+
+    def test_switch_table_default_is_an_edge(self):
+        cfg = cfg_for(("p", 1), [
+            ins.switch_on_constant({Atom("a"): 1}, default=2),   # 0
+            ins.proceed(),                                       # 1
+            ins.proceed(),                                       # 2
+        ])
+        assert sorted(e.target for e in cfg.successors(0)) == [1, 2]
+        # Without a default, the miss target is fail: no edge.
+        cfg = cfg_for(("p", 1), [
+            ins.switch_on_constant({Atom("a"): 1}),              # 0
+            ins.proceed(),                                       # 1
+        ])
+        assert [e.target for e in cfg.successors(0)] == [1]
+
+    def test_unreachable_block(self):
+        cfg = cfg_for(("p", 1), [
+            ins.execute(("q", 1)),   # 0 — terminal
+            ins.get_nil(1),          # 1 — dead
+            ins.proceed(),           # 2 — dead
+        ])
+        assert cfg.reachable() == {0}
+
+    def test_basic_blocks_on_a_diamond(self):
+        cfg = cfg_for(("p", 1), [
+            ins.switch_on_term(1, 3, FAIL_TARGET, FAIL_TARGET),  # 0
+            ins.get_nil(1),                                      # 1
+            ins.switch_on_term(5, 5, 5, 5),                      # 2
+            ins.get_constant(Atom("a"), 1),                      # 3
+            ins.switch_on_term(5, 5, 5, 5),                      # 4
+            ins.proceed(),                                       # 5
+        ])
+        assert cfg.basic_blocks() == [(0, 1), (1, 3), (3, 5), (5, 6)]
+
+    def test_back_edge_through_switch(self):
+        # A loop the compiler never emits: the dataflow framework must
+        # still terminate and classify the edge as a back edge.
+        cfg = cfg_for(("p", 1), [
+            ins.get_nil(1),                                      # 0
+            ins.switch_on_term(0, 2, FAIL_TARGET, FAIL_TARGET),  # 1
+            ins.proceed(),                                       # 2
+        ])
+        back = cfg.back_edges()
+        assert [(e.source, e.target) for e in back] == [(1, 0)]
+
+    def test_predicate_regions_partition_the_area(self):
+        analyzer = Analyzer("p(a).\nq(X) :- p(X).\nmain :- q(a).\n")
+        code = analyzer.compiled.code
+        regions = predicate_regions(code)
+        starts = [start for _, start, _ in regions]
+        ends = [end for _, _, end in regions]
+        assert starts == sorted(starts)
+        assert starts[1:] == ends[:-1] and ends[-1] == len(code)
+        assert {indicator for indicator, _, _ in regions} >= {
+            ("p", 1), ("q", 1), ("main", 0),
+        }
+
+
+class TestSolvers:
+    def test_forward_fresh_edges_reenter_with_entry_state(self):
+        cfg = cfg_for(("p", 1), [
+            ins.try_me_else(2),      # 0
+            ins.proceed(),           # 1
+            ins.trust_me(),          # 2
+            ins.proceed(),           # 3
+        ])
+        states = solve_forward(
+            cfg,
+            entry_state=frozenset(),
+            transfer=lambda addr, instr, state: state | {addr},
+            merge=lambda old, new: (old | new, None),
+        )
+        # Clause 1 sees the try_me_else in its past; the alternative
+        # does NOT — backtracking restored the registers.
+        assert states[1] == frozenset({0})
+        assert states[2] == frozenset()
+
+    def test_forward_reports_merge_conflicts(self):
+        cfg = cfg_for(("p", 1), [
+            ins.switch_on_term(1, 3, FAIL_TARGET, FAIL_TARGET),  # 0
+            ins.get_nil(1),                                      # 1
+            ins.switch_on_term(5, 5, 5, 5),                      # 2
+            ins.get_constant(Atom("a"), 1),                      # 3
+            ins.switch_on_term(5, 5, 5, 5),                      # 4
+            ins.proceed(),                                       # 5
+        ])
+        conflicts = []
+        solve_forward(
+            cfg,
+            entry_state="entry",
+            transfer=lambda addr, instr, state:
+                instr.op if instr.op.startswith("get_") else state,
+            merge=lambda old, new:
+                (old, None) if old == new else (old, (old, new)),
+            on_merge_conflict=lambda addr, conflict:
+                conflicts.append((addr, conflict)),
+        )
+        # The two arms reach 5 with different states exactly once each
+        # way; the join must surface the disagreement.
+        assert any(addr == 5 for addr, _ in conflicts)
+
+    def test_forward_transfer_none_stops_propagation(self):
+        cfg = cfg_for(("p", 1), [
+            ins.get_nil(1),          # 0
+            ins.proceed(),           # 1
+        ])
+        states = solve_forward(
+            cfg,
+            entry_state=0,
+            transfer=lambda addr, instr, state: None,
+            merge=lambda old, new: (old, None),
+        )
+        assert 1 not in states  # nothing flowed past address 0
+
+    def test_backward_fresh_successors_contribute_nothing(self):
+        cfg = cfg_for(("p", 2), [
+            ins.try_clause(2),       # 0: both successors fresh
+            ins.trust_clause(3),     # 1
+            ins.proceed(),           # 2
+            ins.proceed(),           # 3
+        ])
+        ins_states, outs = solve_backward(
+            cfg,
+            exit_state=frozenset(),
+            transfer=lambda addr, instr, out: out | {addr},
+            merge=lambda a, b: a | b,
+        )
+        # Every successor of 0 is fresh, so its out-state is the exit
+        # state — nothing the restarted alternatives do flows back.
+        assert outs[0] == frozenset()
+        assert ins_states[0] == frozenset({0})
+
+
+class TestXLiveness:
+    def test_dead_move_is_not_live(self):
+        cfg = cfg_for(("p", 1), [
+            ins.get_variable(xreg(3), 1),   # 0: X3 := A1, never read
+            ins.proceed(),                  # 1
+        ])
+        result = x_liveness(cfg)
+        assert 3 not in result.live_out[0]
+        assert 1 in result.live_in[0]  # A1 is read by the move itself
+
+    def test_used_move_is_live(self):
+        cfg = cfg_for(("p", 1), [
+            ins.get_variable(xreg(3), 1),   # 0
+            ins.put_value(xreg(3), 1),      # 1: reads X3
+            ins.execute(("q", 1)),          # 2
+        ])
+        result = x_liveness(cfg)
+        assert 3 in result.live_out[0]
+
+    def test_indexing_keeps_arguments_live(self):
+        cfg = cfg_for(("p", 2), [
+            ins.try_me_else(2),             # 0: snapshots A1..A2
+            ins.proceed(),                  # 1
+            ins.trust_me(),                 # 2
+            ins.proceed(),                  # 3
+        ])
+        result = x_liveness(cfg)
+        assert {1, 2} <= result.live_in[0]
+
+    def test_call_kills_everything(self):
+        uses, defs = x_uses_defs(ins.call(("q", 2), 0), arity=3)
+        assert uses == {1, 2}
+        assert defs == KILL_ALL
+
+    def test_y_registers_are_invisible(self):
+        uses, defs = x_uses_defs(ins.get_variable(yreg(2), 1), arity=1)
+        assert uses == {1} and defs == set()
+
+
+class TestDeterminacy:
+    def _facts(self, source, entry):
+        analyzer = Analyzer(source)
+        result = analyzer.analyze([entry])
+        return determinacy(analyzer.compiled, result)
+
+    def test_ground_selector_distinct_keys(self):
+        facts = self._facts(
+            "p(a, 1).\np(b, 2).\nmain :- p(a, X).\n", "main"
+        )
+        info = facts[("p", 2)]
+        assert info.selector_class == "ground"
+        assert info.keys_distinct
+        assert info.deterministic
+
+    def test_var_selector_is_not_deterministic(self):
+        facts = self._facts(
+            "p(a, 1).\np(b, 2).\nmain :- p(X, 1).\n", "main"
+        )
+        assert not facts[("p", 2)].deterministic
+
+    def test_variable_keyed_clause_defeats_distinctness(self):
+        facts = self._facts(
+            "p(a).\np(X).\nmain :- p(a).\n", "main"
+        )
+        info = facts[("p", 1)]
+        assert not info.keys_distinct
+        assert not info.deterministic
+
+    def test_duplicate_keys_defeat_distinctness(self):
+        facts = self._facts(
+            "p(a, 1).\np(a, 2).\nmain :- p(a, X).\n", "main"
+        )
+        assert not facts[("p", 2)].deterministic
