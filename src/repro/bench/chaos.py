@@ -314,6 +314,237 @@ def run(
     }
 
 
+#: Error kinds the gateway campaign accepts on a failed response; any
+#: other shape of failure is an unstructured error and a violation.
+_GATEWAY_STRUCTURED = (
+    "shed", "timeout", "worker-crash", "shard-failure", "partial-fanout"
+)
+
+
+async def _run_gateway_campaign(
+    requests: int,
+    shards: int,
+    workers: int,
+    kill_index: int,
+    delay_index: int,
+) -> dict:
+    import tempfile
+
+    from ..serve.gateway import Gateway, GatewayConfig
+    from .load import _Client
+
+    selected = [b for b in BENCHMARKS if b.name in PROGRAM_NAMES]
+    reference: Dict[str, dict] = {}
+    for benchmark in selected:
+        reference[benchmark.name] = Analyzer(
+            Program.from_text(benchmark.source)
+        ).analyze([benchmark.entry]).stable_dict()
+
+    store_dir = tempfile.mkdtemp(prefix="repro-chaos-gateway-")
+    # Shard 0's supervisor SIGKILLs its worker mid-request at the
+    # kill_index-th request; shard 1 delays one response far past the
+    # request deadline so the supervisor's kill timer must fire.
+    plans = {
+        0: FaultPlan(kill_worker_at_request=[kill_index]),
+        1: FaultPlan(
+            delay_response_at_request=[delay_index], delay_seconds=6.0
+        ),
+    }
+    gateway = Gateway(
+        GatewayConfig(
+            shards=shards,
+            workers=workers,
+            queue_depth=32,
+            max_line_bytes=64 * 1024,
+        ),
+        ServiceConfig(store_dir=store_dir, journal=True),
+        fault_plans=plans,
+    )
+    host, port = await gateway.start()
+    violations: List[str] = []
+    exact = 0
+    structured: Dict[str, int] = {}
+    latency: List[float] = []
+
+    def _classify(index: int, benchmark, response) -> None:
+        nonlocal exact
+        if response is None:
+            violations.append(f"gateway request {index}: no response")
+            return
+        if response.get("ok"):
+            if response["result"] != reference[benchmark.name]:
+                violations.append(
+                    f"gateway request {index} ({benchmark.name}): served "
+                    "result differs from from-scratch analyze()"
+                )
+            exact += 1
+            return
+        kind = response.get("error_kind")
+        if kind not in _GATEWAY_STRUCTURED:
+            violations.append(
+                f"gateway request {index}: unstructured failure {response!r}"
+            )
+        structured[kind or "?"] = structured.get(kind or "?", 0) + 1
+
+    client = await _Client.connect(host, port)
+    try:
+        # ---- main fault phase: kills and a delayed response ----------
+        for index in range(1, requests + 1):
+            benchmark = selected[(index - 1) % len(selected)]
+            started = time.perf_counter()
+            response = await client.request({
+                "op": "analyze",
+                "text": benchmark.source,
+                "entries": [benchmark.entry],
+                # The deadline arms the supervisor kill timer: the 6s
+                # delayed response gets killed at ~2s instead of 6.
+                "budget": {"deadline": 2.0},
+            }, timeout=60.0)
+            latency.append(time.perf_counter() - started)
+            _classify(index, benchmark, response)
+
+        # ---- shard crash: the backend dies out from under shard 0 ---
+        # (the supervisor's pool is closed, so its next handle() raises:
+        # the deterministic stand-in for a shard process dying).  The
+        # shard must answer the in-flight request with a structured
+        # shard-failure, respawn with backoff, warm up from the hot
+        # set, and serve correctly again.
+        probe = selected[0]
+        crashed = gateway.ring.route("text:" + probe.source)
+        backend = gateway.shards[crashed]._backend
+        if backend is not None:
+            backend.close()
+        first_after = await client.request({
+            "op": "analyze", "text": probe.source,
+            "entries": [probe.entry],
+        }, timeout=60.0)
+        if first_after is None:
+            violations.append("shard crash: no response at all")
+        elif first_after.get("ok"):
+            violations.append(
+                "shard crash: first request after backend death "
+                "succeeded — the injection never landed"
+            )
+        elif first_after.get("error_kind") not in _GATEWAY_STRUCTURED:
+            violations.append(
+                f"shard crash: unstructured failure {first_after!r}"
+            )
+        retried = await client.request({
+            "op": "analyze", "text": probe.source,
+            "entries": [probe.entry],
+        }, timeout=60.0)
+        if not (retried and retried.get("ok")):
+            violations.append(
+                f"shard crash: retry after respawn failed: {retried!r}"
+            )
+        elif retried["result"] != reference[probe.name]:
+            violations.append("shard crash: wrong result after respawn")
+
+        # ---- connection drop mid-line --------------------------------
+        import asyncio as _asyncio
+
+        drop_reader, drop_writer = await _asyncio.open_connection(host, port)
+        drop_writer.write(b'{"op": "analyze", "text": "truncated')
+        await drop_writer.drain()
+        drop_writer.transport.abort()  # RST mid-line, no newline ever
+        after_drop = await client.request({
+            "op": "analyze", "text": probe.source,
+            "entries": [probe.entry],
+        }, timeout=60.0)
+        if not (after_drop and after_drop.get("ok")):
+            violations.append(
+                f"connection drop: gateway stopped serving: {after_drop!r}"
+            )
+        elif after_drop["result"] != reference[probe.name]:
+            violations.append("connection drop: wrong result afterwards")
+
+        # ---- oversized line over the socket --------------------------
+        raw_reader, raw_writer = await _asyncio.open_connection(host, port)
+        raw_writer.write(b"x" * (64 * 1024 + 512) + b"\n")
+        raw_writer.write((json.dumps({
+            "op": "analyze", "text": probe.source,
+            "entries": [probe.entry], "id": 1,
+        }) + "\n").encode("utf-8"))
+        await raw_writer.drain()
+        oversized_ok = False
+        survived_ok = False
+        for _ in range(2):
+            line = await _asyncio.wait_for(raw_reader.readline(), 60.0)
+            answer = json.loads(line)
+            if answer.get("reason") == "oversized" and answer.get("shed"):
+                oversized_ok = True
+            elif answer.get("id") == 1 and answer.get("ok"):
+                survived_ok = answer["result"] == reference[probe.name]
+        if not oversized_ok:
+            violations.append("oversized line: no structured shed response")
+        if not survived_ok:
+            violations.append(
+                "oversized line: the next request on the connection "
+                "did not serve correctly"
+            )
+        raw_writer.close()
+
+        stats = gateway.stats()
+        shard_stats = [shard.stats() for shard in gateway.shards]
+    finally:
+        await client.close()
+        await gateway.stop()
+
+    respawns = sum(s["respawns"] for s in shard_stats)
+    if respawns < 1:
+        violations.append("shard crash: no respawn was recorded")
+
+    if violations:
+        for violation in violations:
+            print(f"chaos violation: {violation}", file=sys.stderr)
+        raise SystemExit(1)
+
+    return {
+        "requests": requests,
+        "shards": shards,
+        "workers_per_shard": workers,
+        "exact_responses": exact,
+        "structured_errors": structured,
+        "kills_injected": 1,
+        "delays_injected": 1,
+        "shard_crashes_injected": 1,
+        "respawns": respawns,
+        "warmed": sum(s["warmed"] for s in shard_stats),
+        "connection_drop_survived": True,
+        "oversized_shed": True,
+        "requests_served_by_gateway": stats["requests_served"],
+        "latency": {
+            "p50_ms": round(_percentile(latency, 0.50) * 1000.0, 3),
+            "p95_ms": round(_percentile(latency, 0.95) * 1000.0, 3),
+        },
+        "shard_stats": shard_stats,
+    }
+
+
+def run_gateway(
+    requests: int = 36,
+    shards: int = 2,
+    workers: int = 1,
+    kill_index: int = 3,
+    delay_index: int = 4,
+) -> dict:
+    """Gateway-level chaos: worker SIGKILL mid-request on one shard, a
+    response delayed past its deadline on another, a backend dying out
+    from under a shard (respawn + warm-up), a connection dropped
+    mid-line, and an oversized line — every completed response must
+    equal the from-scratch analysis.  Raises SystemExit on violation.
+    """
+    import asyncio
+
+    return asyncio.run(_run_gateway_campaign(
+        requests=requests,
+        shards=shards,
+        workers=workers,
+        kill_index=kill_index,
+        delay_index=delay_index,
+    ))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.chaos",
@@ -346,6 +577,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--request-timeout", type=float, default=30.0,
         help="per-request wall-clock cap in seconds (default 30)",
     )
+    parser.add_argument(
+        "--gateway-requests", type=int, default=36,
+        help="requests in the gateway-level campaign — shard kills, "
+        "slow-shard delays, connection drops (default 36; 0 skips it)",
+    )
+    parser.add_argument(
+        "--gateway-shards", type=int, default=2,
+        help="shards in the gateway campaign (default 2)",
+    )
     arguments = parser.parse_args(argv)
     document = run(
         requests=arguments.requests,
@@ -354,6 +594,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         corrupt_every=arguments.corrupt_every,
         request_timeout=arguments.request_timeout,
     )
+    if arguments.gateway_requests > 0:
+        document["gateway"] = run_gateway(
+            requests=arguments.gateway_requests,
+            shards=arguments.gateway_shards,
+        )
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if arguments.out == "-":
         sys.stdout.write(text)

@@ -466,6 +466,59 @@ def _prolog_command(argv: Optional[Sequence[str]] = None) -> int:
     return 0 if found else 1
 
 
+def _serve_gateway(arguments, service_config) -> int:
+    """``repro-serve --listen``: run the sharded TCP gateway until a
+    ``shutdown`` request (or Ctrl-C) drains it."""
+    import asyncio
+
+    from .serve.gateway import Gateway, GatewayConfig
+    from .serve.service import MAX_REQUEST_LINE
+
+    host, _, port = arguments.listen.rpartition(":")
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise ReproError(
+            f"--listen expects [HOST:]PORT, got {arguments.listen!r}"
+        ) from None
+    config = GatewayConfig(
+        host=host or "127.0.0.1",
+        port=port_number,
+        shards=arguments.shards,
+        workers=arguments.workers,
+        queue_depth=arguments.queue_depth,
+        degrade_depth=arguments.degrade_depth,
+        max_line_bytes=(
+            arguments.max_line_bytes
+            if arguments.max_line_bytes is not None else MAX_REQUEST_LINE
+        ),
+        request_timeout=arguments.request_timeout,
+        max_retries=arguments.max_retries,
+    )
+    gateway = Gateway(config, service_config)
+
+    async def _run() -> None:
+        host_bound, port_bound = await gateway.start()
+        print(
+            json.dumps({
+                "listening": f"{host_bound}:{port_bound}",
+                "shards": config.shards,
+                "workers_per_shard": config.workers,
+            }, sort_keys=True),
+            flush=True,
+        )
+        try:
+            await gateway.serve_until_stopped()
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -544,6 +597,33 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         help="write a JSON-lines span trace to PATH ('-' for stderr); "
         "in-process mode only (ignored with --workers)",
     )
+    parser.add_argument(
+        "--max-line-bytes", type=int, default=None, metavar="N",
+        help="longest accepted request line in bytes (default 10 MiB); "
+        "longer lines are drained and answered with a structured error",
+    )
+    parser.add_argument(
+        "--listen", default=None, metavar="[HOST:]PORT",
+        help="serve a TCP gateway instead of stdin: JSON lines over a "
+        "socket, routed by consistent-hashed program fingerprint "
+        "across --shards backends with admission control and load "
+        "shedding (see docs/serve.md)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="gateway shards, each with its own workers and store "
+        "partition (default 2; needs --listen)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="per-shard admission cap; requests beyond it are shed "
+        "with a structured error (default 64; needs --listen)",
+    )
+    parser.add_argument(
+        "--degrade-depth", type=int, default=None, metavar="N",
+        help="queue depth at which admitted requests get the tightened "
+        "degrade budget (default: half of --queue-depth)",
+    )
     _add_budget_arguments(parser)
     arguments = parser.parse_args(argv)
     from .serve import AnalysisService, ServiceConfig, run_batch, serve_loop
@@ -561,6 +641,8 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         store_dir=arguments.store,
         journal=arguments.journal,
     )
+    if arguments.listen is not None:
+        return _serve_gateway(arguments, service_config)
     tracer = None
     if arguments.workers > 0:
         from .serve import Supervisor, SupervisorConfig
@@ -588,6 +670,11 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
             print(json.dumps(summary, sort_keys=True))
             errors = sum(counts["error"] for counts in summary["passes"])
             return 1 if errors else 0
+        if arguments.max_line_bytes is not None:
+            return serve_loop(
+                service, sys.stdin, sys.stdout,
+                max_line_bytes=arguments.max_line_bytes,
+            )
         return serve_loop(service, sys.stdin, sys.stdout)
     finally:
         if hasattr(service, "close"):

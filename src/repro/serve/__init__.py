@@ -6,9 +6,13 @@ predicate call graph with Merkle SCC fingerprints
 (:mod:`~repro.serve.callgraph`), a bottom-up SCC-scheduled fixpoint
 (:mod:`~repro.serve.scheduler`), a self-healing capped result store
 (:mod:`~repro.serve.store`), the request loop itself
-(:mod:`~repro.serve.service`), and crash isolation — a supervised
+(:mod:`~repro.serve.service`), crash isolation — a supervised
 worker-subprocess pool (:mod:`~repro.serve.pool`) fronted by retry and
-kill policy (:mod:`~repro.serve.supervisor`).  See docs/serve.md for
+kill policy (:mod:`~repro.serve.supervisor`) — and horizontal scale: a
+network-facing asyncio gateway (:mod:`~repro.serve.gateway`) routing by
+consistent-hashed program fingerprint across bounded-queue shards
+(:mod:`~repro.serve.shard`) with admission control and budget-based
+load shedding.  See docs/serve.md for
 the architecture, the cache-soundness argument, and the operations /
 failure-modes contract.
 
@@ -33,8 +37,10 @@ from .fingerprint import (
     program_fingerprint,
     request_fingerprint,
 )
+from .gateway import ConsistentHashRing, Gateway, GatewayConfig, route_key
 from .pool import Worker, WorkerCrashed, WorkerPool, WorkerTimeout
 from .scheduler import SCCScheduler, ScheduleStats
+from .shard import Shard, ShardConfig, ShardSaturated, shed_response
 from .service import (
     HIT,
     INCREMENTAL,
@@ -55,11 +61,17 @@ __all__ = [
     "MISS",
     "AnalysisService",
     "CallGraph",
+    "ConsistentHashRing",
     "DiskStore",
+    "Gateway",
+    "GatewayConfig",
     "ResultStore",
     "SCCScheduler",
     "ScheduleStats",
     "ServiceConfig",
+    "Shard",
+    "ShardConfig",
+    "ShardSaturated",
     "Supervisor",
     "SupervisorConfig",
     "Worker",
@@ -74,6 +86,8 @@ __all__ = [
     "predicate_fingerprints",
     "program_fingerprint",
     "request_fingerprint",
+    "route_key",
     "run_batch",
     "serve_loop",
+    "shed_response",
 ]

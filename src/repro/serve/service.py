@@ -403,7 +403,13 @@ def serve_loop(
     cleanly with status 0.  ``service`` is anything with
     ``handle(request) -> response`` — the in-process
     :class:`AnalysisService` or a :class:`~repro.serve.supervisor.Supervisor`.
+
+    Shed input — oversized and malformed lines — is counted in the
+    service's metrics registry (``serve.input.oversized`` /
+    ``serve.input.malformed``), not only answered with a structured
+    error, so operators can see protocol abuse in the ``metrics`` op.
     """
+    metrics = getattr(service, "metrics", None)
     while True:
         line = stdin.readline(max_line_bytes + 1)
         if not line:
@@ -415,6 +421,8 @@ def serve_loop(
                 chunk = stdin.readline(max_line_bytes)
                 if not chunk or chunk.endswith("\n"):
                     break
+            if metrics is not None:
+                metrics.counter("serve.input.oversized").inc()
             response = {
                 "ok": False,
                 "error": (
@@ -428,9 +436,13 @@ def serve_loop(
             try:
                 request = json.loads(line)
             except ValueError as error:
+                if metrics is not None:
+                    metrics.counter("serve.input.malformed").inc()
                 response = {"ok": False, "error": f"bad JSON: {error}"}
             else:
                 if not isinstance(request, dict):
+                    if metrics is not None:
+                        metrics.counter("serve.input.malformed").inc()
                     response = {
                         "ok": False, "error": "request must be an object"
                     }

@@ -332,6 +332,7 @@ class DiskStore:
         self.quarantined = 0
         self.checksum_failures = 0
         self.journal_replayed = 0
+        self.journal_rotations = 0
         #: repro.obs: optional MetricsRegistry mirroring the self-healing
         #: counters under serve.store.* (quarantines, checksum failures,
         #: journal replays).
@@ -491,6 +492,14 @@ class DiskStore:
                 # record *about to be appended* needs journal cover.
                 handle.seek(0)
                 handle.truncate()
+                # Rotation used to heal silently; operators watching
+                # journal growth need to see the resets (stats op +
+                # serve.store.* metrics).
+                self.journal_rotations += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "serve.store.journal.rotated"
+                    ).inc()
             handle.write(record_text + "\n")
             handle.flush()
         except (OSError, ValueError):
@@ -579,6 +588,7 @@ class DiskStore:
             "quarantined": self.quarantined,
             "checksum_failures": self.checksum_failures,
             "journal_replayed": self.journal_replayed,
+            "journal_rotations": self.journal_rotations,
         }
 
 

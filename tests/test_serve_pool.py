@@ -267,3 +267,54 @@ def test_run_batch_through_supervisor(tmp_path):
     assert summary["passes"][0]["miss"] == 1
     assert summary["passes"][1]["hit"] == 1
     assert summary["store"]["pool"]["size"] == 1  # supervisor stats block
+
+
+# ----------------------------------------------------------------------
+# Satellite: the backoff discipline around crashes and slow successes.
+
+
+def test_backoff_resets_after_healthy_request():
+    from repro.serve import WorkerPool
+
+    pool = WorkerPool(
+        config_to_wire(ServiceConfig()), size=1,
+        backoff_base=0.4, backoff_cap=0.4,
+    )
+    try:
+        slot, _ = pool.checkout()
+        pool.report_crash(slot)
+        assert pool._strikes == [1]
+        started = time.perf_counter()
+        slot, worker = pool.checkout()  # the respawn pays the backoff
+        assert time.perf_counter() - started >= 0.3
+        response = worker.request(dict(REQUEST), 60.0)
+        assert response["ok"]
+        pool.report_success(slot)
+        assert pool._strikes == [0]
+        # A deliberate kill strikes nothing, and the healthy request
+        # reset the crash strike — so the next respawn is immediate.
+        pool.report_kill(slot)
+        started = time.perf_counter()
+        pool.checkout()
+        assert time.perf_counter() - started < 0.3
+    finally:
+        pool.close()
+
+
+def test_kill_timer_grace_waits_out_a_slow_success():
+    # The response is injected to arrive 0.4s late — past the 0.2s
+    # request timeout but inside its 0.6s grace window.  The kill
+    # timer must NOT fire: a slow-but-successful response wins the
+    # race and is served, with no timeout recorded and no kill.
+    plan = FaultPlan(delay_response_at_request=[1], delay_seconds=0.4)
+    supervisor = _supervisor(
+        fault_plan=plan, request_timeout=0.2, grace=0.6
+    )
+    try:
+        response = supervisor.handle(dict(REQUEST))
+        assert response["ok"], response
+        assert response["result"] == _scratch()
+        assert supervisor.timeouts == 0
+        assert supervisor.pool.kills == 0
+    finally:
+        supervisor.close()

@@ -307,3 +307,18 @@ def test_run_batch_second_pass_hits(tmp_path):
     assert summary["passes"][0][MISS] == 1
     assert summary["passes"][1][HIT] == 1
     assert summary["passes"][1]["error"] == 0
+
+
+def test_serve_loop_counts_oversized_and_malformed_in_metrics():
+    service = _service()
+    stdin = io.StringIO(
+        '{"op": "analyze", "text": "' + "x" * 4096 + '"}\n'
+        + "this is not json\n"
+        + json.dumps([1, 2, 3]) + "\n"
+        + json.dumps({"op": "shutdown"}) + "\n"
+    )
+    stdout = io.StringIO()
+    assert serve_loop(service, stdin, stdout, max_line_bytes=1024) == 0
+    snapshot = service.metrics.snapshot()
+    assert snapshot["serve.input.oversized"]["value"] == 1
+    assert snapshot["serve.input.malformed"]["value"] == 2

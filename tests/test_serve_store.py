@@ -333,3 +333,57 @@ def test_result_store_stats_include_disk(tmp_path):
     stats = store.stats()
     assert stats["disk"]["journal"] is True
     assert stats["disk"]["quarantined"] == 0
+
+
+# ----------------------------------------------------------------------
+# Satellite: operational visibility — quarantines and journal rotation
+# are surfaced in the stats op and the metrics snapshot, not silent.
+
+
+def test_journal_rotation_counted_in_stats_and_metrics(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    directory = str(tmp_path / "cache")
+    disk = DiskStore(directory, journal=True, metrics=registry)
+    disk.JOURNAL_CAP = 512
+    for index in range(32):
+        disk.put(f"key-{index}", json.dumps(
+            {"v": "x" * 64}, sort_keys=True
+        ))
+    assert disk.stats()["journal_rotations"] >= 1
+    snapshot = registry.snapshot()
+    assert snapshot["serve.store.journal.rotated"]["value"] >= 1
+    assert (
+        snapshot["serve.store.journal.rotated"]["value"]
+        == disk.journal_rotations
+    )
+
+
+def test_stats_op_surfaces_quarantines_and_rotations(tmp_path):
+    from repro.serve import AnalysisService, ServiceConfig
+
+    directory = str(tmp_path / "cache")
+    service = AnalysisService(
+        ServiceConfig(store_dir=directory, journal=True)
+    )
+    text = "a(x).\n"
+    assert service.handle({
+        "op": "analyze", "text": text, "entries": ["a(g)"],
+    })["ok"]
+    # Corrupt every entry file; the next read quarantines it.
+    for name in os.listdir(directory):
+        if name.endswith(".json"):
+            with open(os.path.join(directory, name), "w") as handle:
+                handle.write("{torn")
+    service.store._data.clear()  # force the disk-layer read
+    service.store.bytes_used = 0
+    assert service.handle({
+        "op": "analyze", "text": text, "entries": ["a(g)"],
+    })["ok"]
+    response = service.handle({"op": "stats"})
+    disk_stats = response["stats"]["store"]["disk"]
+    assert disk_stats["quarantined"] >= 1
+    assert "journal_rotations" in disk_stats
+    metrics = response["stats"]["metrics"]
+    assert metrics["serve.store.quarantined"]["value"] >= 1
