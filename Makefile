@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-serve chaos load opt table1 table2 examples coverage lint serve clean
+.PHONY: install test bench bench-serve chaos fuzz load opt table1 table2 examples coverage lint serve clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -18,6 +18,9 @@ bench-serve:
 
 chaos:
 	$(PYTHON) -m repro.bench.chaos --out BENCH_chaos.json
+
+fuzz:
+	$(PYTHON) -m repro.fuzz --seed 42 --count 200 --out BENCH_fuzz.json
 
 load:
 	$(PYTHON) -m repro.bench.load --out BENCH_load.json

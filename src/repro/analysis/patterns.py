@@ -454,16 +454,28 @@ def pattern_to_trees(pattern: Pattern) -> Tuple[Tree, ...]:
 
 
 def canonicalize(pattern: Pattern) -> Pattern:
-    """Renumber instance ids in first-occurrence (DFS) order."""
+    """Renumber instance ids in first-occurrence (DFS) order.
+
+    Ground nodes always get a fresh id: a ground term cannot be
+    further instantiated, so must-aliasing between ground positions
+    constrains nothing — keeping it would let two semantically
+    identical patterns (one annotating ground sharing, one not)
+    canonicalize to different values.
+    """
+    from ..domain.lattice import tree_is_ground
+
     mapping: Dict[int, int] = {}
+    next_free = itertools.count()
 
     def renumber(node: Node) -> Node:
         kind = node[0]
         if kind in ("i", "li"):
+            if tree_is_ground(node_to_tree(node)):
+                return (kind, node[1], next(next_free))
             ident = node[2]
             new = mapping.get(ident)
             if new is None:
-                new = len(mapping)
+                new = next(next_free)
                 mapping[ident] = new
             return (kind, node[1], new)
         return ("f", node[1], node[2], tuple(renumber(n) for n in node[3]))

@@ -47,6 +47,27 @@ from ..serve import AnalysisService, ServiceConfig
 from .programs import BENCHMARKS
 
 
+def write_json(
+    document: dict, out: str, summary: Optional[str] = None
+) -> None:
+    """Write a benchmark document as sorted-keys JSON.
+
+    ``out`` is a path, or ``'-'`` for stdout.  ``summary`` is a one-line
+    human note printed after a successful file write (never for stdout,
+    which stays machine-clean).  Sorted keys + trailing newline is the
+    contract every BENCH_*.json artifact follows so diffs between runs
+    are meaningful.
+    """
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if out == "-":
+        sys.stdout.write(text)
+        return
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    if summary:
+        print(summary)
+
+
 def _edit(source: str, entry: str) -> str:
     """A real single-predicate edit: duplicate the entry predicate's
     first clause as a new last clause (changes the clause list, keeps
@@ -298,54 +319,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     arguments = parser.parse_args(argv)
     document = run(repeats=arguments.repeats, names=arguments.only)
-    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
-    if arguments.out == "-":
-        sys.stdout.write(text)
-    else:
-        with open(arguments.out, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        total_warm = sum(row["warm_speedup"] or 0 for row in document["benchmarks"])
-        count = len(document["benchmarks"])
-        print(
-            f"wrote {arguments.out}: {count} benchmarks, "
-            f"mean warm speedup {total_warm / count:.0f}x"
-        )
+    total_warm = sum(row["warm_speedup"] or 0 for row in document["benchmarks"])
+    count = len(document["benchmarks"])
+    write_json(
+        document, arguments.out,
+        summary=f"wrote {arguments.out}: {count} benchmarks, "
+        f"mean warm speedup {total_warm / count:.0f}x",
+    )
     if arguments.obs_out != "none":
         obs_document = run_obs(
             repeats=arguments.repeats, names=arguments.only
         )
-        obs_text = json.dumps(obs_document, indent=2, sort_keys=True) + "\n"
-        if arguments.obs_out == "-":
-            sys.stdout.write(obs_text)
-        else:
-            with open(arguments.obs_out, "w", encoding="utf-8") as handle:
-                handle.write(obs_text)
-            overhead = obs_document["overhead"]
-            print(
-                f"wrote {arguments.obs_out}: metrics-off delta "
-                f"{overhead['metrics_off_delta_percent']:.2f}% "
-                f"(bound {overhead['metrics_off_bound_percent']:.0f}%), "
-                f"--profile costs "
-                f"{overhead['metrics_on_overhead_percent']:+.2f}%"
-            )
+        overhead = obs_document["overhead"]
+        write_json(
+            obs_document, arguments.obs_out,
+            summary=f"wrote {arguments.obs_out}: metrics-off delta "
+            f"{overhead['metrics_off_delta_percent']:.2f}% "
+            f"(bound {overhead['metrics_off_bound_percent']:.0f}%), "
+            f"--profile costs "
+            f"{overhead['metrics_on_overhead_percent']:+.2f}%",
+        )
     if arguments.opt_out != "none":
         from .opt import run_opt
 
         opt_document = run_opt(
             repeats=arguments.repeats, names=arguments.only
         )
-        opt_text = json.dumps(opt_document, indent=2, sort_keys=True) + "\n"
-        if arguments.opt_out == "-":
-            sys.stdout.write(opt_text)
-        else:
-            with open(arguments.opt_out, "w", encoding="utf-8") as handle:
-                handle.write(opt_text)
-            print(
-                f"wrote {arguments.opt_out}: geo-mean speedup "
-                f"{opt_document['geo_mean_speedup']:.3f}x "
-                f"(instruction ratio "
-                f"{opt_document['geo_mean_instruction_ratio']:.3f}x)"
-            )
+        write_json(
+            opt_document, arguments.opt_out,
+            summary=f"wrote {arguments.opt_out}: geo-mean speedup "
+            f"{opt_document['geo_mean_speedup']:.3f}x "
+            f"(instruction ratio "
+            f"{opt_document['geo_mean_instruction_ratio']:.3f}x)",
+        )
     return 0
 
 

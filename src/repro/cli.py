@@ -19,6 +19,13 @@ optimized code area must be verifier-clean and every ``--goal`` must
 produce identical solutions on the original and optimized programs;
 exit status 1 on any verifier diagnostic or divergence.
 
+``repro-fuzz --seed 42 --count 200`` — a deterministic differential
+fuzzing campaign: generated and mutated programs are checked by the
+oracle battery (execution agreement, soundness, lattice agreement,
+optimizer validation, incremental serve), violations are shrunk to
+minimal reproducers, and the summary lands in ``BENCH_fuzz.json``;
+exit status 1 on any violation (see docs/fuzz.md).
+
 ``repro-serve`` — the analysis service: JSON-lines requests on stdin
 (or ``--batch file.pl ...`` for a one-shot run), content-addressed
 result caching and incremental re-analysis; ``--workers N`` executes
@@ -683,6 +690,125 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
             tracer.close()
 
 
+def _fuzz_command(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Generative differential soundness fuzzing: seeded random "
+            "Prolog programs (plus mutated benchmarks and corpus "
+            "reproducers) are checked by differential oracles — "
+            "concrete WAM vs SLD solver, observed answers vs abstract "
+            "success patterns, abstract WAM vs both baseline "
+            "analyzers, optimizer translation validation, incremental "
+            "serve vs from-scratch — and violations are delta-debugged "
+            "to minimal reproducers.  Deterministic per --seed: the "
+            "summary document is byte-identical across runs"
+        ),
+    )
+    from .fuzz import ORACLE_NAMES
+
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="campaign seed (default 0); every program and edit "
+        "derives from it",
+    )
+    parser.add_argument(
+        "--count", type=int, default=100, metavar="N",
+        help="programs to check (default 100)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fuzz.json", metavar="FILE",
+        help="summary document (default BENCH_fuzz.json; '-' for "
+        "stdout, 'none' to skip)",
+    )
+    parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="reproducer corpus directory: violations are stored "
+        "there minimized, and existing entries join the mutation "
+        "seed pool (default: nothing persisted)",
+    )
+    parser.add_argument(
+        "--oracle", action="append", default=None, choices=ORACLE_NAMES,
+        metavar="NAME", dest="oracles",
+        help=f"oracle to run (repeatable; default: all of "
+        f"{', '.join(ORACLE_NAMES)})",
+    )
+    parser.add_argument(
+        "--mutate-ratio", type=float, default=0.25, metavar="R",
+        help="fraction of iterations that mutate a benchmark/corpus "
+        "program instead of generating fresh (default 0.25)",
+    )
+    parser.add_argument(
+        "--no-benchmarks", action="store_true",
+        help="don't mutate the Table 1 benchmark suite",
+    )
+    parser.add_argument(
+        "--size-budget", type=int, default=30, metavar="N",
+        help="clause budget per generated program (default 30)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=200_000, metavar="N",
+        help="machine step cap per goal; exhaustion is a counted "
+        "skip, never a hang (default 200000)",
+    )
+    parser.add_argument(
+        "--max-solutions", type=int, default=30, metavar="N",
+        help="solutions compared per goal (default 30)",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=2_000, metavar="N",
+        help="SLD solver call-depth cap; exhaustion is a counted "
+        "skip (default 2000)",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without minimizing them",
+    )
+    parser.add_argument(
+        "--shrink-attempts", type=int, default=500, metavar="N",
+        help="candidate cap per shrink (default 500)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-violation progress lines on stderr",
+    )
+    arguments = parser.parse_args(argv)
+    from .bench.emit import write_json
+    from .fuzz import CampaignConfig, GenConfig, run_campaign
+
+    config = CampaignConfig(
+        seed=arguments.seed,
+        count=arguments.count,
+        mutate_ratio=arguments.mutate_ratio,
+        oracles=arguments.oracles,
+        gen=GenConfig(size_budget=arguments.size_budget),
+        max_steps=arguments.max_steps,
+        max_solutions=arguments.max_solutions,
+        max_depth=arguments.max_depth,
+        shrink=not arguments.no_shrink,
+        shrink_attempts=arguments.shrink_attempts,
+        corpus_dir=arguments.corpus,
+        use_benchmarks=not arguments.no_benchmarks,
+    )
+    log = None if arguments.quiet else (
+        lambda message: print(message, file=sys.stderr)
+    )
+    document = run_campaign(config, log=log)
+    coverage = document["coverage"]
+    programs = document["programs"]
+    if arguments.out != "none":
+        write_json(
+            document, arguments.out,
+            summary=f"wrote {arguments.out}: {document['count']} programs "
+            f"({programs['generated']} generated, "
+            f"{programs['mutated']} mutants), "
+            f"{document['violation_count']} violation(s), "
+            f"opcode coverage {coverage['opcodes_covered']}"
+            f"/{coverage['opcode_universe']}",
+        )
+    return 1 if document["violation_count"] else 0
+
+
 #: The console-script entry points: the command bodies above, wrapped so
 #: any ReproError or I/O error exits 2 with a one-line message.
 main_analyze = _guard(_analyze_command, "repro-analyze")
@@ -690,3 +816,4 @@ main_lint = _guard(_lint_command, "repro-lint")
 main_optimize = _guard(_optimize_command, "repro-optimize")
 main_prolog = _guard(_prolog_command, "repro-prolog")
 main_serve = _guard(_serve_command, "repro-serve")
+main_fuzz = _guard(_fuzz_command, "repro-fuzz")

@@ -1,0 +1,76 @@
+"""repro.fuzz — generative differential soundness fuzzer.
+
+The package closes the testing loop around every executable artifact in
+the repo: a seeded grammar generates Prolog programs that are parseable,
+compilable and terminating by construction (:mod:`.grammar`), a seeded
+mutation engine perturbs them and the benchmark suite (:mod:`.mutate`),
+a battery of differential oracles checks the concrete WAM against the
+SLD solver, the abstract WAM against its observed runs and against both
+baseline analyzers, the optimizer against translation validation, and
+the incremental server against from-scratch analysis (:mod:`.oracles`).
+Violations are delta-debugged to minimal reproducers (:mod:`.shrink`)
+and stored in a managed corpus (:mod:`.corpus`); :mod:`.runner` drives
+deterministic, budgeted campaigns behind the ``repro-fuzz`` CLI.
+"""
+
+from .corpus import Corpus, benchmark_seed_sources
+from .grammar import (
+    CURATED_BUILTINS,
+    GenConfig,
+    GeneratedProgram,
+    ProgramGenerator,
+    generate_program,
+)
+from .mutate import (
+    MUTATION_OPS,
+    STRUCTURAL_OPS,
+    Mutator,
+    render_program,
+)
+from .oracles import (
+    ORACLE_NAMES,
+    ExecutionAgreementOracle,
+    IncrementalServeOracle,
+    LatticeAgreementOracle,
+    OptValidationOracle,
+    Oracle,
+    SoundnessOracle,
+    Subject,
+    Verdict,
+    default_oracles,
+    entry_from_goal,
+    oracles_by_name,
+)
+from .runner import Campaign, CampaignConfig, run_campaign
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CURATED_BUILTINS",
+    "MUTATION_OPS",
+    "ORACLE_NAMES",
+    "STRUCTURAL_OPS",
+    "Campaign",
+    "CampaignConfig",
+    "Corpus",
+    "ExecutionAgreementOracle",
+    "GenConfig",
+    "GeneratedProgram",
+    "IncrementalServeOracle",
+    "LatticeAgreementOracle",
+    "Mutator",
+    "OptValidationOracle",
+    "Oracle",
+    "ProgramGenerator",
+    "ShrinkResult",
+    "SoundnessOracle",
+    "Subject",
+    "Verdict",
+    "benchmark_seed_sources",
+    "default_oracles",
+    "entry_from_goal",
+    "generate_program",
+    "oracles_by_name",
+    "render_program",
+    "run_campaign",
+    "shrink",
+]

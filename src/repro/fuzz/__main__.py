@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` — the repro-fuzz campaign CLI."""
+
+import sys
+
+from ..cli import main_fuzz
+
+if __name__ == "__main__":
+    sys.exit(main_fuzz())

@@ -1,0 +1,164 @@
+"""Managed reproducer corpus for the fuzz campaign.
+
+A corpus directory holds one subdirectory per minimized failure:
+
+    corpus/
+      execution-000123-9f2a41c8/
+        repro.pl     # the minimized program
+        meta.json    # seed, oracle verdict, goals/entries, shrink stats
+
+The directory name is ``<oracle>-<seed>-<fingerprint8>``; the
+fingerprint is the SHA-256 of the *minimized* source, so two seeds
+shrinking to the same program dedup into one entry (the second write
+is refused and reported as a duplicate).
+
+The corpus doubles as a mutation seed pool: :meth:`Corpus.seed_sources`
+returns every stored reproducer (plus, via
+:func:`benchmark_seed_sources`, the Table 1 benchmark suite) so future
+campaigns mutate yesterday's failures first — the classic corpus
+feedback loop, kept deterministic by sorting entries by name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+def source_fingerprint(source: str) -> str:
+    """Stable content fingerprint of a program text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Reproducer:
+    """One stored failure: everything needed to replay it."""
+
+    name: str
+    oracle: str
+    seed: int
+    source: str
+    meta: Dict
+
+    @property
+    def goals(self) -> List[str]:
+        return list(self.meta.get("goals", []))
+
+    @property
+    def entries(self) -> List[str]:
+        return list(self.meta.get("entries", []))
+
+
+class Corpus:
+    """Filesystem-backed reproducer store."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _ensure_root(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+
+    def add(
+        self,
+        oracle: str,
+        seed: int,
+        source: str,
+        verdict_detail: str,
+        goals: List[str],
+        entries: List[str],
+        shrink_stats: Optional[Dict] = None,
+        original_source: Optional[str] = None,
+    ) -> Tuple[str, bool]:
+        """Store a minimized reproducer.  Returns ``(name, created)``;
+        ``created`` is False when an entry with the same minimized
+        fingerprint already exists (duplicate failure)."""
+        fingerprint = source_fingerprint(source)[:8]
+        name = f"{oracle}-{seed:06d}-{fingerprint}"
+        for existing in self.names():
+            if existing.endswith(f"-{fingerprint}") \
+                    and existing.startswith(f"{oracle}-"):
+                return existing, False
+        self._ensure_root()
+        directory = os.path.join(self.root, name)
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "repro.pl"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(source)
+        meta = {
+            "oracle": oracle,
+            "seed": seed,
+            "verdict": verdict_detail,
+            "goals": list(goals),
+            "entries": list(entries),
+            "fingerprint": source_fingerprint(source),
+            "shrink": dict(shrink_stats or {}),
+        }
+        if original_source is not None:
+            meta["original_clauses"] = original_source.count(".\n")
+            with open(os.path.join(directory, "original.pl"), "w",
+                      encoding="utf-8") as handle:
+                handle.write(original_source)
+        with open(os.path.join(directory, "meta.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return name, True
+
+    def names(self) -> List[str]:
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name for name in os.listdir(self.root)
+            if os.path.isfile(os.path.join(self.root, name, "meta.json"))
+        )
+
+    def load(self, name: str) -> Reproducer:
+        directory = os.path.join(self.root, name)
+        with open(os.path.join(directory, "repro.pl"), encoding="utf-8") \
+                as handle:
+            source = handle.read()
+        with open(os.path.join(directory, "meta.json"), encoding="utf-8") \
+                as handle:
+            meta = json.load(handle)
+        return Reproducer(
+            name=name,
+            oracle=meta.get("oracle", "?"),
+            seed=meta.get("seed", -1),
+            source=source,
+            meta=meta,
+        )
+
+    def entries(self) -> List[Reproducer]:
+        return [self.load(name) for name in self.names()]
+
+    def seed_sources(self) -> List[Tuple[str, str, List[str], List[str]]]:
+        """(label, source, goals, entries) for every stored reproducer,
+        deterministically ordered."""
+        out = []
+        for reproducer in self.entries():
+            out.append((
+                f"corpus:{reproducer.name}",
+                reproducer.source,
+                reproducer.goals,
+                reproducer.entries,
+            ))
+        return out
+
+
+def benchmark_seed_sources() -> List[Tuple[str, str, List[str], List[str]]]:
+    """The Table 1 benchmarks as mutation seeds: (label, source, goals,
+    entries), ordered as in the paper."""
+    from ..bench.programs import BENCHMARKS
+
+    return [
+        (
+            f"bench:{benchmark.name}",
+            benchmark.source,
+            [benchmark.test_goal],
+            [benchmark.entry],
+        )
+        for benchmark in BENCHMARKS
+    ]

@@ -1,0 +1,366 @@
+"""Seeded mutation engine over parsed Prolog programs.
+
+One source of randomness for every random-edit surface in the repo: the
+serve incremental property tests, the optimizer random-edit property
+tests, and the fuzz campaign all draw their edits from :class:`Mutator`.
+
+Mutations operate on the :class:`~repro.prolog.program.Program` AST and
+are re-rendered through the writer, so every mutant is parseable by
+construction.  Each operator is registered in :data:`MUTATION_OPS` with
+a *safety class*:
+
+* ``structural`` — changes clause structure but cannot make a
+  well-moded program ill-moded (duplicate/swap/append-variant/add a
+  fresh predicate).  Solution *sets* may change (multiplicity, order of
+  success), but every engine sees the same program, so differential
+  oracles still apply.
+* ``aggressive`` — may change bindings or control (delete a clause,
+  drop or swap body goals, tweak constants, insert/remove cut).  Can
+  produce programs that raise instantiation errors at runtime; the
+  oracles classify agreeing errors as agreement.
+
+Operators *decline* (return ``False``) when a program offers no
+applicable site, so a mutation round always terminates and the RNG
+stream stays aligned across runs — the per-round choices are a pure
+function of the seed and the program text.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..prolog.program import Clause, Program
+from ..prolog.terms import Atom, Int, Struct, Term, Var
+from ..prolog.writer import term_to_text
+
+#: Atoms the PrologAnalyzer baseline reserves for abstract sorts; a
+#: mutation must never introduce one into a program (see
+#: repro.baselines.prolog_analyzer).
+RESERVED_ATOMS = frozenset(
+    {"any", "nv", "g", "ground", "const", "atom", "int", "integer", "var"}
+    | {
+        f"{name}list"
+        for name in ("any", "nv", "g", "ground", "const", "atom",
+                     "int", "integer", "var")
+    }
+)
+
+#: Replacement pools for constant tweaks (disjoint from RESERVED_ATOMS).
+ATOM_POOL: Tuple[str, ...] = ("a", "b", "c", "d", "k1", "k2")
+
+CUT = Atom("!")
+
+
+def render_program(program: Program) -> str:
+    """A :class:`Program` back to parseable text, clause order preserved.
+
+    The canonical rendering used by the serve fingerprint tests and the
+    fuzz pipeline: directives first, then every clause quoted through
+    the writer with the program's own operator table.
+    """
+    lines = []
+    for directive in program.directives:
+        lines.append(
+            ":- " + term_to_text(
+                directive, quoted=True, operators=program.operators
+            ) + "."
+        )
+    for predicate in program.predicates.values():
+        for clause in predicate.clauses:
+            lines.append(
+                term_to_text(
+                    clause.to_term(), quoted=True, operators=program.operators
+                ) + "."
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _predicates_with_clauses(program: Program):
+    return [p for p in program.predicates.values() if p.clauses]
+
+
+def _copy_clause(clause: Clause) -> Clause:
+    """An independent copy (fresh variable identities via rename)."""
+    return clause.rename()
+
+
+# ----------------------------------------------------------------------
+# Term-level helpers for the aggressive operators.
+
+
+def _map_term(term: Term, fn: Callable[[Term], Optional[Term]]) -> Term:
+    """Rebuild ``term`` bottom-up; ``fn`` may replace any subterm."""
+    if isinstance(term, Struct):
+        term = Struct(term.name, tuple(_map_term(a, fn) for a in term.args))
+    replacement = fn(term)
+    return term if replacement is None else replacement
+
+
+def _atoms_of(term: Term) -> List[Atom]:
+    out: List[Atom] = []
+
+    def visit(t: Term) -> None:
+        if isinstance(t, Atom) and t.name not in ("[]", "!"):
+            out.append(t)
+        elif isinstance(t, Struct):
+            for a in t.args:
+                visit(a)
+
+    visit(term)
+    return out
+
+
+def _ints_of(term: Term) -> List[Int]:
+    out: List[Int] = []
+
+    def visit(t: Term) -> None:
+        if isinstance(t, Int):
+            out.append(t)
+        elif isinstance(t, Struct):
+            for a in t.args:
+                visit(a)
+
+    visit(term)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Mutation operators.  Each takes (program, rng) and returns True when it
+# changed the program, False when no applicable site existed.
+
+
+def duplicate_clause(program: Program, rng: random.Random) -> bool:
+    predicates = _predicates_with_clauses(program)
+    if not predicates:
+        return False
+    predicate = rng.choice(predicates)
+    clause = rng.choice(predicate.clauses)
+    predicate.clauses.append(_copy_clause(clause))
+    return True
+
+
+def delete_clause(program: Program, rng: random.Random) -> bool:
+    predicates = [
+        p for p in _predicates_with_clauses(program) if len(p.clauses) > 1
+    ]
+    if not predicates:
+        return False
+    predicate = rng.choice(predicates)
+    predicate.clauses.pop(rng.randrange(len(predicate.clauses)))
+    return True
+
+
+def swap_clauses(program: Program, rng: random.Random) -> bool:
+    predicates = [
+        p for p in _predicates_with_clauses(program) if len(p.clauses) > 1
+    ]
+    if not predicates:
+        return False
+    predicate = rng.choice(predicates)
+    index = rng.randrange(len(predicate.clauses) - 1)
+    clauses = predicate.clauses
+    clauses[index], clauses[index + 1] = clauses[index + 1], clauses[index]
+    return True
+
+
+def append_variant_clause(program: Program, rng: random.Random) -> bool:
+    """Duplicate a clause with one constant perturbed — a near-miss
+    clause, the classic way to stress first-argument indexing."""
+    predicates = _predicates_with_clauses(program)
+    if not predicates:
+        return False
+    predicate = rng.choice(predicates)
+    clause = _copy_clause(rng.choice(predicate.clauses))
+    atoms = _atoms_of(clause.head)
+    if atoms:
+        victim = rng.choice(atoms)
+        replacement = Atom(rng.choice(ATOM_POOL))
+
+        def swap(t: Term) -> Optional[Term]:
+            return replacement if t is victim else None
+
+        clause.head = _map_term(clause.head, swap)
+    predicate.clauses.append(clause)
+    return True
+
+
+def add_fact_predicate(program: Program, rng: random.Random) -> bool:
+    """A fresh, unreached fact predicate (never collides: the name
+    embeds the current predicate count)."""
+    name = f"extra_{len(program.predicates)}_{rng.randrange(10)}"
+    program.add_clause(Clause(Struct(name, (Atom(rng.choice(ATOM_POOL)),))))
+    return True
+
+
+def drop_goal(program: Program, rng: random.Random) -> bool:
+    sites = [
+        (predicate, clause)
+        for predicate in _predicates_with_clauses(program)
+        for clause in predicate.clauses
+        if clause.body
+    ]
+    if not sites:
+        return False
+    _, clause = rng.choice(sites)
+    clause.body.pop(rng.randrange(len(clause.body)))
+    return True
+
+
+def swap_goals(program: Program, rng: random.Random) -> bool:
+    sites = [
+        clause
+        for predicate in _predicates_with_clauses(program)
+        for clause in predicate.clauses
+        if len(clause.body) > 1
+    ]
+    if not sites:
+        return False
+    clause = rng.choice(sites)
+    index = rng.randrange(len(clause.body) - 1)
+    body = clause.body
+    body[index], body[index + 1] = body[index + 1], body[index]
+    return True
+
+
+def replace_atom(program: Program, rng: random.Random) -> bool:
+    sites = []
+    for predicate in _predicates_with_clauses(program):
+        for clause in predicate.clauses:
+            for atom in _atoms_of(clause.head):
+                sites.append((clause, "head", atom))
+            for position, goal in enumerate(clause.body):
+                if isinstance(goal, Struct):
+                    for atom in _atoms_of(goal):
+                        sites.append((clause, position, atom))
+    if not sites:
+        return False
+    clause, where, victim = rng.choice(sites)
+    replacement = Atom(rng.choice([n for n in ATOM_POOL if n != victim.name]))
+
+    def swap(t: Term) -> Optional[Term]:
+        return replacement if t is victim else None
+
+    if where == "head":
+        clause.head = _map_term(clause.head, swap)
+    else:
+        clause.body[where] = _map_term(clause.body[where], swap)
+    return True
+
+
+def tweak_int(program: Program, rng: random.Random) -> bool:
+    sites = []
+    for predicate in _predicates_with_clauses(program):
+        for clause in predicate.clauses:
+            for value in _ints_of(clause.head):
+                sites.append((clause, "head", value))
+            for position, goal in enumerate(clause.body):
+                if isinstance(goal, Struct):
+                    for value in _ints_of(goal):
+                        sites.append((clause, position, value))
+    if not sites:
+        return False
+    clause, where, victim = rng.choice(sites)
+    replacement = Int(victim.value + rng.choice([-1, 1]))
+
+    def swap(t: Term) -> Optional[Term]:
+        return replacement if t is victim else None
+
+    if where == "head":
+        clause.head = _map_term(clause.head, swap)
+    else:
+        clause.body[where] = _map_term(clause.body[where], swap)
+    return True
+
+
+def insert_cut(program: Program, rng: random.Random) -> bool:
+    sites = [
+        clause
+        for predicate in _predicates_with_clauses(program)
+        for clause in predicate.clauses
+        if CUT not in clause.body
+    ]
+    if not sites:
+        return False
+    clause = rng.choice(sites)
+    clause.body.insert(rng.randrange(len(clause.body) + 1), CUT)
+    return True
+
+
+def remove_cut(program: Program, rng: random.Random) -> bool:
+    sites = [
+        clause
+        for predicate in _predicates_with_clauses(program)
+        for clause in predicate.clauses
+        if CUT in clause.body
+    ]
+    if not sites:
+        return False
+    clause = rng.choice(sites)
+    positions = [i for i, goal in enumerate(clause.body) if goal == CUT]
+    clause.body.pop(rng.choice(positions))
+    return True
+
+
+#: op name -> (function, safety class).
+MUTATION_OPS: Dict[str, Tuple[Callable[[Program, random.Random], bool], str]]
+MUTATION_OPS = {
+    "duplicate_clause": (duplicate_clause, "structural"),
+    "swap_clauses": (swap_clauses, "structural"),
+    "append_variant_clause": (append_variant_clause, "structural"),
+    "add_fact_predicate": (add_fact_predicate, "structural"),
+    "delete_clause": (delete_clause, "aggressive"),
+    "drop_goal": (drop_goal, "aggressive"),
+    "swap_goals": (swap_goals, "aggressive"),
+    "replace_atom": (replace_atom, "aggressive"),
+    "tweak_int": (tweak_int, "aggressive"),
+    "insert_cut": (insert_cut, "aggressive"),
+    "remove_cut": (remove_cut, "aggressive"),
+}
+
+STRUCTURAL_OPS: Tuple[str, ...] = tuple(
+    name for name, (_, safety) in MUTATION_OPS.items()
+    if safety == "structural"
+)
+
+
+class Mutator:
+    """Apply seeded random edits to programs.
+
+    ``ops`` restricts the operator pool (default: every registered
+    operator); pass :data:`STRUCTURAL_OPS` for edits that keep
+    well-moded programs well-moded.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        ops: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.rng = rng
+        names = tuple(ops) if ops is not None else tuple(MUTATION_OPS)
+        unknown = [name for name in names if name not in MUTATION_OPS]
+        if unknown:
+            raise ValueError(f"unknown mutation ops: {unknown}")
+        self.ops = names
+
+    def mutate_program(self, program: Program) -> Optional[str]:
+        """One random edit, in place.  Returns the operator name, or
+        None when no operator in the pool was applicable."""
+        order = list(self.ops)
+        self.rng.shuffle(order)
+        for name in order:
+            fn, _ = MUTATION_OPS[name]
+            if fn(program, self.rng):
+                return name
+        return None
+
+    def mutate_text(self, text: str, count: int = 1) -> Tuple[str, List[str]]:
+        """Parse, apply ``count`` random edits, re-render."""
+        program = Program.from_text(text)
+        applied: List[str] = []
+        for _ in range(count):
+            name = self.mutate_program(program)
+            if name is not None:
+                applied.append(name)
+        return render_program(program), applied

@@ -1,0 +1,298 @@
+"""Budgeted fuzz campaigns: generate → check → shrink → report.
+
+:func:`run_campaign` drives the whole loop.  Each iteration either
+generates a fresh program (:mod:`repro.fuzz.grammar`) or mutates a seed
+program — the Table 1 benchmarks plus any stored corpus reproducers —
+with :mod:`repro.fuzz.mutate`, runs the oracle battery
+(:mod:`repro.fuzz.oracles`) over it, and on a violation minimizes the
+program with :mod:`repro.fuzz.shrink` and stores the reproducer in the
+corpus.
+
+Determinism contract: the summary document is a pure function of
+``(seed, count, config)``.  Per-iteration randomness comes from
+``random.Random(f"repro.fuzz.runner:{seed}:{index}")`` (string seeds
+are PYTHONHASHSEED-independent), the document carries **no wall-clock
+data**, and JSON is rendered with sorted keys — two runs with the same
+arguments are byte-identical, which CI exploits by diffing them.
+
+The budget is structural, not temporal: ``count`` programs, each goal
+capped at ``max_steps`` machine steps (exhaustion is a counted *skip*,
+never a hang), each shrink capped at ``shrink_attempts`` candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..prolog.program import Program
+from ..wam.compile import compile_program
+from ..wam.instructions import ALL_OPS, base_op
+from .corpus import Corpus, benchmark_seed_sources
+from .grammar import GenConfig, generate_program
+from .mutate import Mutator
+from .oracles import Oracle, Subject, Verdict, oracles_by_name
+
+#: Pseudo-instructions that never execute; excluded from coverage.
+_NON_EXECUTABLE = {"label"}
+
+
+@dataclass
+class CampaignConfig:
+    """Everything a campaign run depends on."""
+
+    seed: int = 0
+    count: int = 100
+    #: fraction of iterations that mutate a seed program instead of
+    #: generating a fresh one (only when a seed pool exists).
+    mutate_ratio: float = 0.25
+    #: oracle names to run (None: the full battery).
+    oracles: Optional[Sequence[str]] = None
+    gen: GenConfig = field(default_factory=GenConfig)
+    max_steps: int = 200_000
+    max_solutions: int = 30
+    #: SLD solver call-depth cap (see Subject.max_depth): keeps
+    #: runaway-recursion mutants from overflowing the C stack.
+    max_depth: int = 2_000
+    #: minimize violating programs (delta debugging).
+    shrink: bool = True
+    shrink_attempts: int = 500
+    #: corpus directory for reproducers + extra mutation seeds (None:
+    #: in-memory only, nothing persisted).
+    corpus_dir: Optional[str] = None
+    #: mutate the Table 1 benchmarks as well as corpus entries.
+    use_benchmarks: bool = True
+
+
+def _iteration_rng(seed: int, index: int) -> random.Random:
+    return random.Random(f"repro.fuzz.runner:{seed}:{index}")
+
+
+def _opcode_coverage(source: str) -> Optional[List[str]]:
+    """Static base opcodes of the compiled program (None: uncompilable).
+
+    Opcodes are mapped through :func:`base_op` — the specialized
+    ``_nv``/``_w``/``_r`` variants only exist in optimizer output, so
+    the coverage universe is the unspecialized instruction set."""
+    try:
+        compiled = compile_program(Program.from_text(source))
+    except Exception:  # noqa: BLE001 - counted by the caller
+        return None
+    return sorted({
+        base_op(instr.op) for instr in compiled.code.instructions
+        if instr.op not in _NON_EXECUTABLE
+    })
+
+
+class Campaign:
+    """One run's mutable state; :meth:`run` produces the summary."""
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        oracles: Optional[List[Oracle]] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.config = config
+        self.oracles = (
+            oracles if oracles is not None
+            else oracles_by_name(config.oracles)
+        )
+        self.log = log or (lambda message: None)
+        self.corpus = Corpus(config.corpus_dir) if config.corpus_dir else None
+        self.verdict_counts: Dict[str, Dict[str, int]] = {
+            oracle.name: {"ok": 0, "violation": 0, "skip": 0}
+            for oracle in self.oracles
+        }
+        self.violations: List[dict] = []
+        self.features: Dict[str, int] = {}
+        self.opcodes_seen: set = set()
+        self.programs = {
+            "generated": 0, "mutated": 0, "uncompilable": 0,
+            "clauses_total": 0,
+        }
+        self.shrink_stats = {
+            "runs": 0, "clauses_before": 0, "clauses_after": 0,
+            "attempts": 0,
+        }
+
+    # -- subject production --------------------------------------------
+
+    def _seed_pool(self) -> List[Tuple[str, str, List[str], List[str]]]:
+        pool: List[Tuple[str, str, List[str], List[str]]] = []
+        if self.config.use_benchmarks:
+            pool.extend(benchmark_seed_sources())
+        if self.corpus is not None:
+            pool.extend(self.corpus.seed_sources())
+        return pool
+
+    def _make_subject(
+        self, index: int, rng: random.Random, pool
+    ) -> Tuple[Subject, str, int]:
+        """(subject, origin label, program seed) for one iteration."""
+        program_seed = self.config.seed * 1_000_003 + index
+        if pool and rng.random() < self.config.mutate_ratio:
+            label, source, goals, entries = rng.choice(pool)
+            mutated, applied = Mutator(rng).mutate_text(
+                source, count=rng.randint(1, 3)
+            )
+            self.programs["mutated"] += 1
+            for name in applied:
+                self._feat(f"mutation.{name}")
+            return (
+                Subject(
+                    source=mutated, goals=list(goals), entries=list(entries),
+                    edit_seed=program_seed,
+                    max_steps=self.config.max_steps,
+                    max_solutions=self.config.max_solutions,
+                    max_depth=self.config.max_depth,
+                ),
+                f"mutant:{label}",
+                program_seed,
+            )
+        generated = generate_program(program_seed, self.config.gen)
+        self.programs["generated"] += 1
+        for name, count in generated.features.items():
+            self.features[name] = self.features.get(name, 0) + count
+        return (
+            Subject(
+                source=generated.source, goals=generated.goals,
+                entries=generated.entries, edit_seed=program_seed,
+                max_steps=self.config.max_steps,
+                max_solutions=self.config.max_solutions,
+                max_depth=self.config.max_depth,
+            ),
+            f"generated:{program_seed}",
+            program_seed,
+        )
+
+    def _feat(self, name: str) -> None:
+        self.features[name] = self.features.get(name, 0) + 1
+
+    # -- violation handling --------------------------------------------
+
+    def _handle_violation(
+        self, index: int, origin: str, program_seed: int,
+        subject: Subject, verdict: Verdict, oracle: Oracle,
+    ) -> None:
+        record = {
+            "iteration": index,
+            "origin": origin,
+            "seed": program_seed,
+            "oracle": verdict.oracle,
+            "detail": verdict.detail,
+            "source": subject.source,
+        }
+        if self.config.shrink:
+            from .shrink import shrink
+
+            def still_failing(candidate: str) -> bool:
+                return oracle.check(Subject(
+                    source=candidate, goals=list(subject.goals),
+                    entries=list(subject.entries),
+                    edit_seed=subject.edit_seed,
+                    max_steps=subject.max_steps,
+                    max_solutions=subject.max_solutions,
+                    max_depth=subject.max_depth,
+                )).is_violation
+
+            result = shrink(
+                subject.source, still_failing,
+                max_attempts=self.config.shrink_attempts,
+            )
+            record["shrink"] = result.to_dict()
+            record["minimized"] = result.source
+            self.shrink_stats["runs"] += 1
+            self.shrink_stats["clauses_before"] += result.clauses_before
+            self.shrink_stats["clauses_after"] += result.clauses_after
+            self.shrink_stats["attempts"] += result.attempts
+            if self.corpus is not None:
+                name, created = self.corpus.add(
+                    oracle=verdict.oracle, seed=program_seed,
+                    source=result.source, verdict_detail=verdict.detail,
+                    goals=list(subject.goals),
+                    entries=list(subject.entries),
+                    shrink_stats=result.to_dict(),
+                    original_source=subject.source,
+                )
+                record["corpus"] = name
+                record["corpus_new"] = created
+        self.violations.append(record)
+        self.log(
+            f"[{index}] VIOLATION {verdict.oracle}: {verdict.detail}"
+        )
+
+    # -- the loop -------------------------------------------------------
+
+    def run(self) -> dict:
+        config = self.config
+        pool = self._seed_pool()
+        for index in range(config.count):
+            rng = _iteration_rng(config.seed, index)
+            subject, origin, program_seed = self._make_subject(
+                index, rng, pool
+            )
+            self.programs["clauses_total"] += subject.source.count(".\n")
+            opcodes = _opcode_coverage(subject.source)
+            if opcodes is None:
+                self.programs["uncompilable"] += 1
+                continue
+            self.opcodes_seen.update(opcodes)
+            for oracle in self.oracles:
+                try:
+                    verdict = oracle.check(subject)
+                except Exception as exc:  # noqa: BLE001 - an oracle crash
+                    # is itself a finding; surface it as a violation.
+                    verdict = Verdict(
+                        oracle.name, "violation",
+                        f"oracle crashed: {type(exc).__name__}: {exc}",
+                    )
+                self.verdict_counts[oracle.name][verdict.status] += 1
+                if verdict.is_violation:
+                    self._handle_violation(
+                        index, origin, program_seed, subject, verdict,
+                        oracle,
+                    )
+        return self._summary()
+
+    def _summary(self) -> dict:
+        universe = sorted({
+            base_op(op) for op in ALL_OPS if op not in _NON_EXECUTABLE
+        })
+        covered = sorted(self.opcodes_seen)
+        builtins = {
+            name.split(".", 1)[1]: count
+            for name, count in sorted(self.features.items())
+            if name.startswith("builtin.")
+        }
+        return {
+            "suite": "repro.fuzz differential soundness campaign",
+            "seed": self.config.seed,
+            "count": self.config.count,
+            "oracles": {
+                name: dict(counts)
+                for name, counts in sorted(self.verdict_counts.items())
+            },
+            "programs": dict(self.programs),
+            "violations": self.violations,
+            "violation_count": len(self.violations),
+            "shrink": dict(self.shrink_stats),
+            "coverage": {
+                "opcodes": covered,
+                "opcodes_covered": len(covered),
+                "opcode_universe": len(universe),
+                "opcodes_missing": sorted(set(universe) - set(covered)),
+                "builtins": builtins,
+                "features": dict(sorted(self.features.items())),
+            },
+        }
+
+
+def run_campaign(
+    config: CampaignConfig,
+    oracles: Optional[List[Oracle]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run one campaign; returns the (deterministic) summary document."""
+    return Campaign(config, oracles=oracles, log=log).run()

@@ -1,0 +1,259 @@
+"""Delta-debugging shrinker: minimize a failing program, keep the bug.
+
+:func:`shrink` takes a program text and a *failing predicate* — a
+callable that returns True when a candidate text still triggers the
+same oracle violation — and greedily minimizes the text while the
+predicate keeps holding.  The procedure is **fully deterministic**: it
+draws no randomness, candidate order is a pure function of the input,
+so the same failing input always minimizes to the same reproducer
+(this is asserted by the test suite and relied on by corpus dedup).
+
+Reduction passes, applied to fixpoint:
+
+1. **Clause removal** (ddmin-style): drop contiguous clause chunks,
+   halving the chunk size down to single clauses.  Removing a clause
+   may leave a predicate undefined — that's allowed if (and only if)
+   the oracle still fails identically.
+2. **Body-goal removal**: drop one body goal at a time.
+3. **Term simplification**: replace argument subterms with the
+   simplest value of their shape (``a`` for anything, ``0`` for other
+   integers, ``[]`` for non-empty lists), one site at a time.
+
+Every candidate is rebuilt through the parser/writer pipeline, so the
+shrinker can never hand the predicate unparseable text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..prolog.program import Clause, Program
+from ..prolog.terms import NIL, Atom, Int, Struct, Term, is_cons
+from .mutate import render_program
+
+_SIMPLEST_ATOM = Atom("a")
+_ZERO = Int(0)
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized reproducer plus how the search went."""
+
+    source: str
+    clauses_before: int
+    clauses_after: int
+    rounds: int
+    attempts: int
+    accepted: int
+
+    def to_dict(self) -> dict:
+        return {
+            "clauses_before": self.clauses_before,
+            "clauses_after": self.clauses_after,
+            "rounds": self.rounds,
+            "attempts": self.attempts,
+            "accepted": self.accepted,
+        }
+
+
+def _render(clauses: List[Clause], directives: List[Term],
+            operators) -> str:
+    program = Program(operators)
+    for directive in directives:
+        program.directives.append(directive)
+    for clause in clauses:
+        program.add_clause(clause)
+    return render_program(program)
+
+
+def _flat_clauses(program: Program) -> List[Clause]:
+    return [
+        clause
+        for predicate in program.predicates.values()
+        for clause in predicate.clauses
+    ]
+
+
+def _copy(clause: Clause) -> Clause:
+    return Clause(clause.head, list(clause.body), position=clause.position)
+
+
+# -- term simplification sites ------------------------------------------
+
+Path = Tuple[int, ...]
+
+
+def _subterm_paths(term: Term, path: Path = ()) -> Iterator[Tuple[Path, Term]]:
+    yield path, term
+    if isinstance(term, Struct):
+        for index, argument in enumerate(term.args):
+            yield from _subterm_paths(argument, path + (index,))
+
+
+def _replace_at(term: Term, path: Path, replacement: Term) -> Term:
+    if not path:
+        return replacement
+    assert isinstance(term, Struct)
+    args = list(term.args)
+    args[path[0]] = _replace_at(args[path[0]], path[1:], replacement)
+    return Struct(term.name, tuple(args))
+
+
+def _simplifications(term: Term) -> Iterator[Term]:
+    """Candidate one-point simplifications of an *argument* term, in a
+    fixed order (smaller replacements first)."""
+    for path, sub in _subterm_paths(term):
+        if is_cons(sub):
+            yield _replace_at(term, path, NIL)
+        if isinstance(sub, Int) and sub.value != 0:
+            yield _replace_at(term, path, _ZERO)
+        if isinstance(sub, Struct) or (
+            isinstance(sub, Atom) and sub not in (_SIMPLEST_ATOM, NIL)
+        ):
+            yield _replace_at(term, path, _SIMPLEST_ATOM)
+
+
+def _clause_simplifications(clause: Clause) -> Iterator[Clause]:
+    head = clause.head
+    if isinstance(head, Struct):
+        for index, argument in enumerate(head.args):
+            for simplified in _simplifications(argument):
+                args = list(head.args)
+                args[index] = simplified
+                yield Clause(
+                    Struct(head.name, tuple(args)), list(clause.body)
+                )
+    for position, goal in enumerate(clause.body):
+        if not isinstance(goal, Struct):
+            continue
+        for index, argument in enumerate(goal.args):
+            for simplified in _simplifications(argument):
+                args = list(goal.args)
+                args[index] = simplified
+                body = list(clause.body)
+                body[position] = Struct(goal.name, tuple(args))
+                yield Clause(clause.head, body)
+
+
+# -- the search ---------------------------------------------------------
+
+
+class _Search:
+    def __init__(
+        self,
+        failing: Callable[[str], bool],
+        directives: List[Term],
+        operators,
+        max_attempts: int,
+    ) -> None:
+        self.failing = failing
+        self.directives = directives
+        self.operators = operators
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.accepted = 0
+
+    def exhausted(self) -> bool:
+        return self.attempts >= self.max_attempts
+
+    def try_candidate(self, clauses: List[Clause]) -> Optional[str]:
+        if self.exhausted():
+            return None
+        self.attempts += 1
+        text = _render(clauses, self.directives, self.operators)
+        try:
+            still_failing = self.failing(text)
+        except Exception:  # noqa: BLE001 - a candidate that crashes the
+            return None    # predicate is simply not a reproducer
+        if still_failing:
+            self.accepted += 1
+            return text
+        return None
+
+
+def shrink(
+    text: str,
+    failing: Callable[[str], bool],
+    max_attempts: int = 2000,
+) -> ShrinkResult:
+    """Minimize ``text`` while ``failing(candidate)`` stays True.
+
+    ``failing`` must already hold for (the re-rendered form of)
+    ``text``; if it doesn't, the input is returned unshrunk.
+    """
+    program = Program.from_text(text)
+    clauses = [_copy(c) for c in _flat_clauses(program)]
+    directives = list(program.directives)
+    operators = program.operators
+    search = _Search(failing, directives, operators, max_attempts)
+
+    current = _render(clauses, directives, operators)
+    before = len(clauses)
+    if not failing(current):
+        return ShrinkResult(
+            source=current, clauses_before=before, clauses_after=before,
+            rounds=0, attempts=1, accepted=0,
+        )
+
+    rounds = 0
+    changed = True
+    while changed and not search.exhausted():
+        changed = False
+        rounds += 1
+
+        # Pass 1: clause chunks, halving.
+        size = max(1, len(clauses) // 2)
+        while size >= 1 and not search.exhausted():
+            start = 0
+            while start < len(clauses):
+                candidate = clauses[:start] + clauses[start + size:]
+                if candidate and search.try_candidate(candidate):
+                    clauses = candidate
+                    changed = True
+                else:
+                    start += size
+            if size == 1:
+                break
+            size //= 2
+
+        # Pass 2: drop body goals, one at a time.
+        clause_index = 0
+        while clause_index < len(clauses) and not search.exhausted():
+            goal_index = 0
+            while goal_index < len(clauses[clause_index].body):
+                candidate = [_copy(c) for c in clauses]
+                candidate[clause_index].body.pop(goal_index)
+                if search.try_candidate(candidate):
+                    clauses = candidate
+                    changed = True
+                else:
+                    goal_index += 1
+            clause_index += 1
+
+        # Pass 3: simplify argument terms, first improvement per clause.
+        clause_index = 0
+        while clause_index < len(clauses) and not search.exhausted():
+            progressed = True
+            while progressed and not search.exhausted():
+                progressed = False
+                for simplified in _clause_simplifications(
+                    clauses[clause_index]
+                ):
+                    candidate = [_copy(c) for c in clauses]
+                    candidate[clause_index] = simplified
+                    if search.try_candidate(candidate):
+                        clauses = candidate
+                        changed = True
+                        progressed = True
+                        break
+            clause_index += 1
+
+    return ShrinkResult(
+        source=_render(clauses, directives, operators),
+        clauses_before=before,
+        clauses_after=len(clauses),
+        rounds=rounds,
+        attempts=search.attempts,
+        accepted=search.accepted,
+    )

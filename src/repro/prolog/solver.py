@@ -199,6 +199,7 @@ class Solver:
         max_steps: int = 10_000_000,
         trace: bool = False,
         budget=None,
+        max_depth: Optional[int] = None,
     ):
         from .builtins import STANDARD_BUILTINS
 
@@ -207,6 +208,14 @@ class Solver:
         self.bindings = Bindings()
         self.builtins: Dict[Indicator, BuiltinFn] = dict(STANDARD_BUILTINS)
         self.max_steps = max_steps
+        #: Optional cap on predicate-call nesting.  The resolution core
+        #: is a chain of generators, so call depth costs C stack on
+        #: every resume: past a few thousand levels CPython dies on a
+        #: stack overflow *before* RecursionError can fire (the guard
+        #: above raises the recursion limit).  Untrusted/fuzzed
+        #: programs should set this; it raises the same resource_error
+        #: as the step limit.
+        self.max_depth = max_depth
         self.steps = 0
         self.trace = trace
         self.output: List[str] = []
@@ -356,6 +365,8 @@ class Solver:
                 "existence_error",
                 f"unknown predicate {format_indicator(indicator)}",
             )
+        if self.max_depth is not None and depth >= self.max_depth:
+            raise PrologError("resource_error", "depth limit exceeded")
         frame = next(self._frame_counter)
         entry_mark = self.bindings.mark()
         if self.trace:

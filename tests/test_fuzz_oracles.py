@@ -1,0 +1,209 @@
+"""repro.fuzz oracles: the battery passes on honest artifacts and
+catches planted bugs.
+
+The acceptance test of the subsystem lives here: a deliberately
+unsound optimizer transform (silently dropping clauses) must be caught
+by the translation-validation oracle and delta-debugged down to a
+reproducer of at most five clauses.
+"""
+
+import pytest
+
+from repro.fuzz import (
+    ExecutionAgreementOracle,
+    IncrementalServeOracle,
+    LatticeAgreementOracle,
+    OptValidationOracle,
+    SoundnessOracle,
+    Subject,
+    default_oracles,
+    entry_from_goal,
+    generate_program,
+    oracles_by_name,
+    shrink,
+)
+from repro.fuzz.oracles import OK, SKIP, VIOLATION
+from repro.prolog.parser import parse_term
+from repro.prolog.program import Program
+from repro.wam.compile import compile_program
+
+
+def _subject(seed):
+    generated = generate_program(seed)
+    return Subject(
+        source=generated.source, goals=generated.goals,
+        entries=generated.entries, edit_seed=seed,
+    )
+
+
+class TestBatteryOnHonestPrograms:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_violations(self, seed):
+        subject = _subject(seed)
+        for oracle in default_oracles():
+            verdict = oracle.check(subject)
+            assert not verdict.is_violation, (
+                f"seed {seed} {oracle.name}: {verdict.detail}"
+            )
+
+    def test_benchmark_program_passes(self):
+        from repro.bench.programs import BY_NAME
+
+        bench = BY_NAME["nreverse"]
+        subject = Subject(
+            source=bench.source, goals=[bench.test_goal],
+            entries=[bench.entry],
+        )
+        for oracle in default_oracles():
+            verdict = oracle.check(subject)
+            assert not verdict.is_violation, (
+                f"{oracle.name}: {verdict.detail}"
+            )
+
+
+class TestExecutionOracle:
+    def test_agreeing_runtime_errors_are_agreement(self):
+        # both engines raise the same instantiation error: agreement
+        subject = Subject(source="p(X) :- Y is X + 1.\n", goals=["p(Z)"])
+        assert ExecutionAgreementOracle().check(subject).status == OK
+
+    def test_budget_exhaustion_is_a_skip(self):
+        subject = Subject(
+            source="loop :- loop.\n", goals=["loop"], max_steps=500,
+        )
+        assert ExecutionAgreementOracle().check(subject).status == SKIP
+
+    def test_runaway_recursion_capped_by_depth(self):
+        # With a generous step budget, unbounded recursion would
+        # overflow the C stack (the solver core is generator-recursive);
+        # the Subject depth cap turns it into a budget skip instead.
+        subject = Subject(
+            source="count(N) :- M is N + 1, count(M).\n",
+            goals=["count(0)"], max_steps=200_000,
+        )
+        assert subject.max_depth == 2_000
+        assert ExecutionAgreementOracle().check(subject).status == SKIP
+
+
+class TestSoundnessOracle:
+    def test_entry_from_goal_abstracts_arguments(self):
+        spec = entry_from_goal(parse_term("p([1, 2], X, f(Y))"))
+        assert spec.indicator == ("p", 3)
+
+    def test_no_answers_is_a_skip(self):
+        subject = Subject(source="p(a).\n", goals=["p(b)"])
+        assert SoundnessOracle().check(subject).status == SKIP
+
+    def test_observed_answers_checked(self):
+        subject = Subject(
+            source="len([], 0).\n"
+                   "len([_|T], N) :- len(T, M), N is M + 1.\n",
+            goals=["len([1,2,3], N)"],
+        )
+        verdict = SoundnessOracle().check(subject)
+        assert verdict.status == OK, verdict.detail
+
+
+class TestLatticeOracle:
+    def test_no_entries_is_a_skip(self):
+        subject = Subject(source="p(a).\n", goals=["p(X)"], entries=[])
+        assert LatticeAgreementOracle().check(subject).status == SKIP
+
+    def test_agreement_on_append(self):
+        subject = Subject(
+            source="app([], L, L).\n"
+                   "app([H|T], L, [H|R]) :- app(T, L, R).\n",
+            entries=["app(glist, glist, var)"],
+        )
+        verdict = LatticeAgreementOracle().check(subject)
+        assert verdict.status == OK, verdict.detail
+
+
+def _clause_dropping_transform(compiled, result):
+    """The planted bug: silently drop the last clause of every
+    multi-clause predicate — unsound, must be caught."""
+    program = Program(compiled.program.operators)
+    for directive in compiled.program.directives:
+        program.directives.append(directive)
+    for predicate in compiled.program.predicates.values():
+        clauses = (
+            predicate.clauses[:-1]
+            if len(predicate.clauses) > 1 else predicate.clauses
+        )
+        for clause in clauses:
+            program.add_clause(clause)
+    return compile_program(program)
+
+
+class TestPlantedUnsoundTransform:
+    """The subsystem acceptance criterion: the planted transform is
+    caught by the opt oracle and shrinks to ≤ 5 clauses."""
+
+    def test_caught_and_shrunk_small(self):
+        oracle = OptValidationOracle(transform=_clause_dropping_transform)
+        generated = generate_program(0)
+        subject = Subject(
+            source=generated.source, goals=generated.goals,
+            entries=generated.entries,
+        )
+        verdict = oracle.check(subject)
+        assert verdict.status == VIOLATION, verdict.detail
+
+        def still_failing(candidate):
+            return oracle.check(Subject(
+                source=candidate, goals=generated.goals,
+                entries=generated.entries,
+            )).is_violation
+
+        result = shrink(generated.source, still_failing)
+        assert result.clauses_after <= 5, result.source
+        assert result.clauses_after < result.clauses_before
+        assert still_failing(result.source)
+
+    def test_shrink_is_deterministic(self):
+        oracle = OptValidationOracle(transform=_clause_dropping_transform)
+        generated = generate_program(0)
+
+        def still_failing(candidate):
+            return oracle.check(Subject(
+                source=candidate, goals=generated.goals,
+                entries=generated.entries,
+            )).is_violation
+
+        first = shrink(generated.source, still_failing)
+        second = shrink(generated.source, still_failing)
+        assert first.source == second.source
+        assert first.to_dict() == second.to_dict()
+
+    def test_honest_transform_is_clean(self):
+        generated = generate_program(0)
+        subject = Subject(
+            source=generated.source, goals=generated.goals,
+            entries=generated.entries,
+        )
+        assert OptValidationOracle().check(subject).status == OK
+
+
+class TestServeOracle:
+    def test_ok_on_generated_program(self):
+        subject = _subject(1)
+        verdict = IncrementalServeOracle().check(subject)
+        assert verdict.status == OK, verdict.detail
+
+    def test_no_entries_is_a_skip(self):
+        subject = Subject(source="p(a).\n", goals=["p(X)"], entries=[])
+        assert IncrementalServeOracle().check(subject).status == SKIP
+
+
+class TestOracleRegistry:
+    def test_default_battery_order(self):
+        names = [oracle.name for oracle in default_oracles()]
+        assert names == ["execution", "soundness", "lattice", "opt", "serve"]
+
+    def test_by_name_selects(self):
+        [only] = oracles_by_name(["lattice"])
+        assert only.name == "lattice"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            oracles_by_name(["nonesuch"])

@@ -1,0 +1,204 @@
+"""repro.fuzz.runner and the repro-fuzz CLI.
+
+Campaign summaries must be a pure function of (seed, count, config):
+two runs produce equal documents, and the CLI writes byte-identical
+JSON.  Tests always redirect ``--out`` into tmp_path so campaigns
+never clobber the committed BENCH_fuzz.json artifact (same idiom as
+test_bench.py).
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    CampaignConfig,
+    Corpus,
+    GenConfig,
+    OptValidationOracle,
+    benchmark_seed_sources,
+    run_campaign,
+)
+from repro.prolog.program import Program
+from repro.wam.compile import compile_program
+
+SMALL = CampaignConfig(seed=5, count=6, gen=GenConfig(size_budget=15))
+
+
+class TestCampaign:
+    def test_summary_structure(self):
+        document = run_campaign(SMALL)
+        assert document["count"] == 6
+        assert document["violation_count"] == 0
+        assert set(document["oracles"]) == {
+            "execution", "soundness", "lattice", "opt", "serve",
+        }
+        for counts in document["oracles"].values():
+            assert counts["violation"] == 0
+            assert counts["ok"] + counts["skip"] == 6
+        programs = document["programs"]
+        assert programs["generated"] + programs["mutated"] == 6
+        assert programs["uncompilable"] == 0
+        coverage = document["coverage"]
+        assert coverage["opcodes_covered"] > 10
+        assert coverage["builtins"]
+
+    def test_deterministic_documents(self):
+        first = run_campaign(SMALL)
+        second = run_campaign(SMALL)
+        assert first == second
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_different_seeds_differ(self):
+        other = CampaignConfig(seed=6, count=6, gen=GenConfig(size_budget=15))
+        assert run_campaign(SMALL) != run_campaign(other)
+
+    def test_oracle_subset(self):
+        config = CampaignConfig(
+            seed=5, count=3, oracles=["execution", "lattice"],
+            gen=GenConfig(size_budget=15),
+        )
+        document = run_campaign(config)
+        assert set(document["oracles"]) == {"execution", "lattice"}
+
+    def test_benchmark_seed_pool(self):
+        pool = benchmark_seed_sources()
+        assert len(pool) >= 5
+        for label, source, goals, entries in pool:
+            assert label.startswith("bench:")
+            assert goals and entries
+            compile_program(Program.from_text(source))
+
+
+def _clause_dropping_transform(compiled, result):
+    program = Program(compiled.program.operators)
+    for predicate in compiled.program.predicates.values():
+        clauses = (
+            predicate.clauses[:-1]
+            if len(predicate.clauses) > 1 else predicate.clauses
+        )
+        for clause in clauses:
+            program.add_clause(clause)
+    return compile_program(program)
+
+
+class TestViolationPath:
+    """A campaign with the planted transform: violations recorded,
+    shrunk, and stored as corpus reproducers."""
+
+    def _run(self, tmp_path, shrink=True):
+        config = CampaignConfig(
+            seed=0, count=3, mutate_ratio=0.0,
+            gen=GenConfig(size_budget=15),
+            shrink=shrink, shrink_attempts=200,
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+        planted = [OptValidationOracle(transform=_clause_dropping_transform)]
+        return config, run_campaign(config, oracles=planted)
+
+    def test_violations_caught_shrunk_and_stored(self, tmp_path):
+        _, document = self._run(tmp_path)
+        assert document["violation_count"] > 0
+        assert document["shrink"]["runs"] == document["violation_count"]
+        assert (
+            document["shrink"]["clauses_after"]
+            <= document["shrink"]["clauses_before"]
+        )
+        corpus = Corpus(str(tmp_path / "corpus"))
+        names = corpus.names()
+        assert names
+        for record in document["violations"]:
+            assert record["oracle"] == "opt"
+            assert record["minimized"].count(".\n") <= 5
+            assert record["corpus"] in names
+        for reproducer in corpus.entries():
+            assert reproducer.oracle == "opt"
+            assert reproducer.meta["shrink"]["clauses_after"] >= 1
+
+    def test_no_shrink_mode(self, tmp_path):
+        _, document = self._run(tmp_path, shrink=False)
+        assert document["violation_count"] > 0
+        assert document["shrink"]["runs"] == 0
+        assert all("minimized" not in v for v in document["violations"])
+
+
+class TestCli:
+    def test_writes_summary_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main_fuzz
+
+        out = tmp_path / "BENCH_fuzz.json"
+        status = main_fuzz([
+            "--seed", "5", "--count", "4", "--size-budget", "15",
+            "--out", str(out), "--quiet",
+        ])
+        assert status == 0
+        document = json.loads(out.read_text())
+        assert document["seed"] == 5
+        assert document["count"] == 4
+        assert document["violation_count"] == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_byte_identical_across_runs(self, tmp_path):
+        from repro.cli import main_fuzz
+
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        for out in (first, second):
+            assert main_fuzz([
+                "--seed", "9", "--count", "4", "--size-budget", "15",
+                "--out", str(out), "--quiet",
+            ]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_no_wall_clock_in_document(self, tmp_path):
+        # byte determinism forbids any timing field
+        from repro.cli import main_fuzz
+
+        out = tmp_path / "BENCH_fuzz.json"
+        main_fuzz([
+            "--seed", "5", "--count", "3", "--size-budget", "15",
+            "--out", str(out), "--quiet",
+        ])
+        text = out.read_text()
+        for marker in ("_ms", "_s\"", "seconds", "time"):
+            assert marker not in text
+
+    def test_stdout_mode(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main_fuzz
+
+        monkeypatch.chdir(tmp_path)  # a stray write would land here
+        status = main_fuzz([
+            "--seed", "5", "--count", "2", "--size-budget", "15",
+            "--out", "-", "--quiet",
+        ])
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 2
+
+    def test_bad_oracle_name_rejected(self, capsys):
+        from repro.cli import main_fuzz
+
+        with pytest.raises(SystemExit):
+            main_fuzz(["--oracle", "nonesuch", "--count", "1"])
+
+
+class TestWriteJsonHelper:
+    def test_writes_sorted_keys_with_newline(self, tmp_path, capsys):
+        from repro.bench.emit import write_json
+
+        out = tmp_path / "doc.json"
+        write_json({"b": 1, "a": 2}, str(out), summary="wrote it")
+        text = out.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert "wrote it" in capsys.readouterr().out
+
+    def test_stdout_skips_summary(self, capsys):
+        from repro.bench.emit import write_json
+
+        write_json({"k": 1}, "-", summary="should not print")
+        output = capsys.readouterr().out
+        assert json.loads(output) == {"k": 1}
+        assert "should not print" not in output

@@ -1,0 +1,110 @@
+"""repro.fuzz.shrink: planted bugs minimize to known reproducers.
+
+The shrinker is fully deterministic (no RNG), so for a planted bug the
+minimized program is a *fixed* artifact we can assert exactly; corpus
+dedup relies on this.
+"""
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.shrink import shrink
+from repro.prolog.program import Program
+
+#: A planted bug among distractors: the failure is "a q/1 clause with
+#: argument boom exists".  Everything else is noise the shrinker must
+#: strip.
+PLANTED = (
+    "p(a).\n"
+    "p(b) :- r(1), r(2).\n"
+    "q(boom) :- p(a), p(b).\n"
+    "q(ok).\n"
+    "r(X) :- p(a).\n"
+    "s([1, 2, 3], f(g(h))).\n"
+)
+
+
+def _has_boom(text: str) -> bool:
+    program = Program.from_text(text)
+    predicate = program.predicates.get(("q", 1))
+    if predicate is None:
+        return False
+    for clause in predicate.clauses:
+        if "boom" in str(clause.head):
+            return True
+    return False
+
+
+class TestPlantedBug:
+    def test_minimizes_to_single_clause(self):
+        result = shrink(PLANTED, _has_boom)
+        assert result.clauses_after == 1
+        assert result.source == "q(boom).\n"
+        assert result.accepted > 0
+
+    def test_deterministic(self):
+        first = shrink(PLANTED, _has_boom)
+        second = shrink(PLANTED, _has_boom)
+        assert first.source == second.source
+        assert first.to_dict() == second.to_dict()
+
+    def test_non_failing_input_returned_unshrunk(self):
+        result = shrink("p(a).\np(b).\n", _has_boom)
+        assert result.clauses_after == result.clauses_before == 2
+        assert result.accepted == 0
+
+    def test_attempt_cap_respected(self):
+        result = shrink(PLANTED, _has_boom, max_attempts=3)
+        assert result.attempts <= 3
+        # whatever it managed must still fail
+        assert _has_boom(result.source)
+
+
+class TestGoalAndTermReduction:
+    def test_body_goals_dropped(self):
+        # failure only needs the head; the body goals must go
+        source = "q(boom) :- p(a), p(b), p(c).\np(a).\np(b).\np(c).\n"
+        result = shrink(source, _has_boom)
+        assert result.source == "q(boom).\n"
+
+    def test_terms_simplified(self):
+        # failure: any t/2 clause present; its fat arguments must
+        # simplify to the smallest value of their shape — [] for
+        # lists, a for everything else
+        def has_t(text):
+            return ("t", 2) in Program.from_text(text).predicates
+
+        source = "t([1, 2, 3], f(g(7), [a, b])).\n"
+        result = shrink(source, has_t)
+        assert result.source == "t([], a).\n"
+
+    def test_lists_become_nil(self):
+        def has_u(text):
+            return ("u", 1) in Program.from_text(text).predicates
+
+        result = shrink("u([9, 8, 7]).\n", has_u)
+        assert result.source == "u([]).\n"
+
+
+class TestShrinkWithCorpus:
+    def test_reproducer_stored_and_deduped(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        result = shrink(PLANTED, _has_boom)
+        name, created = corpus.add(
+            oracle="opt", seed=7, source=result.source,
+            verdict_detail="planted", goals=["q(X)"], entries=["q(var)"],
+            shrink_stats=result.to_dict(), original_source=PLANTED,
+        )
+        assert created
+        # a different campaign seed shrinking to the same program dedups
+        again, created_again = corpus.add(
+            oracle="opt", seed=99, source=result.source,
+            verdict_detail="planted", goals=["q(X)"], entries=["q(var)"],
+        )
+        assert not created_again
+        assert again == name
+        [reproducer] = corpus.entries()
+        assert reproducer.source == "q(boom).\n"
+        assert reproducer.meta["shrink"]["clauses_after"] == 1
+        assert (tmp_path / "corpus" / name / "original.pl").exists()
+        [(label, source, goals, entries)] = corpus.seed_sources()
+        assert label == f"corpus:{name}"
+        assert goals == ["q(X)"] and entries == ["q(var)"]

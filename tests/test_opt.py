@@ -14,11 +14,11 @@ import pytest
 from repro.analysis.driver import analyze
 from repro.bench import BENCHMARKS, get_benchmark
 from repro.bench.opt import DERIV_GROUP
+from repro.fuzz.mutate import Mutator
 from repro.opt import goal_entry_specs, optimize_program, validate
 from repro.prolog.parser import parse_term
 from repro.prolog.program import Program
 from repro.prolog.terms import Atom, Struct, Var
-from repro.prolog.writer import term_to_text
 from repro.wam.compile import compile_program
 
 
@@ -233,21 +233,17 @@ class TestValidationSuite:
             assert totals["forced_index"] >= 1
 
 
-def _random_edit(source, rng, counter):
-    """One semantics-visible but harmless source edit: duplicate a
-    random clause (changes solution multiplicity identically on both
-    sides) or add a fresh unreached predicate."""
-    program = Program.from_text(source)
-    choice = rng.randrange(3)
-    if choice == 0:
-        return source + f"\nedit_extra_{counter}(a).\n"
-    predicates = [p for p in program.predicates.values() if p.clauses]
-    predicate = rng.choice(predicates)
-    clause = rng.choice(predicate.clauses)
-    text = term_to_text(
-        clause.to_term(), quoted=True, operators=program.operators
-    )
-    return source + "\n" + text + ".\n"
+#: Semantics-visible but harmless edits: duplicating a clause changes
+#: solution multiplicity identically on both sides, and a fresh fact
+#: predicate is unreached.  Drawn from the shared repro.fuzz mutation
+#: engine — one source of seeded randomness for every random-edit test.
+EDIT_OPS = ("duplicate_clause", "add_fact_predicate")
+
+
+def _random_edit(source, rng):
+    edited, applied = Mutator(rng, ops=EDIT_OPS).mutate_text(source)
+    assert applied, "benchmark programs always offer an edit site"
+    return edited
 
 
 class TestRandomEditProperty:
@@ -262,8 +258,8 @@ class TestRandomEditProperty:
         rng = random.Random(seed)
         bench = get_benchmark(rng.choice(self.NAMES))
         source = bench.source
-        for counter in range(rng.randint(1, 3)):
-            source = _random_edit(source, rng, counter)
+        for _ in range(rng.randint(1, 3)):
+            source = _random_edit(source, rng)
         # Duplicating clauses of a recursive predicate can multiply the
         # solution count combinatorially; comparing a bounded prefix
         # keeps the property test fast without weakening the ordered

@@ -137,6 +137,27 @@ class TestCanonicalization:
         unshared = canonicalize(Pattern((("i", S.ANY, 0), ("i", S.ANY, 1))))
         assert shared != unshared
 
+    def test_ground_sharing_canonicalized_away(self):
+        # Must-aliasing between ground positions constrains nothing, so
+        # semantically identical patterns (with and without the ground
+        # alias annotation) must share a canonical form.
+        shared = canonicalize(
+            Pattern((("i", S.GROUND, 0), ("i", S.GROUND, 0)))
+        )
+        unshared = canonicalize(
+            Pattern((("i", S.GROUND, 0), ("i", S.GROUND, 1)))
+        )
+        assert shared == unshared
+
+    def test_ground_freshening_is_idempotent(self):
+        from repro.domain import EMPTY_T
+
+        pattern = Pattern((
+            ("i", S.GROUND, 4), ("i", S.ANY, 4), ("li", EMPTY_T, 4),
+        ))
+        once = canonicalize(pattern)
+        assert canonicalize(once) == once
+
 
 class TestMaterialization:
     def test_roundtrip(self):

@@ -1,11 +1,13 @@
 """Property test: incremental re-analysis ≡ from-scratch analysis.
 
 A corpus program is subjected to random single-clause edits (duplicate,
-delete, append a variant clause).  After every edit the service —
-seeding from whatever its store accumulated over the previous edits —
-must produce per-predicate lattice facts equal to a from-scratch
-``analyze()`` of the edited text (``stable_dict`` compares exactly the
-facts: modes, call/success types, aliasing, can-succeed, statuses).
+delete, swap — drawn from the shared :mod:`repro.fuzz.mutate` engine,
+the one source of seeded randomness for every random-edit surface in
+the repo).  After every edit the service — seeding from whatever its
+store accumulated over the previous edits — must produce per-predicate
+lattice facts equal to a from-scratch ``analyze()`` of the edited text
+(``stable_dict`` compares exactly the facts: modes, call/success
+types, aliasing, can-succeed, statuses).
 
 The budget variant: when the per-request budget trips mid-edit, the
 response is degraded, *nothing* enters the store, and the next
@@ -18,8 +20,8 @@ import pytest
 
 from repro.analysis.driver import Analyzer
 from repro.bench.programs import BY_NAME
+from repro.fuzz.mutate import Mutator, render_program
 from repro.prolog.program import Program
-from repro.prolog.writer import term_to_text
 from repro.serve import AnalysisService, ServiceConfig
 
 NREV = """
@@ -39,42 +41,20 @@ CORPUS = [
     ("serialise", BY_NAME["serialise"].source, BY_NAME["serialise"].entry),
 ]
 
+#: Single-clause edits: the same operator subset the original ad-hoc
+#: editor applied, now served by the shared mutation engine.
+EDIT_OPS = ("duplicate_clause", "delete_clause", "swap_clauses")
+
 
 def _render(program: Program) -> str:
-    """Program back to parseable text (clause order preserved)."""
-    lines = []
-    for directive in program.directives:
-        lines.append(
-            ":- " + term_to_text(
-                directive, quoted=True, operators=program.operators
-            ) + "."
-        )
-    for predicate in program.predicates.values():
-        for clause in predicate.clauses:
-            lines.append(
-                term_to_text(
-                    clause.to_term(), quoted=True, operators=program.operators
-                ) + "."
-            )
-    return "\n".join(lines) + "\n"
+    return render_program(program)
 
 
 def _random_edit(text: str, rng: random.Random) -> str:
     """One random single-clause edit, re-rendered to text."""
-    program = Program.from_text(text)
-    predicates = [p for p in program.predicates.values() if p.clauses]
-    predicate = rng.choice(predicates)
-    kind = rng.choice(["duplicate", "delete", "swap"])
-    if kind == "delete" and len(predicate.clauses) > 1:
-        predicate.clauses.pop(rng.randrange(len(predicate.clauses)))
-    elif kind == "swap" and len(predicate.clauses) > 1:
-        i = rng.randrange(len(predicate.clauses) - 1)
-        clauses = predicate.clauses
-        clauses[i], clauses[i + 1] = clauses[i + 1], clauses[i]
-    else:
-        clause = rng.choice(predicate.clauses)
-        predicate.clauses.append(clause)
-    return _render(program)
+    edited, applied = Mutator(rng, ops=EDIT_OPS).mutate_text(text)
+    assert applied, "corpus programs always offer an edit site"
+    return edited
 
 
 def _scratch(text, entry):

@@ -152,6 +152,26 @@ class TestRecursion:
             next(solver.solve(parse_term("loop")), None)
         assert info.value.kind == "resource_error"
 
+    def test_depth_limit(self):
+        # The resolution core is generator-recursive: without a depth
+        # cap a deep right recursion overflows the C stack before the
+        # step budget trips (the module raises the recursion limit).
+        program = Program.from_text("loop :- loop.")
+        solver = Solver(program, max_steps=10_000_000, max_depth=100)
+        with pytest.raises(PrologError) as info:
+            next(solver.solve(parse_term("loop")), None)
+        assert info.value.kind == "resource_error"
+        assert "depth" in str(info.value)
+
+    def test_depth_limit_allows_shallow_success(self):
+        program = Program.from_text(
+            "plus(z, Y, Y).\n"
+            "plus(s(X), Y, s(Z)) :- plus(X, Y, Z).\n"
+        )
+        solver = Solver(program, max_depth=100)
+        goal = parse_term("plus(s(s(z)), s(z), R)")
+        assert solver.solve_once(goal) is not None
+
 
 class TestSolverApi:
     def test_solve_once(self):

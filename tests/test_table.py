@@ -71,14 +71,25 @@ class TestUpdates:
     def test_may_share_accumulates(self):
         table = ExtensionTable()
         calling = pat(S.ANY, S.ANY)
-        shared = canonicalize(Pattern((("i", S.GROUND, 0), ("i", S.GROUND, 0))))
+        shared = canonicalize(Pattern((("i", S.NV, 0), ("i", S.NV, 0))))
         table.update(("p", 2), calling, shared)
         entry = table.find(("p", 2), calling)
         assert (0, 1) in entry.may_share
-        unshared = pat(S.GROUND, S.GROUND)
+        unshared = pat(S.NV, S.NV)
         table.update(("p", 2), calling, unshared)
         # Once possible, sharing stays recorded.
         assert (0, 1) in table.find(("p", 2), calling).may_share
+
+    def test_ground_sharing_is_vacuous(self):
+        # A ground term cannot be instantiated through an alias, so
+        # canonicalization erases ground-ground sharing and the table
+        # never records it.
+        table = ExtensionTable()
+        calling = pat(S.ANY, S.ANY)
+        shared = canonicalize(Pattern((("i", S.GROUND, 0), ("i", S.GROUND, 0))))
+        assert shared == pat(S.GROUND, S.GROUND)
+        table.update(("p", 2), calling, shared)
+        assert not table.find(("p", 2), calling).may_share
 
 
 class TestInspection:
