@@ -254,6 +254,7 @@ class Analyzer:
         pattern: Pattern,
         budget: Optional[Budget] = None,
         fault_plan=None,
+        on_pass=None,
     ) -> int:
         """Iterate one calling pattern to a local fixpoint.
 
@@ -262,6 +263,8 @@ class Analyzer:
         calling patterns here, with the callee components' summaries
         already frozen in the machine's table.  Returns the number of
         passes run; charges ``budget`` one iteration per pass.
+        ``on_pass`` (if given) is called with no arguments after every
+        completed pass — the checkpoint trigger hook.
         """
         table = machine.table
         iterations = 0
@@ -281,13 +284,34 @@ class Analyzer:
                 )
             before = table.changes
             machine.run_pattern(indicator, pattern)
+            if on_pass is not None:
+                on_pass()
             if table.changes == before:
                 return iterations
 
     def analyze(
-        self, entries: Sequence[Union[str, Term, EntrySpec]]
+        self,
+        entries: Sequence[Union[str, Term, EntrySpec]],
+        checkpoint=None,
+        resume: Optional[dict] = None,
     ) -> AnalysisResult:
-        """Run the fixpoint analysis from the given entry patterns."""
+        """Run the fixpoint analysis from the given entry patterns.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.robust.checkpoint.CheckpointPolicy`: it is
+        notified after every fixpoint pass (snapshotting on its cadence)
+        and flushed with the pre-widening table when a spec degrades, so
+        the partial work survives the ⊤-widening that follows.
+
+        ``resume`` is an optional checkpoint snapshot dict (already
+        validated with :func:`repro.robust.checkpoint.load` — the
+        *caller* owns matching it against this program/config/entries).
+        Its entries are planted unfrozen into every spec's table — seed
+        plus thaw in one step — which restarts the Kleene iteration from
+        the recorded intermediate iterate.  Intermediate iterates are ⊑
+        the least fixpoint, so the resumed run converges to exactly the
+        result a from-scratch run produces, in fewer passes.
+        """
         specs = [parse_entry_spec(entry) for entry in entries]
         if not specs:
             raise AnalysisError("at least one entry spec is required")
@@ -309,6 +333,12 @@ class Analyzer:
             spec_table = ExtensionTable(
                 budget=budget, fault_plan=plan, metrics=metrics
             )
+            if resume is not None:
+                from ..robust.checkpoint import plant
+
+                plant(
+                    resume, spec_table, respect_frozen=False, metrics=metrics
+                )
             machine = AbstractMachine(
                 self.compiled, spec_table, depth=self.depth,
                 list_aware=self.list_aware, subsumption=self.subsumption,
@@ -335,6 +365,8 @@ class Analyzer:
                         )
                     before = spec_table.changes
                     machine.run_pattern(spec.indicator, spec.pattern)
+                    if checkpoint is not None:
+                        checkpoint.note_pass((table, spec_table))
                     if spec_table.changes == before:
                         break
             except (BudgetExceeded, InjectedFault) as exc:
@@ -342,6 +374,11 @@ class Analyzer:
                     if tracer is not None:
                         tracer.end(error=repr(exc))
                     raise
+                # Persist the pre-widening iterate first: after the
+                # widening below, this spec's partial work would be
+                # unrecoverable (⊤ entries are never checkpointed).
+                if checkpoint is not None:
+                    checkpoint.flush((table, spec_table))
                 report.status = STATUS_DEGRADED
                 report.reason = str(exc)
             except ReproError as exc:

@@ -17,7 +17,13 @@ held throughout:
 * **an oversized and a malformed request line** through ``serve_loop``
   — answered with structured errors, loop keeps serving;
 * **warm restart** on the same (abused) store directory — startup
-  succeeds, damaged entries are quarantined, answers stay correct.
+  succeeds, damaged entries are quarantined, answers stay correct;
+* the **resume campaign** (:func:`run_resume`): every benchmark is
+  killed on every m-th fixpoint pass boundary until checkpointed
+  restarts carry it to exact completion, with the re-executed iteration
+  count asserted monotonically shrinking, the resumed result asserted
+  identical to from-scratch, crash loops asserted contained, and
+  default-cadence checkpoint overhead gated under 5%.
 
 The invariant checked on *every* successful response, chaos or not:
 the result equals a from-scratch ``analyze()`` of the same program
@@ -545,6 +551,391 @@ def run_gateway(
     ))
 
 
+# ---------------------------------------------------------------------------
+# Resume campaign: kill-every-m with checkpointed restarts.
+
+
+class _SimulatedKill(Exception):
+    """In-process stand-in for SIGKILL at a fixpoint pass boundary.
+
+    The checkpoint policy's ``on_pass`` hook fires *after* the emit
+    decision, so raising here models the strongest crash the checkpoint
+    system promises to survive: the process dies on a checkpointed pass
+    boundary and only already-emitted snapshots remain."""
+
+
+def _scheduled_attempt(
+    benchmark,
+    resume: Optional[dict] = None,
+    kill_at: Optional[int] = None,
+    sink=None,
+    checkpoint_every: Optional[int] = 1,
+):
+    """One SCC-scheduled analysis attempt under the resume campaign.
+
+    Returns ``(result, passes_run)``; raises :class:`_SimulatedKill`
+    when ``kill_at`` passes complete first.  Snapshots go to ``sink``.
+    """
+    from ..analysis.driver import parse_entry_spec
+    from ..robust import checkpoint as ckpt
+    from ..serve.callgraph import CallGraph
+    from ..serve.scheduler import SCCScheduler
+
+    analyzer = Analyzer(Program.from_text(benchmark.source))
+    graph = CallGraph.from_compiled(analyzer.compiled)
+    scheduler = SCCScheduler(analyzer, graph)
+    passes = {"n": 0}
+
+    def on_pass(number: int) -> None:
+        passes["n"] = number
+        if kill_at is not None and number >= kill_at:
+            raise _SimulatedKill()
+
+    if checkpoint_every is None and sink is None and kill_at is None:
+        policy = None  # the overhead baseline: no checkpointing at all
+    else:
+        policy = ckpt.CheckpointPolicy(
+            sink,
+            every=checkpoint_every,
+            config="bench.chaos",
+            key=benchmark.name,
+            entries=[benchmark.entry],
+            base_iterations=ckpt.cursor_iterations(resume) if resume else 0,
+            on_pass=on_pass,
+        )
+    result, _ = scheduler.analyze(
+        [parse_entry_spec(benchmark.entry)],
+        checkpoint=policy,
+        resume=resume,
+        on_budget="raise",
+    )
+    return result, passes["n"]
+
+
+def run_resume(
+    kill_every: int = 4,
+    max_attempts: int = 40,
+    overhead_rounds: int = 5,
+    overhead_limit_pct: float = 5.0,
+) -> dict:
+    """Kill-every-m campaign over *every* benchmark, plus the resume
+    system's side gates.  Raises SystemExit on any violation.
+
+    **Main leg** (in-process, all benchmarks): the analysis is killed on
+    every ``kill_every``-th fixpoint pass boundary; each retry resumes
+    from the best-ranked surviving snapshot.  Asserted per benchmark:
+
+    * eventual **exact completion** within ``max_attempts``;
+    * the resumed result equals the from-scratch ``stable_dict`` —
+      byte-identical canonical table;
+    * the **re-executed iteration count shrinks monotonically**: before
+      each retry a side-effect-free completion probe measures how many
+      passes the chain still has to (re-)execute from the snapshot it
+      will resume from; that series must be non-increasing.
+
+    Forward progress is banked at component-stabilization granularity
+    (frozen entries); when one component needs more passes than the kill
+    interval allows, the frontier stalls and the campaign doubles the
+    interval for the next attempt — mirroring how a deployment would
+    have to slow its crash cadence for the analysis to ever finish.
+    The ``kill_schedule`` in the report records every escalation.
+
+    **Wire leg**: two benchmarks through a real :class:`Supervisor` —
+    the worker SIGKILLs itself mid-fixpoint (``kill_at_iteration``
+    chaos), the retry resumes from the snapshot shipped up the wire.
+
+    **Crash-loop leg**: a worker killed on receipt (no fixpoint
+    progress possible) must be quarantined with a structured
+    ``crash-loop`` error after the containment threshold, and an
+    ``invalidate`` must lift the quarantine.
+
+    **Overhead leg**: scheduler wall clock with the *default* checkpoint
+    cadence versus no checkpointing, min-over-rounds; the relative
+    overhead must stay under ``overhead_limit_pct``.
+    """
+    from ..robust import checkpoint as ckpt
+
+    violations: List[str] = []
+    benchmarks_report: List[dict] = []
+    for benchmark in BENCHMARKS:
+        reference, scratch_passes = _scheduled_attempt(benchmark)
+        reference_stable = reference.stable_dict()
+        best: Optional[dict] = None
+        m = kill_every
+        attempts = 0
+        status = None
+        kill_schedule: List[int] = []
+        reexecuted: List[int] = []
+        frontier: List[int] = []
+        while attempts < max_attempts:
+            attempts += 1
+            kill_schedule.append(m)
+            emitted: List[dict] = []
+            frozen_before = ckpt.frozen_entries(best)
+            try:
+                result, passes = _scheduled_attempt(
+                    benchmark, resume=best, kill_at=m, sink=emitted.append
+                )
+            except _SimulatedKill:
+                # Only snapshots emitted before the kill survive; keep
+                # the best-ranked one, exactly as the service's store
+                # sink and the supervisor's wire retention do.
+                for snap in emitted:
+                    if ckpt.snapshot_rank(snap) >= ckpt.snapshot_rank(best):
+                        best = snap
+                frozen_now = ckpt.frozen_entries(best)
+                frontier.append(frozen_now)
+                # The completion probe: how much work would a retry
+                # still (re-)execute from here?  Side-effect-free.
+                _, probe = _scheduled_attempt(benchmark, resume=best)
+                reexecuted.append(probe)
+                if frozen_now <= frozen_before:
+                    # The in-flight component needs more than m passes:
+                    # no kill cadence this fast can ever finish it, so
+                    # escalate (documented forward-progress granularity).
+                    m *= 2
+                continue
+            for snap in emitted:
+                if ckpt.snapshot_rank(snap) >= ckpt.snapshot_rank(best):
+                    best = snap
+            frontier.append(ckpt.frozen_entries(best))
+            reexecuted.append(passes)
+            status = (
+                "exact"
+                if result.stable_dict() == reference_stable
+                else "mismatch"
+            )
+            break
+        if status != "exact":
+            violations.append(
+                f"resume: {benchmark.name}: status {status!r} after "
+                f"{attempts} attempts (kill schedule {kill_schedule})"
+            )
+        if any(
+            reexecuted[index + 1] > reexecuted[index]
+            for index in range(len(reexecuted) - 1)
+        ):
+            violations.append(
+                f"resume: {benchmark.name}: re-executed iterations grew "
+                f"between attempts: {reexecuted}"
+            )
+        benchmarks_report.append({
+            "name": benchmark.name,
+            "scratch_passes": scratch_passes,
+            "attempts": attempts,
+            "status": status,
+            "kill_schedule": kill_schedule,
+            "reexecuted_iterations": reexecuted,
+            "frozen_frontier": frontier,
+        })
+
+    wire = _run_resume_wire(violations)
+    crash_loop = _run_crash_loop(violations)
+    overhead = _measure_checkpoint_overhead(
+        rounds=overhead_rounds,
+        limit_pct=overhead_limit_pct,
+        violations=violations,
+    )
+
+    if violations:
+        for violation in violations:
+            print(f"chaos violation: {violation}", file=sys.stderr)
+        raise SystemExit(1)
+
+    return {
+        "kill_every": kill_every,
+        "benchmarks": benchmarks_report,
+        "wire": wire,
+        "crash_loop": crash_loop,
+        "overhead": overhead,
+    }
+
+
+def _run_resume_wire(violations: List[str]) -> dict:
+    """Real-process leg: the worker SIGKILLs itself mid-fixpoint and the
+    retry resumes from the checkpoint shipped up the wire."""
+    import tempfile
+
+    report: List[dict] = []
+    names = ("ops8", "queens_8")
+    selected = [b for b in BENCHMARKS if b.name in names]
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-resume-") as tmp:
+        supervisor = Supervisor(
+            ServiceConfig(store_dir=tmp, journal=True, checkpoint_every=1),
+            SupervisorConfig(
+                workers=1, request_timeout=60.0, grace=0.5,
+                max_retries=2, backoff_base=0.02,
+            ),
+        )
+        try:
+            for benchmark in selected:
+                reference = Analyzer(
+                    Program.from_text(benchmark.source)
+                ).analyze([benchmark.entry]).stable_dict()
+                response = supervisor.handle({
+                    "op": "analyze",
+                    "text": benchmark.source,
+                    "entries": [benchmark.entry],
+                    "_chaos": {"kill_at_iteration": 5},
+                })
+                entry = {
+                    "name": benchmark.name,
+                    "ok": bool(response.get("ok")),
+                    "attempts": response.get("attempts"),
+                    "status": response.get("status"),
+                }
+                report.append(entry)
+                if not response.get("ok"):
+                    violations.append(
+                        f"resume-wire: {benchmark.name} failed: {response!r}"
+                    )
+                    continue
+                if response.get("status") != "exact":
+                    violations.append(
+                        f"resume-wire: {benchmark.name}: non-exact "
+                        f"{response.get('status')!r}"
+                    )
+                if response["result"] != reference:
+                    violations.append(
+                        f"resume-wire: {benchmark.name}: resumed result "
+                        "differs from from-scratch analyze()"
+                    )
+                if response.get("attempts", 1) < 2:
+                    violations.append(
+                        f"resume-wire: {benchmark.name}: kill did not "
+                        "force a retry"
+                    )
+            attached = supervisor.metrics.counter("resume.wire_attached").value
+            if attached < 1:
+                violations.append(
+                    "resume-wire: no checkpoint was ever attached to a retry"
+                )
+            return {
+                "benchmarks": report,
+                "wire_attached": attached,
+                "crashes_survived": supervisor.crashes_survived,
+            }
+        finally:
+            supervisor.close()
+
+
+def _run_crash_loop(violations: List[str]) -> dict:
+    """Containment leg: kill-on-receipt can never advance the fixpoint
+    cursor, so the containment threshold must quarantine the request
+    with a structured non-retriable ``crash-loop`` error — and an
+    ``invalidate`` must lift the quarantine again."""
+    import tempfile
+
+    benchmark = next(b for b in BENCHMARKS if b.name == "ops8")
+    kinds: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-loop-") as tmp:
+        supervisor = Supervisor(
+            ServiceConfig(store_dir=tmp, journal=True, checkpoint_every=1),
+            SupervisorConfig(
+                workers=1, request_timeout=30.0, grace=0.5,
+                max_retries=0, backoff_base=0.02, crash_loop_threshold=3,
+            ),
+        )
+        try:
+            poison = {
+                "op": "analyze",
+                "text": benchmark.source,
+                "entries": [benchmark.entry],
+                "_chaos": {"kill": True},
+            }
+            for _ in range(3):
+                kinds.append(supervisor.handle(dict(poison)).get("error_kind"))
+            if kinds != ["worker-crash", "worker-crash", "crash-loop"]:
+                violations.append(
+                    f"crash-loop: expected two crashes then containment, "
+                    f"got {kinds}"
+                )
+            # Quarantined: even a *clean* resend must be refused without
+            # burning a worker.
+            clean = {
+                "op": "analyze",
+                "text": benchmark.source,
+                "entries": [benchmark.entry],
+            }
+            refused = supervisor.handle(dict(clean))
+            if refused.get("error_kind") != "crash-loop" or (
+                refused.get("attempts") != 0
+            ):
+                violations.append(
+                    f"crash-loop: quarantine did not hold: {refused!r}"
+                )
+            supervisor.handle({"op": "invalidate"})
+            healed = supervisor.handle(dict(clean))
+            if not healed.get("ok") or healed.get("status") != "exact":
+                violations.append(
+                    f"crash-loop: invalidate did not lift quarantine: "
+                    f"{healed!r}"
+                )
+            return {
+                "error_kinds": kinds,
+                "crash_loops": supervisor.metrics.counter(
+                    "serve.worker.crash_loops"
+                ).value,
+                "rejects": supervisor.metrics.counter(
+                    "serve.worker.crash_loop_rejects"
+                ).value,
+                "healed_after_invalidate": bool(healed.get("ok")),
+            }
+        finally:
+            supervisor.close()
+
+
+def _measure_checkpoint_overhead(
+    rounds: int, limit_pct: float, violations: List[str]
+) -> dict:
+    """Scheduler wall clock with the default checkpoint cadence versus
+    none; the arms are *interleaved* round by round (a sequential A-then
+    -B layout charges all the interpreter warm-up to one arm) and the
+    min over rounds of each whole-suite total tames scheduler noise on
+    these sub-millisecond benchmarks."""
+    from ..robust import checkpoint as ckpt
+
+    def one_round(checkpointed: bool) -> float:
+        total = 0.0
+        for benchmark in BENCHMARKS:
+            discard: List[dict] = []
+            started = time.perf_counter()
+            _scheduled_attempt(
+                benchmark,
+                sink=discard.append if checkpointed else None,
+                checkpoint_every=(
+                    ckpt.DEFAULT_CHECKPOINT_EVERY if checkpointed else None
+                ),
+            )
+            total += time.perf_counter() - started
+        return total
+
+    one_round(False), one_round(True)  # warm-up, uncounted
+    plain_rounds: List[float] = []
+    checkpointed_rounds: List[float] = []
+    for _ in range(rounds):
+        plain_rounds.append(one_round(False))
+        checkpointed_rounds.append(one_round(True))
+    plain = min(plain_rounds)
+    checkpointed = min(checkpointed_rounds)
+    overhead_pct = (
+        (checkpointed - plain) / plain * 100.0 if plain > 0 else 0.0
+    )
+    if overhead_pct > limit_pct:
+        violations.append(
+            f"overhead: default-cadence checkpointing costs "
+            f"{overhead_pct:.2f}% (> {limit_pct}%)"
+        )
+    return {
+        "cadence": ckpt.DEFAULT_CHECKPOINT_EVERY,
+        "rounds": rounds,
+        "plain_ms": round(plain * 1000.0, 3),
+        "checkpointed_ms": round(checkpointed * 1000.0, 3),
+        "overhead_pct": round(overhead_pct, 3),
+        "limit_pct": limit_pct,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.chaos",
@@ -586,6 +977,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--gateway-shards", type=int, default=2,
         help="shards in the gateway campaign (default 2)",
     )
+    parser.add_argument(
+        "--resume-kill-every", type=int, default=4,
+        help="kill interval (fixpoint passes) for the resume campaign "
+        "(default 4; 0 skips it)",
+    )
     arguments = parser.parse_args(argv)
     document = run(
         requests=arguments.requests,
@@ -598,6 +994,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         document["gateway"] = run_gateway(
             requests=arguments.gateway_requests,
             shards=arguments.gateway_shards,
+        )
+    if arguments.resume_kill_every > 0:
+        document["resume"] = run_resume(
+            kill_every=arguments.resume_kill_every,
         )
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if arguments.out == "-":

@@ -165,6 +165,16 @@ async def _drive_phase(
                 )
                 if retry_shed and response.get("retriable"):
                     tally["retries"] += 1
+                    # Honor the gateway's backoff hint (capped so a
+                    # pessimistic estimate cannot stall the bench): a
+                    # well-behaved client waits out the backlog instead
+                    # of re-hitting a saturated shard immediately.
+                    hint = response.get("retry_after_ms")
+                    if hint:
+                        tally["retry_after_honored"] += 1
+                        await asyncio.sleep(
+                            min(float(hint) / 1000.0, _RETRY_AFTER_CAP)
+                        )
                     retried = await client.request(payload)
                     if retried is None:
                         tally["unserved"] += 1
@@ -175,8 +185,15 @@ async def _drive_phase(
                 return
             if not response.get("ok"):
                 tally["errors"] += 1
-                if not response.get("error_kind"):
+                kind = response.get("error_kind")
+                if not kind:
                     tally["unstructured_errors"] += 1
+                else:
+                    tally["error_kinds"][kind] = (
+                        tally["error_kinds"].get(kind, 0) + 1
+                    )
+                    if kind not in KNOWN_ERROR_KINDS:
+                        tally["unknown_error_kinds"] += 1
                 return
             tally["completed"] += 1
             if response.get("degraded_by_gateway") or (
@@ -189,6 +206,20 @@ async def _drive_phase(
     return time.perf_counter() - started
 
 
+#: Every error_kind the serving stack may legitimately answer with
+#: under load; anything else is a classification gap and fails the run.
+KNOWN_ERROR_KINDS = frozenset({
+    "shed",            # admission control refused (retriable, hinted)
+    "partial-fanout",  # a broadcast missed saturated shards (retriable)
+    "timeout",         # wall-clock kill / cumulative retry bound
+    "worker-crash",    # worker died, retries exhausted (retriable)
+    "crash-loop",      # poison-pill quarantine (non-retriable)
+})
+
+#: Cap on honoring a retry_after_ms hint, seconds.
+_RETRY_AFTER_CAP = 2.0
+
+
 def _fresh_tally() -> dict:
     return {
         "completed": 0,
@@ -196,11 +227,14 @@ def _fresh_tally() -> dict:
         "shed_reasons": {},
         "degraded": 0,
         "errors": 0,
+        "error_kinds": {},
+        "unknown_error_kinds": 0,
         "unstructured_errors": 0,
         "unserved": 0,
         "retries": 0,
         "retries_succeeded": 0,
         "retries_shed_again": 0,
+        "retry_after_honored": 0,
     }
 
 
@@ -294,6 +328,24 @@ async def _run(
             ),
             **overload_tally,
         }
+
+        # -- backoff: past saturation again, but with a well-behaved
+        # client that retries sheds after sleeping out the gateway's
+        # retry_after_ms hint — queue-full refusals should convert
+        # into delayed successes instead of shed-retry spin ----------
+        backoff_tally = _fresh_tally()
+        backoff_samples: List[float] = []
+        backoff_seconds = await _drive_phase(
+            clients, benchmarks, max(1, overload_requests // 2),
+            concurrency=overload_concurrency,
+            tally=backoff_tally, samples=backoff_samples,
+            retry_shed=True,
+        )
+        phases["backoff"] = {
+            "latency": _latency_block(backoff_samples),
+            "wall_seconds": round(backoff_seconds, 3),
+            **backoff_tally,
+        }
         stats = gateway.stats()
         shard_stats = [shard.stats() for shard in gateway.shards]
     finally:
@@ -322,6 +374,17 @@ async def _run(
         "phases": phases,
         "unserved": total_unserved,
         "unstructured_errors": total_unstructured,
+        "unknown_error_kinds": sum(
+            phases[name]["unknown_error_kinds"] for name in phases
+        ),
+        "error_kinds": {
+            kind: sum(
+                phases[name]["error_kinds"].get(kind, 0) for name in phases
+            )
+            for kind in sorted(
+                set().union(*(phases[name]["error_kinds"] for name in phases))
+            )
+        },
         "respawns": sum(s["respawns"] for s in shard_stats),
         "shed_total": sum(phases[name]["shed"] for name in phases),
         "degraded_total": sum(phases[name]["degraded"] for name in phases),
@@ -361,6 +424,12 @@ def run(
     if document["unstructured_errors"]:
         violations.append(
             f"{document['unstructured_errors']} unstructured errors"
+        )
+    if document["unknown_error_kinds"]:
+        violations.append(
+            f"{document['unknown_error_kinds']} errors with an "
+            f"unclassified error_kind (saw {document['error_kinds']}; "
+            f"known: {sorted(KNOWN_ERROR_KINDS)})"
         )
     if document["phases"]["overload"]["shed"] == 0 and (
         overload_concurrency > queue_depth * shards
@@ -459,6 +528,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"saturation {overload['saturation_throughput_rps']} rps, "
             f"{document['shed_total']} shed, "
             f"{document['degraded_total']} degraded, "
+            f"{document['phases']['backoff']['retry_after_honored']} "
+            f"retry hints honored, "
             f"{document['unserved']} unserved"
         )
     return status

@@ -180,6 +180,80 @@ def _build_analyzer(arguments: argparse.Namespace, program: Program) -> Analyzer
     )
 
 
+def _cli_checkpoint_config(arguments: argparse.Namespace) -> str:
+    """The identity fingerprint under which CLI snapshots are written:
+    every knob that changes what the fixpoint computes."""
+    return (
+        f"cli:depth={arguments.depth}"
+        f":trimming={not arguments.no_trimming}"
+        f":subsumption={arguments.subsumption}"
+        f":on_undefined={arguments.on_undefined}"
+    )
+
+
+def _checkpoint_setup(arguments: argparse.Namespace, analyzer: Analyzer):
+    """Build the (policy, resume snapshot) pair for --checkpoint /
+    --resume; (None, None) when neither flag is given."""
+    if arguments.checkpoint is None and arguments.resume is None:
+        return None, None
+    import os
+
+    from .robust import checkpoint as ckpt
+
+    config_fp = _cli_checkpoint_config(arguments)
+    entries = sorted(str(entry) for entry in arguments.entries)
+    resume_data = None
+    if arguments.resume is not None:
+        try:
+            with open(arguments.resume, "r", encoding="utf-8") as handle:
+                candidate = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(
+                f"warning: cannot read --resume {arguments.resume}: "
+                f"{error}; starting from scratch",
+                file=sys.stderr,
+            )
+            candidate = None
+        if candidate is not None:
+            resume_data = ckpt.load(candidate, config=config_fp)
+            if resume_data is None:
+                print(
+                    "warning: --resume snapshot is damaged or was taken "
+                    "under different analysis settings; ignoring it",
+                    file=sys.stderr,
+                )
+            elif resume_data.get("entries") != entries:
+                print(
+                    "warning: --resume snapshot was taken for different "
+                    "entries; ignoring it",
+                    file=sys.stderr,
+                )
+                resume_data = None
+    policy = None
+    if arguments.checkpoint is not None:
+        path = arguments.checkpoint
+
+        def sink(snap: dict) -> None:
+            temp = path + ".tmp"
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(snap, handle, sort_keys=True)
+            os.replace(temp, path)  # a reader never sees a torn file
+
+        policy = ckpt.CheckpointPolicy(
+            sink,
+            every=max(1, arguments.checkpoint_every),
+            budget=analyzer.budget,
+            config=config_fp,
+            entries=entries,
+            base_iterations=ckpt.cursor_iterations(resume_data),
+            attempts=(
+                resume_data["cursor"].get("attempts", 0) + 1
+                if resume_data else 1
+            ),
+        )
+    return policy, resume_data
+
+
 def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
@@ -219,9 +293,27 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="write a JSON-lines span trace to PATH ('-' for stderr)",
     )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot the extension table to PATH every "
+        "--checkpoint-every fixpoint passes (and at a budget degrade), "
+        "so an interrupted run can --resume instead of restarting",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="N",
+        help="checkpoint cadence in fixpoint passes (default 16; "
+        "needs --checkpoint)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="seed the fixpoint from a snapshot written by --checkpoint "
+        "(validated: a snapshot from different analysis settings or "
+        "entries is ignored with a warning)",
+    )
     arguments = parser.parse_args(argv)
     program = _load_program(arguments.file, arguments.library)
     analyzer = _build_analyzer(arguments, program)
+    checkpoint_policy, resume_data = _checkpoint_setup(arguments, analyzer)
     tracer = None
     if arguments.trace_out is not None:
         from .obs import Tracer
@@ -235,7 +327,11 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
         metrics = MetricsRegistry()
         analyzer.metrics = metrics
     try:
-        result = analyzer.analyze(arguments.entries)
+        result = analyzer.analyze(
+            arguments.entries,
+            checkpoint=checkpoint_policy,
+            resume=resume_data,
+        )
     finally:
         if tracer is not None:
             tracer.close()
@@ -579,6 +675,13 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         "error is returned (default 2; needs --workers)",
     )
     parser.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="N",
+        help="snapshot a running fixpoint's extension table every N "
+        "passes (plus once near the budget deadline) so crashed or "
+        "budget-tripped requests resume instead of restarting "
+        "(default 16; 0 disables checkpointing)",
+    )
+    parser.add_argument(
         "--cache-entries", type=int, default=1024, metavar="N",
         help="in-memory store entry cap (default 1024)",
     )
@@ -647,6 +750,10 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
         max_bytes=arguments.cache_bytes,
         store_dir=arguments.store,
         journal=arguments.journal,
+        checkpoint_every=(
+            arguments.checkpoint_every if arguments.checkpoint_every > 0
+            else None
+        ),
     )
     if arguments.listen is not None:
         return _serve_gateway(arguments, service_config)

@@ -559,7 +559,50 @@ class IncrementalServeOracle(Oracle):
                 f"incremental facts differ from from-scratch after "
                 f"edits {applied}"
             )
+        probe = self._resume_probe(subject)
+        if probe is not None:
+            return probe
         return self._ok(f"edits: {','.join(applied) or 'none'}")
+
+    def _resume_probe(self, subject: Subject):
+        """Crash-mid-fixpoint-then-resume: trip a one-iteration budget
+        with checkpointing at every pass, then re-issue the request with
+        no budget — the service must resume from the persisted snapshot
+        and serve exactly the from-scratch result.  Returns a violation
+        Verdict or None (the probe folds into the oracle's verdict)."""
+        from ..serve import AnalysisService, ServiceConfig
+
+        service = AnalysisService(ServiceConfig(checkpoint_every=1))
+        request = {
+            "op": "analyze", "text": subject.source,
+            "entries": list(subject.entries),
+        }
+        try:
+            degraded = service.handle(dict(
+                request, budget={"max_iterations": 1}
+            ))
+            if not degraded.get("ok") or degraded.get("status") != "degraded":
+                return None  # too small to trip — nothing to resume
+            resumed = service.handle(dict(request))
+        except ReproError:
+            return None
+        try:
+            scratch = Analyzer(Program.from_text(subject.source)).analyze(
+                subject.entries
+            ).stable_dict()
+        except ReproError:
+            return None
+        if not resumed.get("ok") or resumed.get("status") != "exact":
+            return self._violation(
+                "resume after a mid-fixpoint budget trip did not "
+                f"complete exactly (status={resumed.get('status')})"
+            )
+        if resumed["result"] != scratch:
+            return self._violation(
+                "resumed-from-checkpoint facts differ from from-scratch "
+                "analysis after a mid-fixpoint budget trip"
+            )
+        return None
 
 
 def default_oracles() -> List[Oracle]:

@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from typing import FrozenSet, List, Optional, Tuple
 
-from .errors import BudgetExceeded, InjectedFault
+from ..errors import BudgetExceeded, InjectedFault
 
 #: Ordered per-entry / per-spec statuses, least to most damaged.
 STATUS_EXACT = "exact"
@@ -72,6 +72,18 @@ class Budget:
     resets the used counters and (re)arms the deadline.  After the run
     the ``steps_used`` / ``iterations_used`` counters are left readable
     for observability.  Do not share one Budget between concurrent runs.
+
+    **Deadline semantics under retry** (see
+    :mod:`repro.serve.supervisor`): the ``deadline`` is **per attempt**,
+    not cumulative across retries.  Every worker attempt reconstructs
+    its Budget from the wire and calls :meth:`start`, re-arming a fresh
+    deadline — so a retry that resumes from a checkpoint gets the full
+    deadline window to extend the previous attempt's work instead of
+    inheriting an already-spent clock.  The *cumulative* bound on a
+    request is the supervisor's ``cumulative_timeout`` (and the
+    gateway's admission deadline), which caps the whole retry chain in
+    wall-clock terms regardless of how many per-attempt deadlines it
+    contains.
     """
 
     __slots__ = (
@@ -178,6 +190,19 @@ class Budget:
         """Non-raising deadline probe (used by cooperative loops)."""
         deadline_at = self._deadline_at
         return deadline_at is not None and time.monotonic() > deadline_at
+
+    def deadline_imminent(self, fraction: float = 0.25) -> bool:
+        """Non-raising proximity probe: is less than ``fraction`` of the
+        armed deadline window left?
+
+        Used by the checkpoint policy (:mod:`repro.robust.checkpoint`)
+        to snapshot the table *before* the deadline trips, so a
+        degraded or killed run leaves resumable progress behind.  False
+        when no deadline is armed."""
+        deadline_at = self._deadline_at
+        if deadline_at is None or self.deadline is None:
+            return False
+        return (deadline_at - time.monotonic()) < fraction * self.deadline
 
     # ------------------------------------------------------------------
     # Per-request budgets (used by the repro.serve service).
@@ -337,8 +362,8 @@ class FaultPlan:
 def top_success_pattern(arity: int):
     """The ⊤ success pattern for ``arity`` arguments: every position
     ``any``, no structure.  Over-approximates every concrete success."""
-    from .analysis.patterns import Pattern, canonicalize
-    from .domain.sorts import AbsSort
+    from ..analysis.patterns import Pattern, canonicalize
+    from ..domain.sorts import AbsSort
 
     return canonicalize(
         Pattern(tuple(("i", AbsSort.ANY, index) for index in range(arity)))

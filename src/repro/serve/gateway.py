@@ -529,9 +529,13 @@ class Gateway:
         payload.setdefault("on_budget", "degrade")
         return payload
 
-    def _shed(self, request: dict, reason: str, shard=None) -> dict:
+    def _shed(
+        self, request: dict, reason: str, shard=None, retry_after_ms=None
+    ) -> dict:
         self.metrics.counter("gateway.shed", reason=reason).inc()
-        return shed_response(request, reason, shard=shard)
+        return shed_response(
+            request, reason, shard=shard, retry_after_ms=retry_after_ms
+        )
 
     async def _routed(self, request: dict) -> dict:
         """Admission control, budget shedding, and the shard round-trip
@@ -548,7 +552,13 @@ class Gateway:
         try:
             depth = shard.depth()
             if depth >= self.config.queue_depth:
-                return self._shed(request, "queue-full", shard=shard_id)
+                # Hint how long the backlog ahead is expected to take:
+                # a client that honors it retries once the queue has
+                # plausibly drained instead of hammering a full shard.
+                return self._shed(
+                    request, "queue-full", shard=shard_id,
+                    retry_after_ms=shard.estimated_wait(depth) * 1000.0,
+                )
             deadline = self._deadline_of(request)
             if deadline is not None and shard.estimated_wait(depth) > deadline:
                 # The queue ahead of this request is already expected
@@ -571,7 +581,10 @@ class Gateway:
             try:
                 shard.submit(payload, future, loop, deadline_at)
             except ShardSaturated:
-                return self._shed(request, "queue-full", shard=shard_id)
+                return self._shed(
+                    request, "queue-full", shard=shard_id,
+                    retry_after_ms=shard.estimated_wait() * 1000.0,
+                )
         finally:
             if self.tracer is not None:
                 self.tracer.end()
@@ -681,6 +694,12 @@ class Gateway:
             )
             response["error_kind"] = "partial-fanout"
             response["retriable"] = True
+            # The unreached shards were saturated or respawning; hint
+            # the longest expected drain among them as the backoff.
+            response["retry_after_ms"] = round(max(
+                (shard.estimated_wait() for shard in self.shards),
+                default=0.0,
+            ) * 1000.0, 3)
         if "id" in request:
             response["id"] = request["id"]
         return response

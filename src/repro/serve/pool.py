@@ -119,38 +119,63 @@ class Worker:
 
     # ------------------------------------------------------------------
 
-    def request(self, payload: dict, timeout: Optional[float] = None) -> dict:
+    def request(
+        self,
+        payload: dict,
+        timeout: Optional[float] = None,
+        on_interim=None,
+    ) -> dict:
         """Send one request, block for its response line.
 
-        Raises :class:`WorkerTimeout` when no line arrives in
+        The worker may write **interim lines** (objects carrying an
+        ``"_interim"`` key — currently checkpoint snapshots) before the
+        response proper; each is handed to ``on_interim`` (ignored when
+        None) and the wait continues against the *same* wall-clock
+        deadline, so a wedged worker cannot stay alive by trickling
+        checkpoints.
+
+        Raises :class:`WorkerTimeout` when no response arrives in
         ``timeout`` seconds (the worker is *not* killed here — that is
         the caller's policy decision) and :class:`WorkerCrashed` when
         the pipe breaks or EOF arrives instead of a response."""
         self._send_line(json.dumps(payload, sort_keys=True))
-        try:
-            line = self._lines.get(timeout=timeout)
-        except queue.Empty:
-            raise WorkerTimeout(
-                f"worker {self.slot} gave no response within {timeout}s"
-            ) from None
-        if line is None:
-            status = self.process.poll()
-            raise WorkerCrashed(
-                f"worker {self.slot} died (exit status {status}) "
-                "before responding"
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
             )
-        try:
-            response = json.loads(line)
-        except ValueError as error:
-            raise WorkerCrashed(
-                f"worker {self.slot} wrote a garbled response: {error}"
-            ) from error
-        if not isinstance(response, dict):
-            raise WorkerCrashed(
-                f"worker {self.slot} wrote a non-object response"
-            )
-        self.requests_handled += 1
-        return response
+            try:
+                line = self._lines.get(timeout=remaining)
+            except queue.Empty:
+                raise WorkerTimeout(
+                    f"worker {self.slot} gave no response within {timeout}s"
+                ) from None
+            if line is None:
+                status = self.process.poll()
+                raise WorkerCrashed(
+                    f"worker {self.slot} died (exit status {status}) "
+                    "before responding"
+                )
+            try:
+                response = json.loads(line)
+            except ValueError as error:
+                raise WorkerCrashed(
+                    f"worker {self.slot} wrote a garbled response: {error}"
+                ) from error
+            if not isinstance(response, dict):
+                raise WorkerCrashed(
+                    f"worker {self.slot} wrote a non-object response"
+                )
+            if "_interim" in response:
+                if on_interim is not None:
+                    try:
+                        on_interim(response)
+                    except Exception:
+                        pass  # a bad observer must not break the protocol
+                continue
+            self.requests_handled += 1
+            return response
 
     def kill(self) -> None:
         """SIGKILL the subprocess and reap it; safe to call twice."""

@@ -70,6 +70,8 @@ class ScheduleStats:
     discovery_passes: int = 0
     stabilization_passes: int = 0
     verification_passes: int = 0
+    #: Entries planted from a resumed checkpoint (0 = fresh run).
+    resume_planted: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -80,6 +82,7 @@ class ScheduleStats:
             "discovery_passes": self.discovery_passes,
             "stabilization_passes": self.stabilization_passes,
             "verification_passes": self.verification_passes,
+            "resume_planted": self.resume_planted,
         }
 
 
@@ -101,9 +104,23 @@ class SCCScheduler:
         budget: Optional[Budget] = None,
         fault_plan=None,
         on_budget: str = "degrade",
+        checkpoint=None,
+        resume: Optional[dict] = None,
     ) -> Tuple[AnalysisResult, ScheduleStats]:
         """Analyze ``specs``, reusing ``seeds`` where the program reaches
-        them.  Returns the result plus scheduling statistics."""
+        them.  Returns the result plus scheduling statistics.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.robust.checkpoint.CheckpointPolicy` notified
+        after every charged fixpoint pass and flushed (pre-widening)
+        when a spec degrades.  ``resume`` is a validated checkpoint
+        snapshot: its entries are planted *before* the cache seeds (so
+        known-final cache data wins ties), frozen entries staying
+        frozen — a stabilized component from the previous attempt is
+        never re-iterated — while mid-iteration entries continue
+        stabilizing from where they stopped.  The thawed verification
+        sweep re-confirms everything either way, so the served result
+        is identical to a from-scratch run."""
         if budget is None:
             budget = Budget(max_iterations=self.analyzer.max_iterations)
         budget.start()
@@ -134,6 +151,12 @@ class SCCScheduler:
             spec_table = ExtensionTable(
                 budget=budget, fault_plan=fault_plan, metrics=metrics
             )
+            if resume is not None:
+                from ..robust.checkpoint import plant
+
+                stats.resume_planted += plant(
+                    resume, spec_table, respect_frozen=True, metrics=metrics
+                )
             planted = 0
             for indicator, calling, success, share in pool.values():
                 spec_table.seed(indicator, calling, success, share)
@@ -147,12 +170,17 @@ class SCCScheduler:
                 tracer.begin("entry_spec", spec=str(spec), seeds=planted)
             try:
                 self._run_spec(spec, spec_table, machine, report, stats,
-                               budget, fault_plan)
+                               budget, fault_plan, checkpoint)
             except (BudgetExceeded, InjectedFault) as exc:
                 if on_budget == "raise":
                     if tracer is not None:
                         tracer.end(error=repr(exc))
                     raise
+                # Snapshot the pre-widening iterate: the widening below
+                # erases this spec's partial work, and a follow-up
+                # request should resume it rather than re-derive ⊤.
+                if checkpoint is not None:
+                    checkpoint.flush(spec_table)
                 report.status = STATUS_DEGRADED
                 report.reason = str(exc)
             except ReproError as exc:
@@ -215,6 +243,7 @@ class SCCScheduler:
         stats: ScheduleStats,
         budget: Budget,
         fault_plan,
+        checkpoint=None,
     ) -> None:
         graph = self.graph
         tracer = self.analyzer.tracer
@@ -225,6 +254,8 @@ class SCCScheduler:
         if tracer is not None:
             tracer.event("discovery_pass")
         machine.run_pattern(spec.indicator, spec.pattern)
+        if checkpoint is not None:
+            checkpoint.note_pass(table)
         # --- 3. bottom-up stabilization -------------------------------
         # Components are visited callees-first; when one stabilizes,
         # every entry at or below it is final and gets frozen, so the
@@ -247,6 +278,10 @@ class SCCScheduler:
                             passes = self.analyzer.pattern_fixpoint(
                                 machine, indicator, calling,
                                 budget=budget, fault_plan=fault_plan,
+                                on_pass=(
+                                    None if checkpoint is None
+                                    else lambda: checkpoint.note_pass(table)
+                                ),
                             )
                             report.iterations += passes
                             stats.stabilization_passes += passes
@@ -271,6 +306,8 @@ class SCCScheduler:
                 tracer.event("verification_pass")
             before = table.changes
             machine.run_pattern(spec.indicator, spec.pattern)
+            if checkpoint is not None:
+                checkpoint.note_pass(table)
             if table.changes == before:
                 break
         stats.seeds_dropped += table.restrict_to(reachable)

@@ -80,6 +80,11 @@ class ServiceConfig:
     store_dir: Optional[str] = None
     #: Write-ahead journal for the disk store (replayed on startup).
     journal: bool = False
+    #: Checkpoint cadence: snapshot the extension table every this many
+    #: fixpoint passes (plus once on budget-deadline proximity), so a
+    #: crashed or budget-tripped request resumes instead of restarting.
+    #: None disables checkpointing entirely.
+    checkpoint_every: Optional[int] = 16
 
 
 class AnalysisService:
@@ -116,6 +121,17 @@ class AnalysisService:
         #: (program_fp, config knobs) → (Analyzer, CallGraph, merkle fps,
         #: predicate fps); compiling is itself worth caching.
         self._compiled: Dict[str, Tuple] = {}
+        #: Extra checkpoint sink: the worker loop points this at stdout
+        #: so every snapshot also reaches the supervisor as an interim
+        #: wire line (resume-on-retry survives the worker's death even
+        #: without a shared disk store).
+        self.checkpoint_wire_sink = None
+        #: Chaos hook (set per request by the worker loop from a
+        #: ``_chaos {"kill_at_iteration": m}`` directive): SIGKILL this
+        #: process at the m-th fixpoint pass of the request, *after*
+        #: the pass's checkpoint decision — the deterministic stand-in
+        #: for a crash mid-fixpoint.
+        self.kill_at_iteration: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Request handling.
@@ -296,14 +312,91 @@ class AnalysisService:
                 },
                 None,
             )
+        # ---- resume from the best valid checkpoint --------------------
+        # Two sources, best snapshot_rank wins: one attached to the
+        # request (the supervisor replays the best snapshot a crashed
+        # worker shipped up the wire) and one in the durable store
+        # (survives every worker in the pool dying).  Rank is
+        # (frozen, cursor), not cursor alone: the verification phase
+        # thaws the table, so the newest snapshot can carry less durable
+        # progress than an earlier stabilization-boundary one.  Both
+        # sources are best-effort: an invalid snapshot is ignored and
+        # counted, never an error.
+        from ..robust import checkpoint as ckpt
+
+        checkpoint_key = f"{self.store.CHECKPOINT_PREFIX}{request_fp}"
+        resume = None
+        for candidate in (
+            request.get("resume"),
+            self.store.get_checkpoint(checkpoint_key),
+        ):
+            if candidate is None:
+                continue
+            loaded = ckpt.load(
+                candidate, config=config_fp, key=request_fp,
+                metrics=self.metrics,
+            )
+            if loaded is not None and (
+                resume is None
+                or ckpt.snapshot_rank(loaded) > ckpt.snapshot_rank(resume)
+            ):
+                resume = loaded
+        resume_base = ckpt.cursor_iterations(resume) if resume else 0
+        if resume is not None:
+            self.metrics.counter("resume.attempts").inc()
+        # ---- checkpoint policy ----------------------------------------
+        budget = self._budget_for(request)
+        policy = None
+        if self.config.checkpoint_every is not None or self.kill_at_iteration:
+            kill_at = self.kill_at_iteration
+
+            def checkpoint_sink(snap: dict) -> None:
+                # Overwrite the durable snapshot only when the new one
+                # ranks at least as high — a thawed verification-phase
+                # snapshot must not clobber the frozen frontier an
+                # earlier stabilization-boundary snapshot banked.
+                held = self.store.get_checkpoint(checkpoint_key)
+                if held is None or (
+                    ckpt.snapshot_rank(snap) >= ckpt.snapshot_rank(held)
+                ):
+                    self.store.put_checkpoint(checkpoint_key, snap)
+                if self.checkpoint_wire_sink is not None:
+                    self.checkpoint_wire_sink(snap)
+
+            def on_pass(pass_number: int) -> None:
+                if kill_at is not None and pass_number >= kill_at:
+                    import os
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            policy = ckpt.CheckpointPolicy(
+                checkpoint_sink,
+                every=self.config.checkpoint_every,
+                budget=budget,
+                config=config_fp,
+                key=request_fp,
+                entries=specs,
+                base_iterations=resume_base,
+                attempts=(
+                    resume["cursor"].get("attempts", 0) + 1 if resume else 1
+                ),
+                metrics=self.metrics,
+                on_pass=on_pass if kill_at is not None else None,
+            )
         # ---- run the SCC-scheduled fixpoint ---------------------------
         scheduler = SCCScheduler(analyzer, graph)
         result, stats = scheduler.analyze(
             specs,
             seeds=seeds,
-            budget=self._budget_for(request),
+            budget=budget,
             on_budget=request.get("on_budget", "degrade"),
+            checkpoint=policy,
+            resume=resume,
         )
+        if result.status == "exact":
+            # Forward progress complete: the checkpoint is garbage now.
+            self.store.drop_checkpoint(checkpoint_key)
         stable = result.stable_dict()
         full_hit = need_live and f"result:{request_fp}" in self.store
         outcome = HIT if full_hit else (INCREMENTAL if seeds else MISS)

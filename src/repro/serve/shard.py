@@ -53,11 +53,20 @@ class ShardSaturated(ReproError):
 _CLOSE = object()
 
 
-def shed_response(request: dict, reason: str, shard: Optional[int] = None) -> dict:
+def shed_response(
+    request: dict,
+    reason: str,
+    shard: Optional[int] = None,
+    retry_after_ms: Optional[float] = None,
+) -> dict:
     """The structured load-shedding refusal for one request.
 
     ``retriable`` is always true: shedding is a statement about the
     service's load right now, never about the request itself.
+    ``retry_after_ms``, when the shedder can estimate one (queue-full
+    sheds use the shard's smoothed wait estimate), tells a well-behaved
+    client how long to back off before resubmitting — blind immediate
+    retries against a saturated shard only deepen the overload.
     """
     response = {
         "ok": False,
@@ -68,6 +77,8 @@ def shed_response(request: dict, reason: str, shard: Optional[int] = None) -> di
         "retriable": True,
         "op": request.get("op", "analyze"),
     }
+    if retry_after_ms is not None:
+        response["retry_after_ms"] = round(float(retry_after_ms), 3)
     if shard is not None:
         response["shard"] = shard
     if "id" in request:

@@ -44,106 +44,22 @@ import hashlib
 import json
 import os
 from collections import OrderedDict
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Optional
 
-from ..analysis.patterns import Pattern, canonicalize
-from ..analysis.table import ExtensionTable, TableEntry
-from ..domain.sorts import AbsSort
-from ..errors import AnalysisError
-from ..prolog.terms import Indicator, format_indicator
-
-# ----------------------------------------------------------------------
-# JSON round-trip of trees, nodes and patterns.
-
-
-def tree_to_json(tree) -> list:
-    kind = tree[0]
-    if kind == "s":
-        return ["s", AbsSort(tree[1]).name]
-    if kind == "l":
-        return ["l", tree_to_json(tree[1])]
-    assert kind == "f"
-    return ["f", tree[1], tree[2], [tree_to_json(arg) for arg in tree[3]]]
-
-
-def tree_from_json(data) -> tuple:
-    kind = data[0]
-    if kind == "s":
-        return ("s", AbsSort[data[1]])
-    if kind == "l":
-        return ("l", tree_from_json(data[1]))
-    if kind != "f":
-        raise AnalysisError(f"corrupt stored tree node kind {kind!r}")
-    return ("f", data[1], data[2], tuple(tree_from_json(arg) for arg in data[3]))
-
-
-def node_to_json(node) -> list:
-    kind = node[0]
-    if kind == "i":
-        return ["i", AbsSort(node[1]).name, node[2]]
-    if kind == "li":
-        return ["li", tree_to_json(node[1]), node[2]]
-    assert kind == "f"
-    return ["f", node[1], node[2], [node_to_json(child) for child in node[3]]]
-
-
-def node_from_json(data) -> tuple:
-    kind = data[0]
-    if kind == "i":
-        return ("i", AbsSort[data[1]], data[2])
-    if kind == "li":
-        return ("li", tree_from_json(data[1]), data[2])
-    if kind != "f":
-        raise AnalysisError(f"corrupt stored pattern node kind {kind!r}")
-    return ("f", data[1], data[2], tuple(node_from_json(child) for child in data[3]))
-
-
-def pattern_to_json(pattern: Pattern) -> list:
-    return [node_to_json(node) for node in pattern.args]
-
-
-def pattern_from_json(data) -> Pattern:
-    return canonicalize(Pattern(tuple(node_from_json(node) for node in data)))
-
-
-def entry_to_json(indicator: Indicator, entry: TableEntry) -> dict:
-    return {
-        "predicate": format_indicator(indicator),
-        "calling": pattern_to_json(entry.calling),
-        "success": (
-            pattern_to_json(entry.success)
-            if entry.success is not None
-            else None
-        ),
-        "may_share": sorted(list(pair) for pair in entry.may_share),
-        "status": entry.status,
-    }
-
-
-def entry_from_json(data) -> Tuple[Indicator, Pattern, Optional[Pattern], FrozenSet]:
-    name, _, arity = data["predicate"].rpartition("/")
-    indicator = (name, int(arity))
-    calling = pattern_from_json(data["calling"])
-    success = (
-        pattern_from_json(data["success"])
-        if data["success"] is not None
-        else None
-    )
-    may_share = frozenset(tuple(pair) for pair in data["may_share"])
-    return indicator, calling, success, may_share
-
-
-def table_to_json(table: ExtensionTable, indicators=None) -> List[dict]:
-    """Serialize a table (or the entries of ``indicators`` only), sorted
-    for deterministic output."""
-    wanted = set(indicators) if indicators is not None else None
-    entries = [
-        entry_to_json(indicator, entry)
-        for indicator, entry in table.all_entries()
-        if wanted is None or indicator in wanted
-    ]
-    entries.sort(key=lambda item: (item["predicate"], json.dumps(item["calling"])))
-    return entries
+# The JSON codecs moved to repro.analysis.codec (the checkpoint layer
+# needs them without importing the serve package); re-exported here so
+# existing importers keep working.
+from ..analysis.codec import (  # noqa: F401  (re-exports)
+    entry_from_json,
+    entry_to_json,
+    node_from_json,
+    node_to_json,
+    pattern_from_json,
+    pattern_to_json,
+    table_to_json,
+    tree_from_json,
+    tree_to_json,
+)
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +148,53 @@ class ResultStore:
         if self.disk is not None:
             self.disk.put(key, text)
         return True
+
+    # ------------------------------------------------------------------
+    # The checkpoint namespace (see repro.robust.checkpoint).
+    #
+    # Checkpoints are *partial* fixpoint state by definition, so they
+    # bypass the exact-only gate of :meth:`put` — but only under the
+    # reserved ``checkpoint:`` prefix, so an ordinary result key can
+    # never smuggle a non-exact value past the gate.  Durability,
+    # checksums, quarantine and journal replay are all inherited from
+    # the disk layer unchanged: a torn checkpoint is quarantined and
+    # reads as a miss, which merely costs re-derivation.
+
+    CHECKPOINT_PREFIX = "checkpoint:"
+
+    def put_checkpoint(self, key: str, value) -> bool:
+        """Store an intermediate fixpoint snapshot; returns True when
+        stored (an oversized snapshot is refused like any value)."""
+        if not key.startswith(self.CHECKPOINT_PREFIX):
+            raise ValueError(
+                f"checkpoint keys must start with {self.CHECKPOINT_PREFIX!r}"
+            )
+        text = json.dumps(value, sort_keys=True)
+        if self.max_bytes is not None and len(text) > self.max_bytes:
+            return False
+        self._install(key, text)
+        if self.disk is not None:
+            self.disk.put(key, text)
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.stored").inc()
+        return True
+
+    def get_checkpoint(self, key: str):
+        """The stored snapshot under ``key`` or None (same read path as
+        :meth:`get`; the caller verifies the embedded checksum)."""
+        if not key.startswith(self.CHECKPOINT_PREFIX):
+            raise ValueError(
+                f"checkpoint keys must start with {self.CHECKPOINT_PREFIX!r}"
+            )
+        return self.get(key)
+
+    def drop_checkpoint(self, key: str) -> bool:
+        """GC one checkpoint (memory and disk) after its request
+        completed exactly; True when anything was dropped."""
+        dropped = self.invalidate(key)
+        if dropped and self.metrics is not None:
+            self.metrics.counter("checkpoint.gc").inc()
+        return dropped
 
     def _install(self, key: str, text: str) -> None:
         old = self._data.pop(key, None)
@@ -441,6 +404,10 @@ class DiskStore:
                 lines = handle.readlines()
         except OSError:
             return 0
+        # Newest-valid-record-per-key wins: a key written several times
+        # (checkpoints overwrite in place as the fixpoint advances) must
+        # be repaired from its *latest* journaled state, not its first.
+        latest: "OrderedDict[str, str]" = OrderedDict()
         for line in lines:
             line = line.strip()
             if not line:
@@ -459,17 +426,24 @@ class DiskStore:
             value_text = json.dumps(record["value"], sort_keys=True)
             if _checksum(value_text) != record["sha256"]:
                 continue  # a corrupted journal record repairs nothing
-            path = self._path(record["key"])
+            latest[record["key"]] = value_text
+        for key, value_text in latest.items():
+            path = self._path(key)
             current = None
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     current = self._verify(json.load(handle))
             except (OSError, ValueError):
                 current = None
-            if current is None:
-                self._write_file(path, self._record_text(
-                    record["key"], value_text
-                ))
+            # Repair when the file is damaged OR holds an older state
+            # than the journal: each put journals *before* writing the
+            # entry file, so a verified file that still differs from the
+            # newest journaled record means the crash landed between the
+            # append and the overwrite.
+            if current is None or (
+                json.dumps(current, sort_keys=True) != value_text
+            ):
+                self._write_file(path, self._record_text(key, value_text))
                 repaired += 1
         self.journal_replayed += repaired
         if repaired and self.metrics is not None:

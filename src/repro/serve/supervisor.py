@@ -21,14 +21,38 @@ in a worker subprocess from a :class:`~repro.serve.pool.WorkerPool`:
   with a structured *retriable* error.  Either way the next request
   finds a fresh worker — a crash never takes the service down.
 
+* **Resume-on-retry.**  Workers ship interim
+  ``{"_interim": "checkpoint", ...}`` lines while a fixpoint runs (see
+  :mod:`repro.serve.worker`); the supervisor retains the newest
+  snapshot per request key and attaches it as ``"resume"`` on every
+  crash retry, so each attempt continues from the last checkpointed
+  pass instead of re-deriving everything.  The key hashes the request
+  minus ``id``/``_chaos``/``resume``, so a resubmitted identical
+  request also picks up where the crashed one stopped.
+
+* **Crash-loop containment.**  A request whose workers keep dying
+  *without advancing the checkpoint cursor* is a poison pill, not bad
+  luck: after ``crash_loop_threshold`` consecutive no-progress crashes
+  the request is quarantined and answered — now and on every identical
+  resubmission — with a structured *non-retriable* ``"crash-loop"``
+  error instead of burning more forks.  Any cursor advance or success
+  resets the strike count; ``invalidate`` clears the quarantine.
+
 Error responses carry machine-readable classification::
 
     {"ok": false, "error": "...", "error_kind": "worker-crash",
      "retriable": true, "attempts": 3}
 
-``error_kind`` is ``"worker-crash"`` or ``"timeout"``; ``retriable``
-tells the client whether resubmitting the identical request can
-succeed.
+``error_kind`` is ``"worker-crash"``, ``"timeout"`` or ``"crash-loop"``;
+``retriable`` tells the client whether resubmitting the identical
+request can succeed.
+
+Deadline semantics under retry: each attempt gets a **fresh**
+per-attempt kill timer (`_timeout_for`), because the budget deadline it
+mirrors is re-armed inside each worker attempt; the whole retry chain
+is additionally bounded by ``cumulative_timeout`` — once the chain has
+consumed that much wall clock, no further retry is attempted and the
+request is answered with a non-retriable ``"timeout"`` error.
 
 Chaos injection: a :class:`~repro.robust.FaultPlan` with serve sites
 armed makes the supervisor attach ``"_chaos"`` directives to outgoing
@@ -40,11 +64,14 @@ exercises exactly one crash.  See :mod:`repro.bench.chaos`.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..robust import FaultPlan
+from ..robust.checkpoint import cursor_iterations, snapshot_rank
 from .pool import WorkerCrashed, WorkerPool, WorkerTimeout
 from .service import ServiceConfig
 from .worker import config_to_wire
@@ -67,6 +94,13 @@ class SupervisorConfig:
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_cap: float = 1.0
+    #: Wall-clock bound on a request's *whole retry chain* (all attempts
+    #: plus backoff), while ``request_timeout`` bounds each attempt.
+    #: None: the chain is bounded only by max_retries.
+    cumulative_timeout: Optional[float] = None
+    #: Consecutive worker crashes *without checkpoint-cursor advance*
+    #: before a request is quarantined as a crash loop.
+    crash_loop_threshold: int = 3
 
 
 class Supervisor:
@@ -101,6 +135,30 @@ class Supervisor:
         from ..obs.metrics import MetricsRegistry
 
         self.metrics = MetricsRegistry()
+        #: Newest checkpoint snapshot per request key, fed by workers'
+        #: interim wire lines; attached as ``"resume"`` on crash retry.
+        self._resume: Dict[str, dict] = {}
+        #: Consecutive no-progress crash strikes per request key.
+        self._strikes: Dict[str, int] = {}
+        #: Quarantined request keys → the crash-loop error message.
+        self._quarantine: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Request identity (for resume and crash-loop bookkeeping).
+
+    @staticmethod
+    def _request_key(request: dict) -> str:
+        """A stable key for 'the same work': the request minus delivery
+        metadata (``id``), injection (``_chaos``) and any snapshot a
+        client attached (``resume``)."""
+        bare = {
+            key: value for key, value in request.items()
+            if key not in ("id", "_chaos", "resume")
+        }
+        canonical = json.dumps(
+            bare, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Deadlines.
@@ -146,6 +204,11 @@ class Supervisor:
                 response["id"] = request["id"]
             response["op"] = "metrics"
         elif op == "invalidate":
+            # A changed world also voids retained snapshots and any
+            # quarantine verdicts — the "poison" may have been fixed.
+            self._resume.clear()
+            self._strikes.clear()
+            self._quarantine.clear()
             response = self._broadcast(request)
         else:
             response = self._execute(request)
@@ -159,9 +222,22 @@ class Supervisor:
 
     def _execute(self, request: dict) -> dict:
         timeout = self._timeout_for(request)
+        key = self._request_key(request)
+        quarantined = self._quarantine.get(key)
+        if quarantined is not None:
+            # Crash-loop containment: a quarantined request is answered
+            # immediately — no fork is burned on a known poison pill.
+            self.metrics.counter("serve.worker.crash_loop_rejects").inc()
+            return self._error_response(
+                request,
+                kind="crash-loop",
+                retriable=False,
+                attempts=0,
+                message=quarantined,
+            )
         payload = dict(request)
         if self.fault_plan is not None:
-            chaos = {}
+            chaos = dict(payload.get("_chaos") or {})
             if self.fault_plan.probe("request"):
                 chaos["kill"] = True
             if self.fault_plan.probe("response"):
@@ -169,14 +245,39 @@ class Supervisor:
             if chaos:
                 payload["_chaos"] = chaos
         attempts = 0
+        chain_started = time.monotonic()
         self.metrics.counter(
             "serve.worker.requests", op=str(request.get("op", "analyze"))
         ).inc()
+
+        # Forward-progress clock, advanced by *every* interim snapshot
+        # (even ones retention rejects): crash-loop detection must see
+        # the cursor move when the attempt covered new ground, while
+        # retention keeps the best-*ranked* snapshot — a thawed
+        # verification-phase snapshot advances the clock but must not
+        # clobber a frozen-frontier snapshot already held.
+        progress = {"cursor": cursor_iterations(self._resume.get(key))}
+
+        def note_interim(line: dict) -> None:
+            snap = line.get("checkpoint")
+            cursor = cursor_iterations(snap)
+            if cursor > progress["cursor"]:
+                progress["cursor"] = cursor
+            if snapshot_rank(snap) >= snapshot_rank(self._resume.get(key)):
+                self._resume[key] = snap
+
         while True:
             attempts += 1
+            snapshot = self._resume.get(key)
+            if snapshot is not None:
+                payload["resume"] = snapshot
+                self.metrics.counter("resume.wire_attached").inc()
+            cursor_before = progress["cursor"]
             slot, worker = self.pool.checkout()
             try:
-                response = worker.request(payload, timeout)
+                response = worker.request(
+                    payload, timeout, on_interim=note_interim
+                )
             except WorkerTimeout:
                 self.timeouts += 1
                 self.metrics.counter("serve.worker.timeouts").inc()
@@ -199,6 +300,44 @@ class Supervisor:
                 self.pool.report_crash(slot)
                 # An injected kill fired; the retry must run clean.
                 payload.pop("_chaos", None)
+                if progress["cursor"] > cursor_before:
+                    # The crashed attempt still moved the fixpoint
+                    # forward — that is not a loop, it is progress.
+                    self._strikes[key] = 0
+                else:
+                    strikes = self._strikes.get(key, 0) + 1
+                    self._strikes[key] = strikes
+                    if strikes >= self.config.crash_loop_threshold:
+                        message = (
+                            f"crash loop: {strikes} consecutive worker "
+                            "crashes with no fixpoint progress; request "
+                            "quarantined"
+                        )
+                        self._quarantine[key] = message
+                        self.metrics.counter("serve.worker.crash_loops").inc()
+                        return self._error_response(
+                            request,
+                            kind="crash-loop",
+                            retriable=False,
+                            attempts=attempts,
+                            message=message,
+                        )
+                cumulative = self.config.cumulative_timeout
+                if (
+                    cumulative is not None
+                    and time.monotonic() - chain_started >= cumulative
+                ):
+                    self.metrics.counter("serve.worker.timeouts").inc()
+                    return self._error_response(
+                        request,
+                        kind="timeout",
+                        retriable=False,
+                        attempts=attempts,
+                        message=(
+                            f"retry chain exceeded cumulative timeout "
+                            f"{cumulative:.3f}s"
+                        ),
+                    )
                 if attempts <= self.config.max_retries:
                     self.retries += 1
                     self.metrics.counter("serve.worker.retries").inc()
@@ -213,6 +352,8 @@ class Supervisor:
             else:
                 self.pool.report_success(slot)
                 self._absorb_metrics(response)
+                self._strikes.pop(key, None)
+                self._resume.pop(key, None)  # the work is done; GC
                 response["worker"] = slot
                 if attempts > 1:
                     response["attempts"] = attempts
@@ -278,6 +419,8 @@ class Supervisor:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "crashes_survived": self.crashes_survived,
+            "quarantined": len(self._quarantine),
+            "retained_checkpoints": len(self._resume),
             "pool": self.pool.stats(),
             "metrics": self.metrics.snapshot(),
         }

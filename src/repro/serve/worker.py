@@ -20,7 +20,19 @@ service:
 * ``{"delay": seconds}`` — compute the response, then sleep before
   writing it: the stand-in for a runaway request that must be killed by
   the supervisor's wall-clock timer;
-* ``{"exit": code}`` — exit immediately with ``code``.
+* ``{"exit": code}`` — exit immediately with ``code``;
+* ``{"kill_at_iteration": m}`` — SIGKILL this process at the m-th
+  fixpoint pass of the request, *after* that pass's checkpoint
+  decision: the deterministic stand-in for a crash mid-fixpoint, used
+  by the chaos campaign to prove checkpointed resume.
+
+Besides the one response line per request, the worker may emit
+**interim lines** ``{"_interim": "checkpoint", "checkpoint": {...}}``
+— one per snapshot the service's
+:class:`~repro.robust.checkpoint.CheckpointPolicy` emits.  The
+supervisor retains the newest one per request key and attaches it as
+``"resume"`` when it retries after a crash, so a killed worker's
+fixpoint progress survives even without a shared disk store.
 
 Python-level failures that *can* be caught (a bug in the analyzer, a
 ``RecursionError`` that unwound cleanly) are answered in-process as
@@ -54,6 +66,7 @@ _CONFIG_FIELDS = (
     "max_bytes",
     "store_dir",
     "journal",
+    "checkpoint_every",
 )
 
 _BUDGET_FIELDS = ("max_steps", "max_iterations", "max_table_entries", "deadline")
@@ -110,6 +123,14 @@ def worker_loop(stdin, stdout) -> int:
         stdout.flush()
         return 2
     service = AnalysisService(config)
+
+    def ship_checkpoint(snap: dict) -> None:
+        stdout.write(json.dumps(
+            {"_interim": "checkpoint", "checkpoint": snap}, sort_keys=True
+        ) + "\n")
+        stdout.flush()
+
+    service.checkpoint_wire_sink = ship_checkpoint
     for line in stdin:
         line = line.strip()
         if not line:
@@ -123,6 +144,8 @@ def worker_loop(stdin, stdout) -> int:
             if isinstance(request, dict):
                 chaos = request.pop("_chaos", None)
                 _apply_chaos_on_receipt(chaos)
+                if chaos and chaos.get("kill_at_iteration") is not None:
+                    service.kill_at_iteration = int(chaos["kill_at_iteration"])
                 try:
                     response = service.handle(request)
                     # Ship what this request changed in the worker's
@@ -136,6 +159,8 @@ def worker_loop(stdin, stdout) -> int:
                         "ok": False,
                         "error": f"worker exception: {error!r}",
                     }
+                finally:
+                    service.kill_at_iteration = None
             else:
                 response = {"ok": False, "error": "request must be an object"}
         if chaos and chaos.get("delay"):

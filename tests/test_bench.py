@@ -250,7 +250,12 @@ class TestLoadBench:
         assert document["unstructured_errors"] == 0
         # The overload phase actually overloaded.
         assert document["phases"]["overload"]["shed"] > 0
-        for phase in ("warmup", "steady", "overload"):
+        # The backoff phase's well-behaved client actually honored
+        # queue-full retry_after_ms hints (a zero hint — cold shard
+        # EWMA — is retried immediately and not counted as honored).
+        backoff = document["phases"]["backoff"]
+        assert 0 < backoff["retry_after_honored"] <= backoff["retries"]
+        for phase in ("warmup", "steady", "overload", "backoff"):
             latency = document["phases"][phase]["latency"]
             for key in ("p50_ms", "p95_ms", "p99_ms"):
                 assert latency[key] >= 0.0

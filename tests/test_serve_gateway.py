@@ -110,6 +110,14 @@ def test_shed_response_is_structured_and_retriable():
     assert response["retriable"] is True
     assert response["shard"] == 1
     assert response["id"] == 7
+    assert "retry_after_ms" not in response  # only when estimable
+
+
+def test_shed_response_carries_retry_after_hint():
+    response = shed_response(
+        {"op": "analyze"}, "queue-full", retry_after_ms=123.4567
+    )
+    assert response["retry_after_ms"] == 123.457
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +254,9 @@ def test_queue_full_requests_are_shed_not_queued():
                 assert response["shed"] is True, response
                 assert response["reason"] == "queue-full"
                 assert response["error_kind"] == "shed"
+                # Queue-full sheds carry the backoff hint (the smoothed
+                # wait estimate; 0.0 here — nothing served yet).
+                assert response["retry_after_ms"] >= 0.0
                 shed.append(response["id"])
             backends[0].release.set()
             for _ in range(3):

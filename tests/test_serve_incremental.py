@@ -111,7 +111,17 @@ def test_tripped_budget_never_contaminates_the_store(max_iterations):
     text = _render(Program.from_text(NREV))
     service.handle({"op": "analyze", "text": text, "entries": [entry]})
     edited = _random_edit(text, rng)
-    before = service.store.stats()["entries"]
+
+    def result_keys():
+        # Results and SCC summaries; the checkpoint namespace is
+        # excluded — a degraded run deliberately persists its
+        # pre-widening snapshot there (see docs/robustness.md).
+        return {
+            key for key in service.store._data
+            if not key.startswith("checkpoint:")
+        }
+
+    before = result_keys()
     degraded = service.handle({
         "op": "analyze", "text": edited, "entries": [entry],
         "budget": {"max_iterations": max_iterations},
@@ -122,8 +132,8 @@ def test_tripped_budget_never_contaminates_the_store(max_iterations):
         # the result must be the true one
         assert degraded["result"] == _scratch(edited, entry)
     else:
-        # degraded: the store must not have grown by this request
-        assert service.store.stats()["entries"] == before
+        # degraded: no result/summary entry was stored by this request
+        assert result_keys() == before
         assert service.store.stats()["rejected_degraded"] == 0
     # a healthy request afterwards is exact and equal to from-scratch,
     # never seeded with degraded garbage

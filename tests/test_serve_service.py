@@ -155,12 +155,24 @@ def test_degraded_results_are_not_cached():
     }
     degraded = service.handle(tight)
     assert degraded["status"] == "degraded"
-    assert service.store.stats()["entries"] == 0
+    # No *result* or SCC summary is cached — only a checkpoint snapshot
+    # (a different namespace: pre-widening fixpoint progress, kept so
+    # the healthy follow-up resumes instead of re-deriving).
+    assert not [
+        key for key in service.store._data if not key.startswith("checkpoint:")
+    ]
+    assert [
+        key for key in service.store._data if key.startswith("checkpoint:")
+    ]
     # a healthy request afterwards recomputes and gets the exact result
     healthy = service.handle({"op": "analyze", "text": NREV, "entries": [ENTRY]})
     assert healthy["status"] == "exact"
     assert healthy["cache"]["outcome"] == MISS
     assert healthy["result"] == _scratch(NREV, [ENTRY])
+    # ...and the checkpoint was garbage-collected on exact completion.
+    assert not [
+        key for key in service.store._data if key.startswith("checkpoint:")
+    ]
 
 
 def test_per_request_budget_tightens_server_budget():
@@ -175,13 +187,37 @@ def test_per_request_budget_tightens_server_budget():
 
 
 def test_budget_exhaustion_in_one_request_does_not_leak():
-    service = _service(budget=Budget(max_iterations=4))
+    # checkpoint_every=None isolates the budget-accounting contract;
+    # with checkpointing on, the second request would legitimately
+    # resume and finish (see test below).
+    service = _service(budget=Budget(max_iterations=4), checkpoint_every=None)
     first = service.handle({"op": "analyze", "text": NREV, "entries": [ENTRY]})
     assert first["status"] == "degraded"  # 4 iterations is not enough cold
     again = service.handle({"op": "analyze", "text": NREV, "entries": [ENTRY]})
     # the second request gets its own allowance, not the leftovers
     assert again["status"] == "degraded"
     assert again["cache"]["outcome"] == MISS
+
+
+def test_budget_trips_make_cumulative_progress_via_checkpoints():
+    # With checkpointing on, each degraded attempt banks its fixpoint
+    # progress: repeated identical requests under the same insufficient
+    # per-request budget eventually complete exactly — and the exact
+    # result equals a from-scratch run.
+    service = _service(budget=Budget(max_iterations=4), checkpoint_every=1)
+    request = {"op": "analyze", "text": NREV, "entries": [ENTRY]}
+    statuses = []
+    for _ in range(8):
+        response = service.handle(dict(request))
+        statuses.append(response["status"])
+        if response["status"] == "exact":
+            break
+    assert statuses[0] == "degraded"
+    assert statuses[-1] == "exact"
+    assert response["result"] == _scratch(NREV, [ENTRY])
+    snapshot = service.metrics.snapshot()
+    assert snapshot["resume.attempts"]["value"] >= 1
+    assert snapshot["checkpoint.gc"]["value"] >= 1
 
 
 def test_config_change_misses():
