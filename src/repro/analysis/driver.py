@@ -139,6 +139,41 @@ def parse_entry_spec(spec: Union[str, Term, EntrySpec]) -> EntrySpec:
     return EntrySpec(indicator, canonicalize(Pattern(nodes)))
 
 
+#: Cap on table entries embedded per ``table_state`` event — a runaway
+#: table must not turn the trace file into the bottleneck.
+STATE_DUMP_MAX_ENTRIES = 200
+
+
+class _StateDumper:
+    """Emits capped ``table_state`` events for the time-travel viewer.
+
+    One event per fixpoint pass (``--trace-states N`` bounds the total),
+    each carrying a :meth:`ExtensionTable.state_dump` snapshot with the
+    *frontier* marked — the entries whose ``updates`` count moved since
+    the previous dump, i.e. what this pass actually touched.  Only ever
+    constructed when a tracer is present and ``trace_states > 0``.
+    """
+
+    __slots__ = ("remaining", "_last")
+
+    def __init__(self, budget: int):
+        self.remaining = budget
+        self._last: Dict[str, int] = {}
+
+    def dump(self, tracer, table: ExtensionTable, **attrs) -> None:
+        if self.remaining <= 0:
+            return
+        self.remaining -= 1
+        state = table.state_dump(max_entries=STATE_DUMP_MAX_ENTRIES)
+        seen: Dict[str, int] = {}
+        for entry in state["entries"]:
+            key = entry["key"]
+            seen[key] = entry["updates"]
+            entry["frontier"] = entry["updates"] != self._last.get(key, -1)
+        self._last = seen
+        tracer.event("table_state", state=state, **attrs)
+
+
 @dataclass
 class EntryReport:
     """How the analysis of one entry spec went.
@@ -202,6 +237,7 @@ class Analyzer:
         on_budget: str = "raise",
         metrics=None,
         tracer=None,
+        trace_states: int = 0,
     ):
         if on_budget not in ("raise", "degrade"):
             raise ValueError(
@@ -228,9 +264,27 @@ class Analyzer:
         #: single identity check.
         self.metrics = metrics
         self.tracer = tracer
+        #: With a tracer set and ``trace_states > 0``, emit up to that
+        #: many per-pass ``table_state`` events (the time-travel data of
+        #: docs/tracing.md).  0 — the default — adds nothing to the hot
+        #: path beyond the existing tracer None checks.
+        self.trace_states = trace_states
+        self._state_dumper: Optional[_StateDumper] = None
 
     # ------------------------------------------------------------------
     # Fine-grained entry points (used by the repro.serve scheduler).
+
+    def reset_state_dumps(self) -> None:
+        """Re-arm the per-run state-dump budget (start of an analyze)."""
+        self._state_dumper = (
+            _StateDumper(self.trace_states)
+            if self.tracer is not None and self.trace_states > 0
+            else None
+        )
+
+    def _dump_state(self, table: ExtensionTable, **attrs) -> None:
+        if self._state_dumper is not None and self.tracer is not None:
+            self._state_dumper.dump(self.tracer, table, **attrs)
 
     def machine_for(
         self,
@@ -284,6 +338,12 @@ class Analyzer:
                 )
             before = table.changes
             machine.run_pattern(indicator, pattern)
+            if self.tracer is not None:
+                self._dump_state(
+                    table,
+                    pattern=f"{indicator[0]}/{indicator[1]}{pattern}",
+                    pass_number=iterations,
+                )
             if on_pass is not None:
                 on_pass()
             if table.changes == before:
@@ -329,6 +389,7 @@ class Analyzer:
         started = time.perf_counter()
         metrics = self.metrics
         tracer = self.tracer
+        self.reset_state_dumps()
         for spec in specs:
             spec_table = ExtensionTable(
                 budget=budget, fault_plan=plan, metrics=metrics
@@ -365,6 +426,12 @@ class Analyzer:
                         )
                     before = spec_table.changes
                     machine.run_pattern(spec.indicator, spec.pattern)
+                    if tracer is not None:
+                        self._dump_state(
+                            spec_table,
+                            pattern=str(spec),
+                            pass_number=report.iterations,
+                        )
                     if checkpoint is not None:
                         checkpoint.note_pass((table, spec_table))
                     if spec_table.changes == before:

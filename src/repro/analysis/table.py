@@ -58,6 +58,11 @@ class ExtensionTable:
         self.changes = 0
         self.lookups = 0
         self.updates = 0
+        #: Lubs that strictly grew an existing success summary (the
+        #: widening steps of the fixpoint).  Kept as a plain counter —
+        #: like ``changes`` — so state dumps (docs/tracing.md) can show
+        #: it without a metrics registry.
+        self.widenings = 0
         self.size = 0
         #: Optional repro.robust.Budget charged for table growth.
         self.budget = budget
@@ -148,17 +153,16 @@ class ExtensionTable:
             merged = success
         else:
             merged = pattern_lub(entry.success, success)
-        changed = merged != entry.success or new_share != entry.may_share
+        success_changed = merged != entry.success
+        changed = success_changed or new_share != entry.may_share
         if changed:
             # A lub that strictly grew an existing summary is a widening
             # step of the fixpoint (table.widenings); first successes and
             # share-only growth are not.
-            if (
-                self._m_widenings is not None
-                and entry.success is not None
-                and merged != entry.success
-            ):
-                self._m_widenings.inc()
+            if entry.success is not None and success_changed:
+                self.widenings += 1
+                if self._m_widenings is not None:
+                    self._m_widenings.inc()
             entry.success = merged
             entry.may_share = new_share
             entry.updates += 1
@@ -206,6 +210,7 @@ class ExtensionTable:
         self.changes += other.changes
         self.lookups += other.lookups
         self.updates += other.updates
+        self.widenings += other.widenings
 
     # ------------------------------------------------------------------
     # Serving: seeding from cached summaries, freezing, reachability.
@@ -304,6 +309,40 @@ class ExtensionTable:
         for indicator, by_pattern in self._entries.items():
             for entry in by_pattern.values():
                 yield indicator, entry
+
+    def state_dump(self, max_entries: Optional[int] = None) -> dict:
+        """A JSON-safe snapshot of the table for trace state dumps.
+
+        One dict per entry (key, calling, success, status, updates,
+        frozen) plus the aggregate counters; ``truncated`` appears when
+        ``max_entries`` cut the listing.  Used by the ``--trace-states``
+        time-travel view (docs/tracing.md) — never on the default path.
+        """
+        entries = []
+        truncated = 0
+        for indicator, entry in self.all_entries():
+            if max_entries is not None and len(entries) >= max_entries:
+                truncated += 1
+                continue
+            entries.append({
+                "key": f"{format_indicator(indicator)}{entry.calling}",
+                "calling": str(entry.calling),
+                "success": (
+                    str(entry.success) if entry.success is not None else None
+                ),
+                "status": entry.status,
+                "updates": entry.updates,
+                "frozen": entry.frozen,
+            })
+        dump = {
+            "entries": entries,
+            "size": self.size,
+            "changes": self.changes,
+            "widenings": self.widenings,
+        }
+        if truncated:
+            dump["truncated"] = truncated
+        return dump
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._entries.values())

@@ -232,23 +232,35 @@ def _overhead_microbench(benchmarks, repeats: int) -> dict:
 
     from ..obs import MetricsRegistry
 
-    def one_pass(with_metrics: bool) -> List[float]:
+    def one_pass(mode: str) -> List[float]:
         times: List[float] = []
         for benchmark in benchmarks:
-            registry = MetricsRegistry() if with_metrics else None
-            analyzer = Analyzer(
-                Program.from_text(benchmark.source), metrics=registry
-            )
+            if mode == "metrics":
+                analyzer = Analyzer(
+                    Program.from_text(benchmark.source),
+                    metrics=MetricsRegistry(),
+                )
+            elif mode == "trace_off":
+                # The exact constructor path a trace-capable caller
+                # uses with tracing disabled: every tracing site must
+                # reduce to the same None checks as the plain path.
+                analyzer = Analyzer(
+                    Program.from_text(benchmark.source),
+                    tracer=None, trace_states=0,
+                )
+            else:
+                analyzer = Analyzer(Program.from_text(benchmark.source))
             gc.collect()
             started = time.perf_counter()
             analyzer.analyze([benchmark.entry])
             times.append(time.perf_counter() - started)
         return times
 
-    one_pass(False)  # warm-up (imports, code caches)
+    one_pass("off")  # warm-up (imports, code caches)
     off_rounds: List[List[float]] = []
     on_rounds: List[List[float]] = []
     off_again_rounds: List[List[float]] = []
+    trace_off_rounds: List[List[float]] = []
     # A noisy scheduler can fake a few percent between two identical
     # configurations; more rounds than the timing benchmarks use keep
     # the per-benchmark minima under the noise we are trying to bound
@@ -257,9 +269,10 @@ def _overhead_microbench(benchmarks, repeats: int) -> dict:
     gc.disable()
     try:
         for _ in range(max(15, repeats)):
-            off_rounds.append(one_pass(False))
-            on_rounds.append(one_pass(True))
-            off_again_rounds.append(one_pass(False))
+            off_rounds.append(one_pass("off"))
+            on_rounds.append(one_pass("metrics"))
+            trace_off_rounds.append(one_pass("trace_off"))
+            off_again_rounds.append(one_pass("off"))
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -270,11 +283,13 @@ def _overhead_microbench(benchmarks, repeats: int) -> dict:
     off = floor(off_rounds)
     on = floor(on_rounds)
     off_again = floor(off_again_rounds)
+    trace_off = floor(trace_off_rounds)
     return {
         "passes": len(off_rounds),
         "metrics_off_ms": round(off * 1000.0, 3),
         "metrics_on_ms": round(on * 1000.0, 3),
         "metrics_off_again_ms": round(off_again * 1000.0, 3),
+        "trace_off_ms": round(trace_off * 1000.0, 3),
         #: The opt-in cost of --profile: the per-instruction accounting
         #: the profiled dispatch loop pays.  Informational.
         "metrics_on_overhead_percent": round((on - off) / off * 100.0, 2),
@@ -285,6 +300,13 @@ def _overhead_microbench(benchmarks, repeats: int) -> dict:
             abs(off_again - off) / off * 100.0, 2
         ),
         "metrics_off_bound_percent": 3.0,
+        #: The tracing guarantee (docs/tracing.md): with no tracer and
+        #: no state dumps, the fixpoint loop pays only identity checks —
+        #: trace-off must time within 1% of the plain analyzer.
+        "trace_off_delta_percent": round(
+            abs(trace_off - off) / off * 100.0, 2
+        ),
+        "trace_off_bound_percent": 1.0,
     }
 
 
@@ -336,6 +358,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             summary=f"wrote {arguments.obs_out}: metrics-off delta "
             f"{overhead['metrics_off_delta_percent']:.2f}% "
             f"(bound {overhead['metrics_off_bound_percent']:.0f}%), "
+            f"trace-off delta "
+            f"{overhead['trace_off_delta_percent']:.2f}% "
+            f"(bound {overhead['trace_off_bound_percent']:.0f}%), "
             f"--profile costs "
             f"{overhead['metrics_on_overhead_percent']:+.2f}%",
         )

@@ -26,6 +26,11 @@ optimizer validation, incremental serve), violations are shrunk to
 minimal reproducers, and the summary lands in ``BENCH_fuzz.json``;
 exit status 1 on any violation (see docs/fuzz.md).
 
+``repro-trace check|stitch|html trace.jsonl`` — inspect a span trace:
+validate the stitched multi-process invariants, merge the per-process
+records into one tree, or render the self-contained HTML time-travel
+viewer (see docs/tracing.md).
+
 ``repro-serve`` — the analysis service: JSON-lines requests on stdin
 (or ``--batch file.pl ...`` for a one-shot run), content-addressed
 result caching and incremental re-analysis; ``--workers N`` executes
@@ -294,6 +299,12 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
         help="write a JSON-lines span trace to PATH ('-' for stderr)",
     )
     parser.add_argument(
+        "--trace-states", type=int, default=0, metavar="N",
+        help="with --trace-out: embed up to N per-pass extension-table "
+        "state dumps in the trace, the data behind the viewer's "
+        "time-travel panel (see docs/tracing.md; default 0 = off)",
+    )
+    parser.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="snapshot the extension table to PATH every "
         "--checkpoint-every fixpoint passes (and at a budget degrade), "
@@ -320,6 +331,7 @@ def _analyze_command(argv: Optional[Sequence[str]] = None) -> int:
 
         tracer = Tracer(arguments.trace_out)
         analyzer.tracer = tracer
+        analyzer.trace_states = max(0, arguments.trace_states)
     metrics = None
     if arguments.profile:
         from .obs import MetricsRegistry
@@ -598,7 +610,7 @@ def _serve_gateway(arguments, service_config) -> int:
         request_timeout=arguments.request_timeout,
         max_retries=arguments.max_retries,
     )
-    gateway = Gateway(config, service_config)
+    gateway = Gateway(config, service_config, trace_path=arguments.trace_out)
 
     async def _run() -> None:
         host_bound, port_bound = await gateway.start()
@@ -705,7 +717,8 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write a JSON-lines span trace to PATH ('-' for stderr); "
-        "in-process mode only (ignored with --workers)",
+        "with --workers or --listen this is a *stitched* cross-process "
+        "trace — inspect it with repro-trace (see docs/tracing.md)",
     )
     parser.add_argument(
         "--max-line-bytes", type=int, default=None, metavar="N",
@@ -758,6 +771,16 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.listen is not None:
         return _serve_gateway(arguments, service_config)
     tracer = None
+    if arguments.trace_out is not None:
+        from .obs import Tracer
+
+        # Supervised mode stitches worker spans under the supervisor's
+        # track, so the tracer needs a process name; in-process mode
+        # keeps the plain single-process trace.
+        tracer = Tracer(
+            arguments.trace_out,
+            process="supervisor-0" if arguments.workers > 0 else None,
+        )
     if arguments.workers > 0:
         from .serve import Supervisor, SupervisorConfig
 
@@ -765,12 +788,8 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
             workers=arguments.workers,
             request_timeout=arguments.request_timeout,
             max_retries=arguments.max_retries,
-        ))
+        ), tracer=tracer)
     else:
-        if arguments.trace_out is not None:
-            from .obs import Tracer
-
-            tracer = Tracer(arguments.trace_out)
         service = AnalysisService(service_config, tracer=tracer)
     try:
         if arguments.batch or arguments.files:
@@ -795,6 +814,102 @@ def _serve_command(argv: Optional[Sequence[str]] = None) -> int:
             service.close()
         if tracer is not None:
             tracer.close()
+
+
+def _trace_command(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Inspect JSON-lines span traces (docs/tracing.md): stitch "
+            "multi-process records into one tree, check the stitched "
+            "invariants, or render the static HTML time-travel viewer"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    stitch_parser = commands.add_parser(
+        "stitch",
+        help="merge raw multi-process records into one stitched "
+        "JSON-lines tree (qualified span ids, shared time base)",
+    )
+    stitch_parser.add_argument("trace", help="trace file to stitch")
+    stitch_parser.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="stitched output path (default '-' for stdout)",
+    )
+    check_parser = commands.add_parser(
+        "check",
+        help="validate the stitched invariants (per-process LIFO, "
+        "resolvable acyclic parent edges) and print a summary; "
+        "exit 1 when the trace is malformed",
+    )
+    check_parser.add_argument("trace", help="trace file to check")
+    html_parser = commands.add_parser(
+        "html",
+        help="render the self-contained HTML viewer (flame/timeline "
+        "plus fixpoint time-travel when the trace has state dumps)",
+    )
+    html_parser.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file to embed (omit for a file-picker page)",
+    )
+    html_parser.add_argument(
+        "--out", default="trace.html", metavar="PATH",
+        help="output HTML path (default trace.html; '-' for stdout)",
+    )
+    html_parser.add_argument(
+        "--title", default=None, metavar="TEXT", help="page title"
+    )
+    arguments = parser.parse_args(argv)
+    from .obs import read_trace, stitch, trace_summary
+
+    def _read(path: str) -> list:
+        # A torn tail (crashed writer) must be a structured failure,
+        # not a JSONDecodeError traceback.
+        try:
+            return read_trace(path)
+        except ValueError as error:
+            print(
+                f"repro-trace: unreadable trace {path!r}: {error}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+
+    if arguments.command == "stitch":
+        stitched = stitch(_read(arguments.trace))
+        lines = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in stitched
+        )
+        if arguments.out == "-":
+            sys.stdout.write(lines)
+        else:
+            with open(arguments.out, "w", encoding="utf-8") as handle:
+                handle.write(lines)
+        return 0
+    if arguments.command == "check":
+        records = _read(arguments.trace)
+        try:
+            summary = trace_summary(records)
+        except ValueError as error:
+            print(f"repro-trace: invalid trace: {error}", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    from .obs import render_html
+
+    records = (
+        _read(arguments.trace) if arguments.trace is not None else None
+    )
+    title = arguments.title or (
+        arguments.trace if arguments.trace is not None else "repro trace"
+    )
+    html = render_html(records, title=title)
+    if arguments.out == "-":
+        sys.stdout.write(html)
+    else:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"wrote {arguments.out} ({len(html)} bytes)")
+    return 0
 
 
 def _fuzz_command(argv: Optional[Sequence[str]] = None) -> int:
@@ -924,3 +1039,4 @@ main_optimize = _guard(_optimize_command, "repro-optimize")
 main_prolog = _guard(_prolog_command, "repro-prolog")
 main_serve = _guard(_serve_command, "repro-serve")
 main_fuzz = _guard(_fuzz_command, "repro-fuzz")
+main_trace = _guard(_trace_command, "repro-trace")

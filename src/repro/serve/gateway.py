@@ -111,6 +111,42 @@ def route_key(request: dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# Trace plumbing.
+
+
+class _LockedTraceSink:
+    """A lock-protected writer over one shared trace file.
+
+    The gateway tracer writes on the event loop, each shard tracer on
+    its dispatch thread, and each supervisor re-emits worker spans on
+    that same thread — per-*tracer* single-threadedness keeps span
+    stacks LIFO, but the shared file handle needs serialized writes.
+    """
+
+    __slots__ = ("_handle", "_lock")
+
+    def __init__(self, handle):
+        self._handle = handle
+        self._lock = Lock()
+
+    def write(self, line: str) -> None:
+        with self._lock:
+            self._handle.write(line)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._handle.flush()
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+
+
+# ----------------------------------------------------------------------
 # Configuration.
 
 
@@ -165,6 +201,7 @@ class Gateway:
         fault_plans: Optional[Dict[int, object]] = None,
         backend_factory=None,
         tracer=None,
+        trace_path: Optional[str] = None,
     ):
         from ..obs.metrics import MetricsRegistry
 
@@ -179,6 +216,38 @@ class Gateway:
         self._backend_factory = backend_factory or self._default_backend
         self.metrics = MetricsRegistry()
         self.tracer = tracer
+        #: Cross-process trace plumbing (docs/tracing.md): with
+        #: ``trace_path`` set, every layer — gateway event loop, each
+        #: shard's dispatch thread, each shard's supervisor — gets its
+        #: own process-named Tracer over one locked shared sink, and
+        #: workers' spans arrive via the ``_spans`` wire block.  One
+        #: request then yields one stitched tree in one file.
+        self._trace_sink: Optional[_LockedTraceSink] = None
+        self._trace_id: Optional[str] = None
+        self._shard_tracers: List = []
+        #: Backend generation per shard: a respawned supervisor gets a
+        #: fresh process name ("supervisor-<shard>g<gen>"), so its span
+        #: ids never collide with its predecessor's in the stitched
+        #: trace.
+        self._backend_generation: Dict[int, int] = {}
+        if trace_path is not None:
+            from ..obs.trace import Tracer, new_trace_id
+
+            self._trace_sink = _LockedTraceSink(
+                open(trace_path, "w", encoding="utf-8")
+            )
+            self._trace_id = new_trace_id()
+            self.tracer = Tracer(
+                self._trace_sink, process="gateway",
+                trace_id=self._trace_id,
+            )
+            self._shard_tracers = [
+                Tracer(
+                    self._trace_sink, process=f"shard-{shard_id}",
+                    trace_id=self._trace_id,
+                )
+                for shard_id in range(self.config.shards)
+            ]
         self.requests_served = 0
         self.connections = 0
         self._server = None
@@ -202,6 +271,10 @@ class Gateway:
                 config=self._shard_config_for(),
                 warm_requests=self._hot_requests_for,
                 metrics=self.metrics,
+                tracer=(
+                    self._shard_tracers[shard_id]
+                    if self._shard_tracers else None
+                ),
             )
             for shard_id in range(self.config.shards)
         ]
@@ -228,6 +301,17 @@ class Gateway:
                     service_config.store_dir, f"shard-{shard_id}"
                 ),
             )
+        tracer = None
+        if self._trace_sink is not None:
+            from ..obs.trace import Tracer
+
+            generation = self._backend_generation.get(shard_id, 0) + 1
+            self._backend_generation[shard_id] = generation
+            tracer = Tracer(
+                self._trace_sink,
+                process=f"supervisor-{shard_id}g{generation}",
+                trace_id=self._trace_id,
+            )
         if self.config.workers > 0:
             from .supervisor import Supervisor, SupervisorConfig
 
@@ -239,10 +323,11 @@ class Gateway:
                     max_retries=self.config.max_retries,
                 ),
                 fault_plan=self._fault_plans.get(shard_id),
+                tracer=tracer,
             )
         from .service import AnalysisService
 
-        return AnalysisService(service_config)
+        return AnalysisService(service_config, tracer=tracer)
 
     def _hot_requests_for(self, shard_id: int) -> List[dict]:
         with self._hot_lock:
@@ -327,6 +412,14 @@ class Gateway:
                 pass
         for task in tasks:
             task.cancel()
+        # Supervisor tracers close with their backends (Shard.close →
+        # Supervisor.close); the gateway owns the rest of the family
+        # and the shared handle.
+        for tracer in [self.tracer, *self._shard_tracers]:
+            if tracer is not None:
+                tracer.close()
+        if self._trace_sink is not None:
+            self._trace_sink.close()
         stopped.set()
 
     # ------------------------------------------------------------------
@@ -568,6 +661,9 @@ class Gateway:
                     request, "deadline-unreachable", shard=shard_id
                 )
             payload = dict(request)
+            if self.tracer is not None:
+                payload["_trace"] = self.tracer.current_context()
+                self.metrics.counter("trace.contexts_issued").inc()
             degraded_by_gateway = False
             if depth >= self._degrade_depth():
                 payload = self._tighten_for_shedding(payload)

@@ -146,6 +146,7 @@ class SCCScheduler:
         )
         metrics = self.analyzer.metrics
         tracer = self.analyzer.tracer
+        self.analyzer.reset_state_dumps()
         for position in order:
             spec = specs[position]
             spec_table = ExtensionTable(

@@ -141,8 +141,19 @@ class AnalysisService:
         failures — errors come back as ``{"ok": false, ...}``."""
         started = time.perf_counter()
         op = request.get("op", "analyze")
+        # Trace context (docs/tracing.md): stripped like _chaos, and —
+        # when this service traces — turned into a cross-process parent
+        # edge on the request's root span.
+        trace_context = request.pop("_trace", None)
         if self.tracer is not None:
-            self.tracer.begin("request", op=op)
+            self.tracer.begin(
+                "request",
+                _parent_ref=(
+                    trace_context.get("parent")
+                    if isinstance(trace_context, dict) else None
+                ),
+                op=op,
+            )
         try:
             response = self._dispatch(request)
         except ReproError as error:
@@ -228,6 +239,10 @@ class AnalysisService:
         )
         cached = self._compiled.get(program_key)
         if cached is not None:
+            # The tracer can change between requests (workers swap in a
+            # per-request tracer); keep the memoized analyzer in sync so
+            # cached programs still emit entry_spec/scc spans.
+            cached[1].tracer = self.tracer
             return cached
         analyzer = Analyzer(
             program,

@@ -111,6 +111,7 @@ class Shard:
         config: Optional[ShardConfig] = None,
         warm_requests: Optional[Callable[[int], List[dict]]] = None,
         metrics=None,
+        tracer=None,
     ):
         self.shard_id = shard_id
         self.config = config if config is not None else ShardConfig()
@@ -121,6 +122,13 @@ class Shard:
         #: Optional shared MetricsRegistry (owned by the gateway; the
         #: dispatch thread only increments counters, which is safe).
         self.metrics = metrics
+        #: Optional process-named repro.obs.Tracer, used only on the
+        #: dispatch thread (single-threaded, so its span stack stays
+        #: LIFO).  A ``shard.dispatch`` span brackets each *traced*
+        #: request — one that carries a ``_trace`` context from the
+        #: gateway — and the context is re-pointed at that span before
+        #: the backend sees it (docs/tracing.md).
+        self.tracer = tracer
         self._queue: "queue.Queue" = queue.Queue(
             maxsize=self.config.queue_depth
         )
@@ -223,12 +231,25 @@ class Shard:
                     request, "shard-respawning", shard=self.shard_id
                 ))
                 continue
+            context = request.get("_trace")
+            traced = self.tracer is not None and isinstance(context, dict)
+            if traced:
+                self.tracer.begin(
+                    "shard.dispatch",
+                    _parent_ref=context.get("parent"),
+                    shard=self.shard_id,
+                    op=str(request.get("op", "analyze")),
+                )
+                request = dict(request)
+                request["_trace"] = self.tracer.current_context()
             started = time.perf_counter()
             try:
                 response = self._backend.handle(request)
             except Exception as error:  # noqa: BLE001 — survival boundary
                 # Request-level failures come back as {"ok": false};
                 # an *exception* means the backend itself is broken.
+                if traced:
+                    self.tracer.end(aborted=True, error_kind="shard-failure")
                 self.failures += 1
                 self._strikes += 1
                 self._healthy = False
@@ -245,6 +266,13 @@ class Shard:
                     **({"id": request["id"]} if "id" in request else {}),
                 })
                 continue
+            if traced:
+                self.tracer.end()
+                # A supervisor backend already absorbed its workers'
+                # ``_spans`` blocks; pop defensively so the wire block
+                # never reaches a client whatever the backend was.
+                if isinstance(response, dict):
+                    response.pop("_spans", None)
             elapsed = time.perf_counter() - started
             alpha = self.config.latency_alpha
             self.ewma_seconds = (

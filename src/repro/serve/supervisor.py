@@ -111,6 +111,7 @@ class Supervisor:
         service_config: Optional[ServiceConfig] = None,
         config: Optional[SupervisorConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
     ):
         self.service_config = (
             service_config if service_config is not None else ServiceConfig()
@@ -135,6 +136,13 @@ class Supervisor:
         from ..obs.metrics import MetricsRegistry
 
         self.metrics = MetricsRegistry()
+        #: Optional process-named repro.obs.Tracer: the supervisor's
+        #: own spans (one ``supervisor.execute`` per request, one
+        #: ``worker.attempt`` per attempt) plus every worker's shipped
+        #: ``_spans`` block, re-emitted verbatim so one request yields
+        #: one stitched tree (docs/tracing.md).  ``None`` (the default)
+        #: keeps every trace site a single identity check.
+        self.tracer = tracer
         #: Newest checkpoint snapshot per request key, fed by workers'
         #: interim wire lines; attached as ``"resume"`` on crash retry.
         self._resume: Dict[str, dict] = {}
@@ -153,7 +161,7 @@ class Supervisor:
         client attached (``resume``)."""
         bare = {
             key: value for key, value in request.items()
-            if key not in ("id", "_chaos", "resume")
+            if key not in ("id", "_chaos", "resume", "_trace")
         }
         canonical = json.dumps(
             bare, sort_keys=True, separators=(",", ":"), default=str
@@ -221,6 +229,24 @@ class Supervisor:
         return response
 
     def _execute(self, request: dict) -> dict:
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute_supervised(request)
+        context = request.get("_trace")
+        tracer.begin(
+            "supervisor.execute",
+            _parent_ref=(
+                context.get("parent")
+                if isinstance(context, dict) else None
+            ),
+            op=str(request.get("op", "analyze")),
+        )
+        try:
+            return self._execute_supervised(request)
+        finally:
+            tracer.end()
+
+    def _execute_supervised(self, request: dict) -> dict:
         timeout = self._timeout_for(request)
         key = self._request_key(request)
         quarantined = self._quarantine.get(key)
@@ -274,11 +300,23 @@ class Supervisor:
                 self.metrics.counter("resume.wire_attached").inc()
             cursor_before = progress["cursor"]
             slot, worker = self.pool.checkout()
+            tracer = self.tracer
+            if tracer is not None:
+                # One span per attempt.  A worker that answers ships its
+                # own spans (absorbed below) nested under this one; a
+                # worker that dies ships nothing, and ending the attempt
+                # span ``aborted`` is the explicit tombstone that keeps
+                # the stitched tree whole (docs/tracing.md).
+                tracer.begin("worker.attempt", attempt=attempts, slot=slot)
+                payload["_trace"] = tracer.current_context()
             try:
                 response = worker.request(
                     payload, timeout, on_interim=note_interim
                 )
             except WorkerTimeout:
+                if tracer is not None:
+                    tracer.end(aborted=True, error_kind="timeout")
+                    self.metrics.counter("trace.aborted.synthesized").inc()
                 self.timeouts += 1
                 self.metrics.counter("serve.worker.timeouts").inc()
                 self.metrics.counter("serve.worker.respawns").inc()
@@ -294,6 +332,9 @@ class Supervisor:
                     ),
                 )
             except WorkerCrashed as error:
+                if tracer is not None:
+                    tracer.end(aborted=True, error_kind="worker-crash")
+                    self.metrics.counter("trace.aborted.synthesized").inc()
                 self.crashes_survived += 1
                 self.metrics.counter("serve.worker.crashes").inc()
                 self.metrics.counter("serve.worker.respawns").inc()
@@ -352,6 +393,9 @@ class Supervisor:
             else:
                 self.pool.report_success(slot)
                 self._absorb_metrics(response)
+                self._absorb_spans(response)
+                if tracer is not None:
+                    tracer.end()
                 self._strikes.pop(key, None)
                 self._resume.pop(key, None)  # the work is done; GC
                 response["worker"] = slot
@@ -370,6 +414,20 @@ class Supervisor:
             self.metrics.merge(delta)
         except (ValueError, KeyError, TypeError, IndexError):
             pass
+
+    def _absorb_spans(self, response: dict) -> None:
+        """Pop a worker's shipped "_spans" block and re-emit the records
+        into this supervisor's trace sink; without a tracer the block is
+        dropped (it must never reach the client either way)."""
+        spans = response.pop("_spans", None)
+        if not isinstance(spans, list) or self.tracer is None:
+            return
+        try:
+            absorbed = self.tracer.emit_foreign(spans)
+        except (OSError, ValueError, TypeError):
+            return
+        if absorbed:
+            self.metrics.counter("trace.spans.absorbed").inc(absorbed)
 
     def _error_response(
         self, request, kind: str, retriable: bool, attempts: int, message: str
@@ -403,6 +461,7 @@ class Supervisor:
                 continue
             self.pool.report_success(slot)
             self._absorb_metrics(answer)
+            self._absorb_spans(answer)
             response.update(
                 (key, value) for key, value in answer.items()
                 if key not in ("elapsed_ms",)
@@ -427,6 +486,10 @@ class Supervisor:
 
     def close(self) -> None:
         self.pool.close()
+        if self.tracer is not None:
+            # Ends anything still open (marked aborted) and flushes the
+            # shared sink; the sink itself belongs to whoever opened it.
+            self.tracer.close()
 
     def __enter__(self) -> "Supervisor":
         return self

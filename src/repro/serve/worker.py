@@ -34,6 +34,16 @@ supervisor retains the newest one per request key and attaches it as
 ``"resume"`` when it retries after a crash, so a killed worker's
 fixpoint progress survives even without a shared disk store.
 
+Requests may also carry a ``"_trace"`` context (see docs/tracing.md):
+``{"trace": "<id>", "parent": "<process>:<span>"}``.  The worker then
+opens its root span *under* the supervisor's span — a per-request
+:class:`~repro.obs.Tracer` buffers the request's spans in memory and
+the completed records ship up as a ``"_spans"`` block next to
+``"_metrics"``.  A worker that dies mid-request ships nothing; the
+supervisor synthesizes an explicitly aborted attempt span instead, so
+the stitched tree stays well formed.  Without ``"_trace"`` the cost is
+one dict ``pop`` per request.
+
 Python-level failures that *can* be caught (a bug in the analyzer, a
 ``RecursionError`` that unwound cleanly) are answered in-process as
 ``{"ok": false, ...}`` — only genuinely fatal events cost a worker.
@@ -109,6 +119,24 @@ def _apply_chaos_on_receipt(chaos: Optional[dict]) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+class _SpanBuffer:
+    """A Tracer sink that keeps the request's records in memory."""
+
+    __slots__ = ("lines",)
+
+    def __init__(self):
+        self.lines = []
+
+    def write(self, line: str) -> None:
+        self.lines.append(line)
+
+    def flush(self) -> None:
+        pass
+
+    def records(self):
+        return [json.loads(line) for line in self.lines]
+
+
 def worker_loop(stdin, stdout) -> int:
     """Config line, then request/response lines until EOF or shutdown."""
     first = stdin.readline()
@@ -131,6 +159,10 @@ def worker_loop(stdin, stdout) -> int:
         stdout.flush()
 
     service.checkpoint_wire_sink = ship_checkpoint
+    #: Per-request trace sequence: each traced request gets a fresh
+    #: span-id namespace ("worker-<pid>.<seq>"), so a worker reused
+    #: across requests never reuses a stitched span id.
+    trace_seq = 0
     for line in stdin:
         line = line.strip()
         if not line:
@@ -146,14 +178,20 @@ def worker_loop(stdin, stdout) -> int:
                 _apply_chaos_on_receipt(chaos)
                 if chaos and chaos.get("kill_at_iteration") is not None:
                     service.kill_at_iteration = int(chaos["kill_at_iteration"])
+                trace_context = request.pop("_trace", None)
+                buffer = None
+                if isinstance(trace_context, dict):
+                    from ..obs.trace import Tracer
+
+                    trace_seq += 1
+                    buffer = _SpanBuffer()
+                    service.tracer = Tracer(
+                        buffer,
+                        process=f"worker-{os.getpid()}.{trace_seq}",
+                        context=trace_context,
+                    )
                 try:
                     response = service.handle(request)
-                    # Ship what this request changed in the worker's
-                    # registry; the supervisor pops "_metrics" and merges
-                    # it into its aggregate (see docs/observability.md).
-                    delta = service.metrics.delta()
-                    if delta:
-                        response["_metrics"] = delta
                 except Exception as error:  # the isolation boundary
                     response = {
                         "ok": False,
@@ -161,6 +199,24 @@ def worker_loop(stdin, stdout) -> int:
                     }
                 finally:
                     service.kill_at_iteration = None
+                if buffer is not None:
+                    # close() ends anything a caught failure left open
+                    # (marked aborted), so the shipped block is always
+                    # a complete per-process trace.
+                    service.tracer.close()
+                    service.tracer = None
+                    spans = buffer.records()
+                    if spans:
+                        response["_spans"] = spans
+                        service.metrics.counter(
+                            "trace.spans.shipped"
+                        ).inc(len(spans))
+                # Ship what this request changed in the worker's
+                # registry; the supervisor pops "_metrics" and merges
+                # it into its aggregate (see docs/observability.md).
+                delta = service.metrics.delta()
+                if delta:
+                    response["_metrics"] = delta
             else:
                 response = {"ok": False, "error": "request must be an object"}
         if chaos and chaos.get("delay"):

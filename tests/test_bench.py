@@ -192,9 +192,11 @@ class TestServeBenchEmit:
         overhead = obs_document["overhead"]
         assert overhead["passes"] >= 15
         assert overhead["metrics_off_bound_percent"] == 3.0
+        assert overhead["trace_off_bound_percent"] == 1.0
         for key in ("metrics_off_ms", "metrics_on_ms",
                     "metrics_off_again_ms", "metrics_off_delta_percent",
-                    "metrics_on_overhead_percent"):
+                    "metrics_on_overhead_percent", "trace_off_ms",
+                    "trace_off_delta_percent"):
             assert key in overhead
         opt_document = json.loads(opt_out.read_text())
         [opt_row] = opt_document["benchmarks"]
